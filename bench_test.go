@@ -1,0 +1,294 @@
+package smoothscan
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per exhibit, backed by internal/harness),
+// plus operator-level micro-benchmarks and the ablation studies listed
+// in DESIGN.md.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+//
+// The interesting output is the per-benchmark custom metrics
+// (simulated cost units), not ns/op: the simulation is deterministic,
+// so the simulated metrics are exactly reproducible while wall time
+// varies with the host.
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/core"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/exec"
+	"smoothscan/internal/harness"
+	"smoothscan/internal/workload"
+)
+
+// benchConfig keeps the harness-backed benchmarks fast enough to run
+// as a suite while preserving every paper shape.
+func benchConfig() harness.Config {
+	return harness.Config{
+		MicroRows:  100_000,
+		SkewRows:   150_000,
+		TPCHOrders: 5_000,
+		Seed:       1,
+	}
+}
+
+// runExperiment executes one harness experiment per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := harness.New(benchConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty experiment result")
+		}
+	}
+}
+
+// BenchmarkFig1TunedRegression regenerates Figure 1 (tuning-induced
+// regressions on the 19-query workload under stale statistics).
+func BenchmarkFig1TunedRegression(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig4TPCH regenerates Figure 4 (TPC-H Q1/Q4/Q6/Q7/Q14 with
+// and without Smooth Scan, CPU vs I/O breakdown).
+func BenchmarkFig4TPCH(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkTable2IOAnalysis regenerates Table II (I/O requests and
+// data volume per query).
+func BenchmarkTable2IOAnalysis(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkFig5aOrderBy regenerates Figure 5a (selectivity sweep with
+// ORDER BY).
+func BenchmarkFig5aOrderBy(b *testing.B) { runExperiment(b, "fig5a") }
+
+// BenchmarkFig5bNoOrderBy regenerates Figure 5b (sweep without ORDER
+// BY).
+func BenchmarkFig5bNoOrderBy(b *testing.B) { runExperiment(b, "fig5b") }
+
+// BenchmarkFig6Modes regenerates Figure 6 (Entire Page Probe vs
+// Flattening Access sensitivity).
+func BenchmarkFig6Modes(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7aPolicies regenerates Figure 7a (Greedy vs
+// Selectivity-Increase vs Elastic).
+func BenchmarkFig7aPolicies(b *testing.B) { runExperiment(b, "fig7a") }
+
+// BenchmarkFig7bTriggers regenerates Figure 7b (Eager vs
+// Optimizer-driven vs SLA-driven triggers).
+func BenchmarkFig7bTriggers(b *testing.B) { runExperiment(b, "fig7b") }
+
+// BenchmarkFig8Skew regenerates Figure 8 (skewed distribution:
+// execution time and pages read per access path).
+func BenchmarkFig8Skew(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Caches regenerates Figure 9 (Result Cache overhead and
+// hit rate; morphing accuracy).
+func BenchmarkFig9Caches(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10SSD regenerates Figure 10 (the sweep on the SSD
+// profile).
+func BenchmarkFig10SSD(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11SwitchScan regenerates Figure 11 (the Switch Scan
+// performance cliff).
+func BenchmarkFig11SwitchScan(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkCompetitiveRatio regenerates the Section V-A competitive
+// analysis summary.
+func BenchmarkCompetitiveRatio(b *testing.B) { runExperiment(b, "tab-cr") }
+
+// --- operator-level micro-benchmarks (wall-clock performance of the
+// engine itself, complementing the simulated-cost experiments) ---
+
+func benchTable(b *testing.B, rows int64) (*workload.Table, *disk.Device, *bufferpool.Pool) {
+	b.Helper()
+	dev := disk.NewDevice(disk.HDD)
+	tab, err := workload.BuildMicro(dev, workload.MicroConfig{NumRows: rows, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab, dev, bufferpool.New(dev, int(tab.File.NumPages()/10)+64)
+}
+
+// BenchmarkSmoothScanThroughput measures tuples/second through the
+// morphing operator at 100% selectivity.
+func BenchmarkSmoothScanThroughput(b *testing.B) {
+	tab, dev, pool := benchTable(b, 100_000)
+	b.ResetTimer()
+	var produced int64
+	for i := 0; i < b.N; i++ {
+		pool.Reset()
+		dev.ResetStats()
+		ss, err := core.NewSmoothScan(tab.File, pool, tab.Index, tab.PredForSelectivity(1), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := exec.Count(ss)
+		if err != nil {
+			b.Fatal(err)
+		}
+		produced += n
+	}
+	b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkSmoothScanSelectivities reports simulated cost across the
+// selectivity range in one run (sub-benchmarks per point).
+func BenchmarkSmoothScanSelectivities(b *testing.B) {
+	for _, pct := range []float64{0.01, 1, 20, 100} {
+		b.Run(strings.ReplaceAll(strconv.FormatFloat(pct, 'f', -1, 64), ".", "_")+"pct", func(b *testing.B) {
+			tab, dev, pool := benchTable(b, 100_000)
+			var simTime float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Reset()
+				dev.ResetStats()
+				ss, err := core.NewSmoothScan(tab.File, pool, tab.Index, tab.PredForSelectivity(pct/100), core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exec.Count(ss); err != nil {
+					b.Fatal(err)
+				}
+				simTime = dev.Stats().Time()
+			}
+			b.ReportMetric(simTime, "simcost")
+		})
+	}
+}
+
+// BenchmarkAblationMaxRegionCap sweeps the morphing-region cap — the
+// design choice the paper fixes at 2K pages (16 MB) after its own
+// sensitivity analysis.
+func BenchmarkAblationMaxRegionCap(b *testing.B) {
+	for _, capPages := range []int64{16, 128, 1024, 2048, 8192} {
+		b.Run(strconv.FormatInt(capPages, 10), func(b *testing.B) {
+			tab, dev, pool := benchTable(b, 100_000)
+			var simTime float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Reset()
+				dev.ResetStats()
+				ss, err := core.NewSmoothScan(tab.File, pool, tab.Index, tab.PredForSelectivity(0.5),
+					core.Config{MaxRegionPages: capPages})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exec.Count(ss); err != nil {
+					b.Fatal(err)
+				}
+				simTime = dev.Stats().Time()
+			}
+			b.ReportMetric(simTime, "simcost")
+		})
+	}
+}
+
+// BenchmarkAblationOrderedDelivery compares the ordered (Result
+// Cache) and unordered variants — the cost of preserving the
+// interesting order.
+func BenchmarkAblationOrderedDelivery(b *testing.B) {
+	for _, ordered := range []bool{false, true} {
+		name := "unordered"
+		if ordered {
+			name = "ordered"
+		}
+		b.Run(name, func(b *testing.B) {
+			tab, dev, pool := benchTable(b, 100_000)
+			var simTime float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Reset()
+				dev.ResetStats()
+				ss, err := core.NewSmoothScan(tab.File, pool, tab.Index, tab.PredForSelectivity(0.2),
+					core.Config{Ordered: ordered})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exec.Count(ss); err != nil {
+					b.Fatal(err)
+				}
+				simTime = dev.Stats().Time()
+			}
+			b.ReportMetric(simTime, "simcost")
+		})
+	}
+}
+
+// BenchmarkBTreeSeek measures index descent + first-entry latency.
+func BenchmarkBTreeSeek(b *testing.B) {
+	tab, _, pool := benchTable(b, 200_000)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := tab.Index.SeekGE(pool, rng.Int63n(workload.DefaultDomain))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := it.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferPoolGet measures the page-cache hot path.
+func BenchmarkBufferPoolGet(b *testing.B) {
+	tab, dev, _ := benchTable(b, 50_000)
+	pool := bufferpool.New(dev, 128)
+	numPages := tab.File.NumPages()
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Get(tab.File.Space(), rng.Int63n(numPages)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPIScan exercises the full public stack end to end.
+func BenchmarkPublicAPIScan(b *testing.B) {
+	db, err := Open(Options{PoolPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", "id", "val")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := int64(0); i < 50_000; i++ {
+		if err := tb.Append(i, rng.Int63n(10_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "val"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ColdCache()
+		rows, err := db.Scan("t", "val", 100, 200, ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if rows.Err() != nil {
+			b.Fatal(rows.Err())
+		}
+		rows.Close()
+	}
+}

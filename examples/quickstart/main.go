@@ -1,0 +1,79 @@
+// Quickstart: load a table, build a secondary index, and run range
+// queries with the Smooth Scan access path — no statistics required.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"smoothscan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A database on a simulated HDD (random I/O 10x slower than
+	// sequential) with a 256-page buffer pool.
+	db, err := smoothscan.Open(smoothscan.Options{Disk: smoothscan.HDD, PoolPages: 256})
+	if err != nil {
+		return err
+	}
+
+	// Orders: (id, amount_cents). 50,000 rows, amounts uniform.
+	tb, err := db.CreateTable("orders", "id", "amount")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for i := int64(0); i < 50_000; i++ {
+		if err := tb.Append(i, rng.Int63n(10_000_00)); err != nil {
+			return err
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		return err
+	}
+	if err := db.CreateIndex("orders", "amount"); err != nil {
+		return err
+	}
+
+	// Query: orders between 100.00 and 150.00 — the kind of range
+	// whose cardinality an optimizer must guess. Smooth Scan does not
+	// care: it adapts while running.
+	db.ResetStats()
+	rows, err := db.Scan("orders", "amount", 100_00, 150_00, smoothscan.ScanOptions{
+		// Defaults: PathSmooth, Elastic policy, Eager trigger.
+	})
+	if err != nil {
+		return err
+	}
+	var count int64
+	var total int64
+	for rows.Next() {
+		amount, _ := rows.Col("amount")
+		total += amount
+		count++
+	}
+	if rows.Err() != nil {
+		return rows.Err()
+	}
+	defer rows.Close()
+
+	fmt.Printf("matched %d orders, total %d.%02d\n", count, total/100, total%100)
+
+	st := db.Stats()
+	fmt.Printf("simulated cost: %.1f units (%.1f I/O + %.1f CPU), %d pages read\n",
+		st.Time(), st.IOTime, st.CPUTime, st.PagesRead)
+
+	if ss, ok := rows.SmoothStats(); ok {
+		fmt.Printf("smooth scan: fetched %d heap pages, morphing accuracy %.0f%%, peak region %d pages\n",
+			ss.PagesFetched, 100*ss.MorphingAccuracy(), ss.PeakRegionPages)
+	}
+	return nil
+}

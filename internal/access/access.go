@@ -1,0 +1,300 @@
+// Package access implements the traditional access-path operators the
+// paper compares against (Section II): Full Table Scan, (non-clustered)
+// Index Scan and Sort Scan (PostgreSQL's bitmap heap scan), plus the
+// straw-man adaptive Switch Scan of Sections III and VI-F.
+//
+// All operators follow the Volcano iterator protocol (Open/Next/Close)
+// and therefore compose with the executor in internal/exec and with the
+// Smooth Scan operator in internal/core, which shares the same shape.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smoothscan/internal/btree"
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/simcost"
+	"smoothscan/internal/tuple"
+)
+
+// ErrClosed is returned by Next after Close or before Open.
+var ErrClosed = errors.New("access: operator is not open")
+
+// fullScanChunk is the number of pages a full scan requests per I/O,
+// modelling OS/DBMS read-ahead (16 × 8 KB = 128 KB requests).
+const fullScanChunk = 16
+
+// FullScan reads every page of the table sequentially and returns the
+// tuples matching the predicate, in physical (load) order. Its I/O
+// cost is independent of selectivity (Eq. 10).
+type FullScan struct {
+	file *heap.File
+	pool *bufferpool.Pool
+	pred tuple.RangePred
+
+	open    bool
+	pageNo  int64    // next page number to request
+	pages   [][]byte // current chunk
+	pageIdx int      // index into pages
+	slot    int      // next slot in current page
+	row     tuple.Row
+}
+
+// NewFullScan creates a full scan of file with the given predicate.
+func NewFullScan(file *heap.File, pool *bufferpool.Pool, pred tuple.RangePred) *FullScan {
+	return &FullScan{file: file, pool: pool, pred: pred}
+}
+
+// Schema returns the table schema.
+func (s *FullScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+// Open prepares the scan.
+func (s *FullScan) Open() error {
+	s.open = true
+	s.pageNo = 0
+	s.pages = nil
+	s.pageIdx = 0
+	s.slot = 0
+	s.row = tuple.NewRow(s.file.Schema())
+	return nil
+}
+
+// Next returns the next matching tuple.
+func (s *FullScan) Next() (tuple.Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrClosed
+	}
+	dev := s.pool.Device()
+	for {
+		if s.pageIdx >= len(s.pages) {
+			if s.pageNo >= s.file.NumPages() {
+				return nil, false, nil
+			}
+			n := min64(fullScanChunk, s.file.NumPages()-s.pageNo)
+			pages, err := s.file.GetRun(s.pool, s.pageNo, n)
+			if err != nil {
+				return nil, false, fmt.Errorf("full scan: %w", err)
+			}
+			s.pages = pages
+			s.pageIdx = 0
+			s.slot = 0
+			s.pageNo += n
+		}
+		page := s.pages[s.pageIdx]
+		count := heap.PageTupleCount(page)
+		for s.slot < count {
+			s.row = s.file.DecodeRow(page, s.slot, s.row)
+			s.slot++
+			dev.ChargeCPU(simcost.Tuple)
+			if s.pred.Matches(s.row) {
+				return s.row.Clone(), true, nil
+			}
+		}
+		s.pageIdx++
+		s.slot = 0
+	}
+}
+
+// Close releases the scan.
+func (s *FullScan) Close() error {
+	s.open = false
+	s.pages = nil
+	return nil
+}
+
+// IndexScan traverses the secondary index once and fetches each
+// qualifying tuple from the heap by its TID — a random access per
+// look-up, possibly revisiting pages (Eq. 11). Output is in index-key
+// order.
+type IndexScan struct {
+	file *heap.File
+	pool *bufferpool.Pool
+	tree *btree.Tree
+	pred tuple.RangePred
+
+	open bool
+	it   *btree.Iter
+}
+
+// NewIndexScan creates an index scan. The predicate column must be the
+// column the tree indexes; the caller (optimizer or test) guarantees
+// this, as PostgreSQL's planner does.
+func NewIndexScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pred tuple.RangePred) *IndexScan {
+	return &IndexScan{file: file, pool: pool, tree: tree, pred: pred}
+}
+
+// Schema returns the table schema.
+func (s *IndexScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+// Open descends the tree to the first qualifying entry.
+func (s *IndexScan) Open() error {
+	it, err := s.tree.SeekGE(s.pool, s.pred.Lo)
+	if err != nil {
+		return fmt.Errorf("index scan: %w", err)
+	}
+	s.it = it
+	s.open = true
+	return nil
+}
+
+// Next returns the next matching tuple in key order.
+func (s *IndexScan) Next() (tuple.Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrClosed
+	}
+	e, ok, err := s.it.Next()
+	if err != nil {
+		return nil, false, fmt.Errorf("index scan: %w", err)
+	}
+	if !ok || e.Key >= s.pred.Hi {
+		return nil, false, nil
+	}
+	row, err := s.file.RowAt(s.pool, e.TID)
+	if err != nil {
+		return nil, false, fmt.Errorf("index scan: %w", err)
+	}
+	s.pool.Device().ChargeCPU(simcost.Tuple)
+	return row, true, nil
+}
+
+// Close releases the scan.
+func (s *IndexScan) Close() error {
+	s.open = false
+	s.it = nil
+	return nil
+}
+
+// SortScan is PostgreSQL's bitmap heap scan (Section II): it first
+// collects the TIDs of all qualifying tuples from the index, sorts
+// them in heap-page order, then fetches the result pages with a nearly
+// sequential pattern. It is a blocking operator; when the plan needs
+// the index order (ORDER BY), a posterior sort of the results is
+// required and charged.
+type SortScan struct {
+	file       *heap.File
+	pool       *bufferpool.Pool
+	tree       *btree.Tree
+	pred       tuple.RangePred
+	orderByKey bool
+	memBytes   int64 // 0 = unlimited
+
+	open    bool
+	results []tuple.Row
+	pos     int
+}
+
+// NewSortScan creates a sort scan; orderByKey adds the posterior sort
+// that restores index-key order.
+func NewSortScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pred tuple.RangePred, orderByKey bool) *SortScan {
+	return &SortScan{file: file, pool: pool, tree: tree, pred: pred, orderByKey: orderByKey}
+}
+
+// SetMemoryBudget bounds the memory available to the scan's sorting
+// phases; beyond it, sorts spill with two sequential passes over the
+// spilled data (external merge sort). Zero means unlimited.
+func (s *SortScan) SetMemoryBudget(bytes int64) { s.memBytes = bytes }
+
+// chargeSpill charges an external sort of dataBytes against the
+// budget.
+func (s *SortScan) chargeSpill(dataBytes int64) {
+	if s.memBytes <= 0 || dataBytes <= s.memBytes {
+		return
+	}
+	dev := s.pool.Device()
+	pages := (dataBytes + int64(dev.PageSize()) - 1) / int64(dev.PageSize())
+	dev.ChargeSpill(pages)
+}
+
+// Schema returns the table schema.
+func (s *SortScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+// Open materialises the result (the blocking phase).
+func (s *SortScan) Open() error {
+	dev := s.pool.Device()
+	it, err := s.tree.SeekGE(s.pool, s.pred.Lo)
+	if err != nil {
+		return fmt.Errorf("sort scan: %w", err)
+	}
+	var tids []heap.TID
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			return fmt.Errorf("sort scan: %w", err)
+		}
+		if !ok || e.Key >= s.pred.Hi {
+			break
+		}
+		tids = append(tids, e.TID)
+	}
+	// Pre-sort of TIDs in increasing heap-page order. TIDs are 20
+	// bytes in the on-disk representation.
+	dev.ChargeCPU(simcost.SortCost(len(tids)))
+	s.chargeSpill(int64(len(tids)) * 20)
+	sort.Slice(tids, func(i, j int) bool { return tids[i].Less(tids[j]) })
+
+	// Fetch result pages grouped into maximal adjacent runs.
+	s.results = s.results[:0]
+	for i := 0; i < len(tids); {
+		runStart := tids[i].Page
+		runEnd := runStart + 1
+		j := i
+		for j < len(tids) && tids[j].Page-runEnd <= 0 {
+			if tids[j].Page >= runEnd {
+				runEnd = tids[j].Page + 1
+			}
+			j++
+		}
+		pages, err := s.file.GetRun(s.pool, runStart, runEnd-runStart)
+		if err != nil {
+			return fmt.Errorf("sort scan: %w", err)
+		}
+		for ; i < j; i++ {
+			page := pages[tids[i].Page-runStart]
+			row := s.file.DecodeRow(page, int(tids[i].Slot), nil)
+			dev.ChargeCPU(simcost.Tuple)
+			s.results = append(s.results, row)
+		}
+	}
+	// Posterior sort restoring the interesting order, if required.
+	if s.orderByKey {
+		col := s.pred.Col
+		dev.ChargeCPU(simcost.SortCost(len(s.results)))
+		s.chargeSpill(int64(len(s.results)) * int64(s.file.Schema().TupleSize()))
+		sort.SliceStable(s.results, func(i, j int) bool {
+			return s.results[i].Int(col) < s.results[j].Int(col)
+		})
+	}
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+// Next streams the materialised result.
+func (s *SortScan) Next() (tuple.Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrClosed
+	}
+	if s.pos >= len(s.results) {
+		return nil, false, nil
+	}
+	row := s.results[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close releases the scan.
+func (s *SortScan) Close() error {
+	s.open = false
+	s.results = nil
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

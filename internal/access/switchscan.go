@@ -1,0 +1,145 @@
+package access
+
+import (
+	"fmt"
+
+	"smoothscan/internal/bitmap"
+	"smoothscan/internal/btree"
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/simcost"
+	"smoothscan/internal/tuple"
+)
+
+// SwitchScan is the straw-man adaptive access path of Sections III and
+// VI-F: it runs a classic index scan while monitoring the result
+// cardinality and, the moment the cardinality exceeds the (optimizer's)
+// estimate, abandons the index and restarts as a full table scan.
+//
+// Tuples already produced through the index are remembered in a Tuple
+// ID bitmap so the full-scan phase does not duplicate them. The binary
+// switch is exactly what produces the performance cliff of Figure 11:
+// producing one tuple past the threshold costs an entire full scan on
+// top of the index work already done.
+type SwitchScan struct {
+	file      *heap.File
+	pool      *bufferpool.Pool
+	tree      *btree.Tree
+	pred      tuple.RangePred
+	threshold int64
+
+	open     bool
+	switched bool
+	produced int64
+	seen     *bitmap.Bitmap // TIDs produced during the index phase
+	it       *btree.Iter
+	full     *FullScan
+}
+
+// NewSwitchScan creates a switch scan that abandons the index once
+// more than threshold tuples have been produced. The threshold plays
+// the role of the optimizer's cardinality estimate.
+func NewSwitchScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pred tuple.RangePred, threshold int64) *SwitchScan {
+	return &SwitchScan{file: file, pool: pool, tree: tree, pred: pred, threshold: threshold}
+}
+
+// Schema returns the table schema.
+func (s *SwitchScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+// Switched reports whether the operator has performed its binary
+// switch to a full scan.
+func (s *SwitchScan) Switched() bool { return s.switched }
+
+// Open starts the index phase.
+func (s *SwitchScan) Open() error {
+	it, err := s.tree.SeekGE(s.pool, s.pred.Lo)
+	if err != nil {
+		return fmt.Errorf("switch scan: %w", err)
+	}
+	s.it = it
+	s.open = true
+	s.switched = false
+	s.produced = 0
+	s.seen = bitmap.New(s.file.NumTuples())
+	return nil
+}
+
+func (s *SwitchScan) tidBit(tid heap.TID) int64 {
+	return tid.Page*int64(s.file.TuplesPerPage()) + int64(tid.Slot)
+}
+
+// Next returns the next matching tuple: index-ordered until the
+// switch, physical order afterwards.
+func (s *SwitchScan) Next() (tuple.Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrClosed
+	}
+	if !s.switched {
+		e, ok, err := s.it.Next()
+		if err != nil {
+			return nil, false, fmt.Errorf("switch scan: %w", err)
+		}
+		if !ok || e.Key >= s.pred.Hi {
+			return nil, false, nil
+		}
+		if s.produced < s.threshold {
+			row, err := s.file.RowAt(s.pool, e.TID)
+			if err != nil {
+				return nil, false, fmt.Errorf("switch scan: %w", err)
+			}
+			s.pool.Device().ChargeCPU(simcost.Tuple)
+			s.produced++
+			s.seen.Set(s.tidBit(e.TID))
+			return row, true, nil
+		}
+		// The estimate is violated: switch before producing this
+		// tuple. All remaining results come from a fresh full scan;
+		// already-produced tuples are filtered through the bitmap.
+		s.switched = true
+		s.it = nil
+		s.full = NewFullScan(s.file, s.pool, s.pred)
+		if err := s.full.Open(); err != nil {
+			return nil, false, fmt.Errorf("switch scan: %w", err)
+		}
+	}
+	for {
+		row, ok, err := s.full.Next()
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		// Recover the TID from the full scan position: FullScan
+		// produces tuples in strict load order, so we track it with a
+		// running row number. See fullScanTID below.
+		tid, err := s.full.currentTID()
+		if err != nil {
+			return nil, false, fmt.Errorf("switch scan: %w", err)
+		}
+		if s.seen.Get(s.tidBit(tid)) {
+			continue // produced during the index phase
+		}
+		return row, true, nil
+	}
+}
+
+// Close releases the scan.
+func (s *SwitchScan) Close() error {
+	s.open = false
+	s.it = nil
+	if s.full != nil {
+		err := s.full.Close()
+		s.full = nil
+		return err
+	}
+	return nil
+}
+
+// currentTID returns the TID of the tuple most recently returned by
+// Next. FullScan walks pages and slots in order; the last decoded
+// position is (pageNo-len(pages)+pageIdx, slot-1) in its state.
+func (s *FullScan) currentTID() (heap.TID, error) {
+	if s.pageIdx >= len(s.pages) || s.slot == 0 {
+		return heap.TID{}, fmt.Errorf("access: no current tuple")
+	}
+	page := s.pageNo - int64(len(s.pages)) + int64(s.pageIdx)
+	return heap.TID{Page: page, Slot: int32(s.slot - 1)}, nil
+}

@@ -1,0 +1,352 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+// Small pages force multi-level trees with few entries:
+// leafCap = (256-16)/20 = 12, internCap = (256-24)/16 = 14.
+func testDevice() *disk.Device {
+	return disk.NewDevice(disk.Profile{Name: "t", RandCost: 10, SeqCost: 1, PageSize: 256})
+}
+
+func buildTree(t *testing.T, dev *disk.Device, entries []Entry) *Tree {
+	t.Helper()
+	tr, err := Build(dev, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func seqEntries(n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), TID: heap.TID{Page: int64(i / 10), Slot: int32(i % 10)}}
+	}
+	return entries
+}
+
+func collect(t *testing.T, it *Iter, limit int64) []Entry {
+	t.Helper()
+	var out []Entry
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || e.Key >= limit {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	dev := testDevice()
+	tr := buildTree(t, dev, nil)
+	if tr.Height() != 1 || tr.NumLeaves() != 1 || tr.NumKeys() != 0 {
+		t.Errorf("empty tree: h=%d leaves=%d keys=%d", tr.Height(), tr.NumLeaves(), tr.NumKeys())
+	}
+	pool := bufferpool.New(dev, 4)
+	it, err := tr.SeekGE(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Error("empty tree produced an entry")
+	}
+	keys, err := tr.RootKeys(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys != nil {
+		t.Errorf("RootKeys of leaf root = %v", keys)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	dev := testDevice()
+	tr := buildTree(t, dev, seqEntries(5))
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d, want 1", tr.Height())
+	}
+	pool := bufferpool.New(dev, 4)
+	it, err := tr.SeekGE(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it, 1<<62)
+	if len(got) != 3 || got[0].Key != 2 || got[2].Key != 4 {
+		t.Errorf("range [2,∞) = %v", got)
+	}
+}
+
+func TestMultiLevelFullScan(t *testing.T) {
+	dev := testDevice()
+	const n = 1000 // 1000/12 = 84 leaves -> 84/15 = 6 internals -> root: height 3
+	tr := buildTree(t, dev, seqEntries(n))
+	if tr.Height() < 3 {
+		t.Fatalf("Height = %d, want >= 3 (tree too shallow for the test)", tr.Height())
+	}
+	if tr.NumKeys() != n {
+		t.Errorf("NumKeys = %d", tr.NumKeys())
+	}
+	pool := bufferpool.New(dev, 256)
+	it, err := tr.SeekGE(pool, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it, 1<<62)
+	if len(got) != n {
+		t.Fatalf("full scan returned %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.Key != int64(i) {
+			t.Fatalf("entry %d has key %d", i, e.Key)
+		}
+	}
+}
+
+func TestSeekLandsOnBoundary(t *testing.T) {
+	dev := testDevice()
+	tr := buildTree(t, dev, seqEntries(1000))
+	pool := bufferpool.New(dev, 256)
+	for _, lo := range []int64{0, 11, 12, 13, 499, 999, 1000, 5000} {
+		it, err := tr.SeekGE(pool, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo >= 1000 {
+			if ok {
+				t.Errorf("SeekGE(%d) found %v past the end", lo, e)
+			}
+			continue
+		}
+		if !ok || e.Key != lo {
+			t.Errorf("SeekGE(%d) first = %v ok=%v, want key %d", lo, e, ok, lo)
+		}
+	}
+}
+
+func TestDuplicateKeysAcrossLeaves(t *testing.T) {
+	dev := testDevice()
+	// 40 copies of key 5 span several 12-entry leaves, surrounded by
+	// other keys — the hard case for separator handling.
+	var entries []Entry
+	for i := 0; i < 10; i++ {
+		entries = append(entries, Entry{Key: 1, TID: heap.TID{Page: 0, Slot: int32(i)}})
+	}
+	for i := 0; i < 40; i++ {
+		entries = append(entries, Entry{Key: 5, TID: heap.TID{Page: 1, Slot: int32(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		entries = append(entries, Entry{Key: 9, TID: heap.TID{Page: 2, Slot: int32(i)}})
+	}
+	tr := buildTree(t, dev, entries)
+	pool := bufferpool.New(dev, 64)
+
+	it, err := tr.SeekGE(pool, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it, 6)
+	if len(got) != 40 {
+		t.Fatalf("found %d duplicates of key 5, want 40", len(got))
+	}
+	// TID order within duplicates must be ascending.
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].TID.Less(got[i].TID) {
+			t.Fatalf("duplicate TIDs out of order at %d: %v then %v", i, got[i-1].TID, got[i].TID)
+		}
+	}
+}
+
+func TestUnsortedInputIsSorted(t *testing.T) {
+	dev := testDevice()
+	rng := rand.New(rand.NewSource(7))
+	entries := seqEntries(300)
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	tr := buildTree(t, dev, entries)
+	pool := bufferpool.New(dev, 128)
+	it, err := tr.SeekGE(pool, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it, 1<<62)
+	if len(got) != 300 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key < got[i-1].Key {
+			t.Fatalf("keys out of order at %d", i)
+		}
+	}
+}
+
+func TestLeafPagesAreContiguousAndSequential(t *testing.T) {
+	dev := testDevice()
+	tr := buildTree(t, dev, seqEntries(500))
+	pool := bufferpool.New(dev, 256)
+	dev.ResetStats()
+	it, err := tr.SeekGE(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = collect(t, it, 1<<62)
+	s := dev.Stats()
+	// Descent: height random-ish reads; leaf chain: numLeaves pages,
+	// all but the first sequential because leaves are contiguous.
+	wantSeq := tr.NumLeaves() - 1
+	if s.SeqAccesses < wantSeq {
+		t.Errorf("leaf chain: %d sequential accesses, want >= %d (stats %+v)", s.SeqAccesses, wantSeq, s)
+	}
+}
+
+func TestRootKeysPartitionKeySpace(t *testing.T) {
+	dev := testDevice()
+	tr := buildTree(t, dev, seqEntries(1000))
+	pool := bufferpool.New(dev, 64)
+	keys, err := tr.RootKeys(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("multi-level tree has no root keys")
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Errorf("root keys not sorted: %v", keys)
+	}
+	if keys[0] <= 0 || keys[len(keys)-1] >= 1000 {
+		t.Errorf("root keys outside key range: %v", keys)
+	}
+}
+
+func TestBuildOnColumn(t *testing.T) {
+	dev := testDevice()
+	schema := tuple.Ints(3)
+	f, err := heap.Create(dev, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.NewBuilder()
+	const n = 137
+	for i := int64(0); i < n; i++ {
+		if err := b.Append(tuple.IntsRow(i, i%7, i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := BuildOnColumn(dev, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumKeys() != n {
+		t.Fatalf("NumKeys = %d, want %d", tr.NumKeys(), n)
+	}
+	pool := bufferpool.New(dev, 128)
+	it, err := tr.SeekGE(pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it, 4)
+	want := 0
+	for i := int64(0); i < n; i++ {
+		if i%7 == 3 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("key 3 matches = %d, want %d", len(got), want)
+	}
+	// Every returned TID must point at a tuple whose column 1 is 3.
+	for _, e := range got {
+		row, err := f.RowAt(pool, e.TID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Int(1) != 3 {
+			t.Errorf("TID %v points at row with c2=%d", e.TID, row.Int(1))
+		}
+	}
+	if _, err := BuildOnColumn(dev, f, 5); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+// Property: for random multisets of keys and random range bounds, a
+// B+-tree range scan returns exactly the entries a sorted reference
+// slice says it should, in (key, TID) order.
+func TestRangeScanMatchesReferenceProperty(t *testing.T) {
+	f := func(rawKeys []int16, loRaw, width uint8) bool {
+		dev := testDevice()
+		entries := make([]Entry, len(rawKeys))
+		for i, k := range rawKeys {
+			entries[i] = Entry{Key: int64(k) % 64, TID: heap.TID{Page: int64(i / 8), Slot: int32(i % 8)}}
+		}
+		tr, err := Build(dev, entries)
+		if err != nil {
+			return false
+		}
+		lo := int64(loRaw)%80 - 8
+		hi := lo + int64(width)%40
+
+		// Reference.
+		ref := append([]Entry(nil), entries...)
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Key != ref[j].Key {
+				return ref[i].Key < ref[j].Key
+			}
+			return ref[i].TID.Less(ref[j].TID)
+		})
+		var want []Entry
+		for _, e := range ref {
+			if e.Key >= lo && e.Key < hi {
+				want = append(want, e)
+			}
+		}
+
+		pool := bufferpool.New(dev, 256)
+		it, err := tr.SeekGE(pool, lo)
+		if err != nil {
+			return false
+		}
+		var got []Entry
+		for {
+			e, ok, err := it.Next()
+			if err != nil {
+				return false
+			}
+			if !ok || e.Key >= hi {
+				break
+			}
+			got = append(got, e)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package bufferpool implements a clock-sweep page cache over a
+// simulated disk device.
+//
+// All query-time page reads in the engine go through a Pool so that
+// repeated accesses to a cached page cost no I/O — the effect the
+// paper's Index Scan suffers from only partially (the buffer pool
+// cannot hold the whole table, so repeated accesses at scale still hit
+// the disk). The paper evaluates cold runs; Reset restores that state
+// between queries.
+//
+// Pages are immutable at query time (the engine is bulk-load-then-read,
+// like the paper's experiments), so frames hold read-only aliases of
+// device memory and eviction never writes back.
+package bufferpool
+
+import (
+	"fmt"
+
+	"smoothscan/internal/disk"
+)
+
+// Stats holds cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns hits / (hits+misses), or 0 when no accesses occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type key struct {
+	space disk.SpaceID
+	page  int64
+}
+
+type frame struct {
+	key  key
+	data []byte
+	ref  bool // clock reference bit
+	used bool // slot occupied
+}
+
+// Pool is a fixed-capacity page cache. It is not safe for concurrent
+// use; the engine executes queries single-threaded, as PostgreSQL 9.2
+// does per backend.
+type Pool struct {
+	dev      *disk.Device
+	capacity int
+	frames   []frame
+	table    map[key]int // key -> frame index
+	hand     int
+	stats    Stats
+}
+
+// New creates a pool of capacity pages over the device. Capacity must
+// be positive.
+func New(dev *disk.Device, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("bufferpool: capacity %d", capacity))
+	}
+	return &Pool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make([]frame, capacity),
+		table:    make(map[key]int, capacity),
+	}
+}
+
+// Device returns the underlying device.
+func (p *Pool) Device() *disk.Device { return p.dev }
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a snapshot of the cache counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Contains reports whether the page is currently cached, without
+// touching reference bits or counters.
+func (p *Pool) Contains(space disk.SpaceID, pageNo int64) bool {
+	_, ok := p.table[key{space, pageNo}]
+	return ok
+}
+
+// Get returns the page, reading it from the device on a miss. The
+// returned slice is read-only.
+func (p *Pool) Get(space disk.SpaceID, pageNo int64) ([]byte, error) {
+	k := key{space, pageNo}
+	if idx, ok := p.table[k]; ok {
+		p.stats.Hits++
+		p.frames[idx].ref = true
+		return p.frames[idx].data, nil
+	}
+	p.stats.Misses++
+	data, err := p.dev.ReadPage(space, pageNo)
+	if err != nil {
+		return nil, err
+	}
+	p.insert(k, data)
+	return data, nil
+}
+
+// GetRun returns n consecutive pages starting at start, reading
+// contiguous uncached stretches from the device as single run requests.
+// This is the read primitive behind Smooth Scan's flattening mode and
+// Sort Scan's sorted fetch: a morphing region of pages costs one seek
+// plus sequential transfers, and pages already cached cost nothing.
+func (p *Pool) GetRun(space disk.SpaceID, start, n int64) ([][]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bufferpool: GetRun of %d pages", n)
+	}
+	out := make([][]byte, n)
+	var runStart int64 = -1 // start of the current uncached stretch
+	flush := func(end int64) error {
+		if runStart < 0 {
+			return nil
+		}
+		pages, err := p.dev.ReadRun(space, runStart, end-runStart)
+		if err != nil {
+			return err
+		}
+		for i, data := range pages {
+			pageNo := runStart + int64(i)
+			p.insert(key{space, pageNo}, data)
+			out[pageNo-start] = data
+		}
+		runStart = -1
+		return nil
+	}
+	for pageNo := start; pageNo < start+n; pageNo++ {
+		if idx, ok := p.table[key{space, pageNo}]; ok {
+			p.stats.Hits++
+			p.frames[idx].ref = true
+			out[pageNo-start] = p.frames[idx].data
+			if err := flush(pageNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p.stats.Misses++
+		if runStart < 0 {
+			runStart = pageNo
+		}
+	}
+	if err := flush(start + n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// insert places a page into a frame, evicting via clock sweep if full.
+func (p *Pool) insert(k key, data []byte) {
+	if idx, ok := p.table[k]; ok { // already present (raced via GetRun)
+		p.frames[idx].data = data
+		p.frames[idx].ref = true
+		return
+	}
+	for {
+		f := &p.frames[p.hand]
+		slot := p.hand
+		p.hand = (p.hand + 1) % p.capacity
+		if !f.used {
+			*f = frame{key: k, data: data, ref: true, used: true}
+			p.table[k] = slot
+			return
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		delete(p.table, f.key)
+		p.stats.Evictions++
+		*f = frame{key: k, data: data, ref: true, used: true}
+		p.table[k] = slot
+		return
+	}
+}
+
+// Reset empties the cache and zeroes its counters, simulating the cold
+// buffer cache the paper starts every measured query with.
+func (p *Pool) Reset() {
+	for i := range p.frames {
+		p.frames[i] = frame{}
+	}
+	p.table = make(map[key]int, p.capacity)
+	p.hand = 0
+	p.stats = Stats{}
+}
+
+// InvalidatePage drops one cached page, if present; callers must
+// invoke it after an in-place page write (heap inserts).
+func (p *Pool) InvalidatePage(space disk.SpaceID, pageNo int64) {
+	k := key{space, pageNo}
+	if idx, ok := p.table[k]; ok {
+		p.frames[idx] = frame{}
+		delete(p.table, k)
+	}
+}
+
+// InvalidateSpace drops every cached page of the space; callers must
+// invoke it after writing to a space outside the pool (bulk loads).
+func (p *Pool) InvalidateSpace(space disk.SpaceID) {
+	for k, idx := range p.table {
+		if k.space == space {
+			p.frames[idx] = frame{}
+			delete(p.table, k)
+		}
+	}
+}

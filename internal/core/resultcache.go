@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+// resultCache implements the Result Cache of Section IV-A: when Smooth
+// Scan must respect the index order (ORDER BY / merge-join input), the
+// extra qualifying tuples discovered while analysing whole pages are
+// parked here until the leaf traversal reaches their index entries.
+//
+// The cache is partitioned by key range, with partition bounds taken
+// from the separator keys of the index root page ("the root page is a
+// good indicator of the key value distributions"). Once the scan's
+// current key passes a partition's upper bound, every tuple in it must
+// already have been produced, so the whole partition is discarded in
+// one step — the bulk deletion the paper describes.
+type resultCache struct {
+	// parts[i] covers keys < hi[i] (and >= hi[i-1]); hi[len-1] is
+	// +inf, represented by the sentinel below.
+	hi    []int64
+	parts []map[heap.TID]tuple.Row
+
+	rowBytes int64 // memory estimate per cached tuple
+
+	curTuples  int64
+	curBytes   int64
+	peakTuples int64
+	peakBytes  int64
+	inserts    int64
+	hits       int64
+}
+
+const keySentinel = int64(^uint64(0) >> 1) // MaxInt64
+
+// newResultCache builds a cache partitioned at the given ascending
+// bounds (may be nil: a single partition covering all keys). rowCols
+// sizes the per-tuple memory estimate.
+func newResultCache(bounds []int64, rowCols int) *resultCache {
+	hi := make([]int64, 0, len(bounds)+1)
+	hi = append(hi, bounds...)
+	hi = append(hi, keySentinel)
+	parts := make([]map[heap.TID]tuple.Row, len(hi))
+	for i := range parts {
+		parts[i] = make(map[heap.TID]tuple.Row)
+	}
+	return &resultCache{
+		hi:    hi,
+		parts: parts,
+		// 8 bytes per column plus TID key and map overhead.
+		rowBytes: int64(8*rowCols) + 24,
+	}
+}
+
+func (c *resultCache) partFor(key int64) int {
+	return sort.Search(len(c.hi), func(i int) bool { return key < c.hi[i] })
+}
+
+// insert parks a qualifying tuple under its key and TID.
+func (c *resultCache) insert(key int64, tid heap.TID, row tuple.Row) {
+	c.parts[c.partFor(key)][tid] = row
+	c.inserts++
+	c.curTuples++
+	c.curBytes += c.rowBytes
+	if c.curTuples > c.peakTuples {
+		c.peakTuples = c.curTuples
+	}
+	if c.curBytes > c.peakBytes {
+		c.peakBytes = c.curBytes
+	}
+}
+
+// take removes and returns the tuple cached under (key, tid).
+func (c *resultCache) take(key int64, tid heap.TID) (tuple.Row, bool) {
+	p := c.parts[c.partFor(key)]
+	row, ok := p[tid]
+	if !ok {
+		return nil, false
+	}
+	delete(p, tid)
+	c.hits++
+	c.curTuples--
+	c.curBytes -= c.rowBytes
+	return row, true
+}
+
+// dropBelow discards every partition whose key range lies entirely
+// below key. The scan calls it as its current key advances.
+func (c *resultCache) dropBelow(key int64) {
+	i := 0
+	for i < len(c.hi)-1 && c.hi[i] <= key {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	for j := 0; j < i; j++ {
+		c.curTuples -= int64(len(c.parts[j]))
+		c.curBytes -= int64(len(c.parts[j])) * c.rowBytes
+	}
+	c.hi = c.hi[i:]
+	c.parts = c.parts[i:]
+}
+
+// size returns the current number of cached tuples.
+func (c *resultCache) size() int64 { return c.curTuples }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+func TestResultCachePartitioning(t *testing.T) {
+	// Bounds 10, 20 -> partitions (-inf,10), [10,20), [20,+inf).
+	c := newResultCache([]int64{10, 20}, 2)
+	if len(c.parts) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(c.parts))
+	}
+	cases := []struct {
+		key  int64
+		part int
+	}{{-100, 0}, {0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {1 << 40, 2}}
+	for _, cse := range cases {
+		if got := c.partFor(cse.key); got != cse.part {
+			t.Errorf("partFor(%d) = %d, want %d", cse.key, got, cse.part)
+		}
+	}
+}
+
+func TestResultCacheInsertTake(t *testing.T) {
+	c := newResultCache([]int64{100}, 3)
+	tid := heap.TID{Page: 1, Slot: 2}
+	row := tuple.IntsRow(1, 2, 3)
+	c.insert(50, tid, row)
+	if c.size() != 1 || c.inserts != 1 {
+		t.Fatalf("size=%d inserts=%d", c.size(), c.inserts)
+	}
+	if _, ok := c.take(50, heap.TID{Page: 9, Slot: 9}); ok {
+		t.Error("took a tuple that was never inserted")
+	}
+	got, ok := c.take(50, tid)
+	if !ok || !got.Equal(row) {
+		t.Fatalf("take = %v, %v", got, ok)
+	}
+	if c.size() != 0 || c.hits != 1 {
+		t.Errorf("after take: size=%d hits=%d", c.size(), c.hits)
+	}
+	if _, ok := c.take(50, tid); ok {
+		t.Error("double take succeeded")
+	}
+}
+
+func TestResultCacheDropBelow(t *testing.T) {
+	c := newResultCache([]int64{10, 20, 30}, 1)
+	c.insert(5, heap.TID{Page: 0, Slot: 0}, tuple.IntsRow(5))
+	c.insert(15, heap.TID{Page: 0, Slot: 1}, tuple.IntsRow(15))
+	c.insert(25, heap.TID{Page: 0, Slot: 2}, tuple.IntsRow(25))
+	c.insert(35, heap.TID{Page: 0, Slot: 3}, tuple.IntsRow(35))
+	if c.size() != 4 {
+		t.Fatalf("size = %d", c.size())
+	}
+	// Advancing to key 20 drops partitions with hi <= 20: (-inf,10)
+	// and [10,20).
+	c.dropBelow(20)
+	if c.size() != 2 {
+		t.Errorf("size after dropBelow(20) = %d, want 2", c.size())
+	}
+	// The remaining tuples are still reachable.
+	if _, ok := c.take(25, heap.TID{Page: 0, Slot: 2}); !ok {
+		t.Error("tuple in live partition lost")
+	}
+	if _, ok := c.take(35, heap.TID{Page: 0, Slot: 3}); !ok {
+		t.Error("tuple in last partition lost")
+	}
+	// dropBelow below every bound is a no-op.
+	c.dropBelow(-1000)
+}
+
+func TestResultCacheDropBelowBoundaryKey(t *testing.T) {
+	// A tuple whose key equals a partition bound belongs to the NEXT
+	// partition and must survive dropBelow(bound).
+	c := newResultCache([]int64{10}, 1)
+	c.insert(10, heap.TID{Page: 0, Slot: 0}, tuple.IntsRow(10))
+	c.dropBelow(10)
+	if _, ok := c.take(10, heap.TID{Page: 0, Slot: 0}); !ok {
+		t.Error("boundary-key tuple dropped prematurely")
+	}
+}
+
+func TestResultCachePeaks(t *testing.T) {
+	c := newResultCache(nil, 4) // single partition
+	for i := int64(0); i < 10; i++ {
+		c.insert(i, heap.TID{Page: 0, Slot: int32(i)}, tuple.IntsRow(i, 0, 0, 0))
+	}
+	for i := int64(0); i < 10; i++ {
+		c.take(i, heap.TID{Page: 0, Slot: int32(i)})
+	}
+	if c.peakTuples != 10 {
+		t.Errorf("peakTuples = %d", c.peakTuples)
+	}
+	if c.peakBytes != 10*c.rowBytes {
+		t.Errorf("peakBytes = %d", c.peakBytes)
+	}
+	if c.size() != 0 || c.curBytes != 0 {
+		t.Errorf("not drained: %d tuples %d bytes", c.size(), c.curBytes)
+	}
+}
+
+// Property: the cache behaves like a map keyed by TID, regardless of
+// partition layout, as long as dropBelow only advances.
+func TestResultCacheMapEquivalenceProperty(t *testing.T) {
+	f := func(ops []uint16, boundSeed uint8) bool {
+		bounds := []int64{int64(boundSeed % 64), int64(boundSeed%64) + 40}
+		c := newResultCache(bounds, 1)
+		ref := map[heap.TID]int64{}
+		for _, op := range ops {
+			key := int64(op % 128)
+			tid := heap.TID{Page: int64(op % 16), Slot: int32(op % 8)}
+			if op%2 == 0 {
+				if _, dup := ref[tid]; !dup {
+					c.insert(key, tid, tuple.IntsRow(key))
+					ref[tid] = key
+				}
+			} else {
+				want, inRef := ref[tid]
+				got, ok := c.take(want, tid)
+				if inRef != ok {
+					return false
+				}
+				if ok {
+					if got.Int(0) != want {
+						return false
+					}
+					delete(ref, tid)
+				}
+			}
+		}
+		return int(c.size()) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

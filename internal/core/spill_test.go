@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"smoothscan/internal/disk"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+func newSpillFixture(budget int64) (*spillingCache, *disk.Device) {
+	dev := disk.NewDevice(disk.HDD)
+	rc := newResultCache([]int64{100, 200, 300}, 4) // 4 partitions
+	return newSpillingCache(rc, dev, budget), dev
+}
+
+func fill(c *spillingCache, key int64, n int) {
+	for i := 0; i < n; i++ {
+		c.insert(key, heap.TID{Page: key, Slot: int32(i)}, tuple.IntsRow(key, 0, 0, 0))
+	}
+}
+
+func TestSpillDisabledByDefault(t *testing.T) {
+	c, dev := newSpillFixture(0)
+	fill(c, 50, 1000)
+	fill(c, 350, 1000)
+	if c.stats().Spills != 0 {
+		t.Errorf("spilled with no budget: %+v", c.stats())
+	}
+	if dev.Stats().IOTime != 0 {
+		t.Errorf("charged I/O with no budget")
+	}
+}
+
+func TestSpillFurthestPartitionFirst(t *testing.T) {
+	// Budget fits ~one partition; inserting into partition 0 while
+	// partitions 2 and 3 hold data must spill the far ones, not the
+	// current one.
+	c, dev := newSpillFixture(0)          // fill without budget first
+	fill(c, 250, 100)                     // partition 2
+	fill(c, 350, 100)                     // partition 3
+	c.policy.memBudget = 100 * c.rowBytes // now tighten the budget
+	fill(c, 50, 100)                      // partition 0 (current)
+
+	if c.state[0] != partResident {
+		t.Error("current partition was spilled")
+	}
+	if c.stats().Spills == 0 {
+		t.Fatal("no partition spilled despite exceeding budget")
+	}
+	if c.state[3] != partSpilled {
+		t.Error("furthest partition not spilled first")
+	}
+	if dev.Stats().PagesWritten == 0 {
+		t.Error("spill charged no I/O")
+	}
+	if err := c.validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpillReloadOnTake(t *testing.T) {
+	c, _ := newSpillFixture(0)
+	fill(c, 350, 50)
+	c.policy.memBudget = 1 // force spill on next insert
+	fill(c, 50, 1)
+	if c.state[3] != partSpilled {
+		t.Fatal("partition 3 not spilled")
+	}
+	// Taking from the spilled partition reloads it transparently.
+	row, ok := c.take(350, heap.TID{Page: 350, Slot: 0})
+	if !ok || row.Int(0) != 350 {
+		t.Fatalf("take from spilled partition: %v %v", row, ok)
+	}
+	if c.state[3] != partResident {
+		t.Error("partition not marked resident after reload")
+	}
+	if c.stats().Reloads != 1 {
+		t.Errorf("reloads = %d", c.stats().Reloads)
+	}
+}
+
+func TestSpillDropBelowKeepsStateAligned(t *testing.T) {
+	c, _ := newSpillFixture(0)
+	fill(c, 50, 10)  // p0
+	fill(c, 150, 10) // p1
+	fill(c, 350, 10) // p3
+	c.policy.memBudget = 1
+	fill(c, 50, 1)   // triggers spill of p3 (and possibly p1/p2)
+	c.dropBelow(200) // drops p0, p1
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// p3 (now index 1) still reachable.
+	if _, ok := c.take(350, heap.TID{Page: 350, Slot: 0}); !ok {
+		t.Error("tuple lost across dropBelow with spilled partitions")
+	}
+}
+
+func TestSmoothScanWithCacheBudgetStaysCorrect(t *testing.T) {
+	// An ordered scan with a tiny Result Cache budget must return the
+	// identical (ordered) result, just with extra overflow I/O.
+	fx := newFixture(t, 1500, 256, func(i int64) int64 { return (i * 37) % 300 })
+	pred := tuple.RangePred{Col: 1, Lo: 0, Hi: 300}
+
+	sBig, wantRows := fx.scan(t, pred, Config{Policy: Elastic, Ordered: true})
+	noSpill := sBig.Stats()
+	if noSpill.Spill.Spills != 0 {
+		t.Fatalf("unlimited budget spilled: %+v", noSpill.Spill)
+	}
+	fx.pool.Reset()
+	sSmall, gotRows := fx.scan(t, pred, Config{
+		Policy:            Elastic,
+		Ordered:           true,
+		ResultCacheBudget: 2048, // a few dozen tuples
+	})
+	if !rowsEqual(gotRows, wantRows) {
+		t.Fatal("budgeted scan returned different rows")
+	}
+	st := sSmall.Stats()
+	if st.Spill.Spills == 0 {
+		t.Error("tiny budget never spilled")
+	}
+	if st.Spill.Reloads == 0 {
+		t.Error("spilled partitions never reloaded")
+	}
+}
+
+func TestSpillChargesMeasurableIO(t *testing.T) {
+	fx := newFixture(t, 1500, 256, func(i int64) int64 { return (i * 37) % 300 })
+	pred := tuple.RangePred{Col: 1, Lo: 0, Hi: 300}
+	run := func(budget int64) float64 {
+		fx.pool.Reset()
+		fx.dev.ResetStats()
+		fx.scan(t, pred, Config{Policy: Elastic, Ordered: true, ResultCacheBudget: budget})
+		return fx.dev.Stats().IOTime
+	}
+	unlimited := run(0)
+	tight := run(2048)
+	if tight <= unlimited {
+		t.Errorf("spilling should cost I/O: unlimited=%v tight=%v", unlimited, tight)
+	}
+}

@@ -1,0 +1,306 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams mirrors the paper's micro-benchmark: 80-byte tuples
+// (10 int columns) in 8 KB pages, 8-byte keys, HDD cost ratio 10:1.
+func paperParams(numTuples int64) Params {
+	return Params{
+		TupleSize: 80,
+		PageSize:  8192,
+		KeySize:   8,
+		NumTuples: numTuples,
+		RandCost:  10,
+		SeqCost:   1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperParams(1000).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{TupleSize: 0, PageSize: 8192, KeySize: 8, RandCost: 1, SeqCost: 1},
+		{TupleSize: 9000, PageSize: 8192, KeySize: 8, RandCost: 1, SeqCost: 1},
+		{TupleSize: 80, PageSize: 8192, KeySize: 8, NumTuples: -1, RandCost: 1, SeqCost: 1},
+		{TupleSize: 80, PageSize: 8192, KeySize: 8, RandCost: 0, SeqCost: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestBaseFormulas(t *testing.T) {
+	p := paperParams(400_000)
+	if got := p.TuplesPerPage(); got != 102 { // floor(8192/80)
+		t.Errorf("TuplesPerPage = %d, want 102", got)
+	}
+	if got := p.Pages(); got != 3922 { // ceil(400000/102)
+		t.Errorf("Pages = %d, want 3922", got)
+	}
+	if got := p.Fanout(); got != 853 { // floor(8192/9.6)
+		t.Errorf("Fanout = %d, want 853", got)
+	}
+	if got := p.Leaves(); got != 469 { // ceil(400000/853)
+		t.Errorf("Leaves = %d, want 469", got)
+	}
+	if got := p.Height(); got != 2 { // ceil(log853(469)) + 1
+		t.Errorf("Height = %d, want 2", got)
+	}
+	if got := p.Card(0.01); got != 4000 {
+		t.Errorf("Card(1%%) = %d, want 4000", got)
+	}
+	if got := p.LeavesRes(4000); got != 5 { // ceil(4000/853)
+		t.Errorf("LeavesRes = %d, want 5", got)
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	p := paperParams(0)
+	if p.Pages() != 0 || p.Leaves() != 0 || p.Height() != 1 {
+		t.Errorf("empty table: pages=%d leaves=%d height=%d", p.Pages(), p.Leaves(), p.Height())
+	}
+	if p.FullScanCost() != 0 {
+		t.Errorf("FullScanCost of empty table = %v", p.FullScanCost())
+	}
+	if p.LeavesRes(0) != 0 {
+		t.Errorf("LeavesRes(0) = %d", p.LeavesRes(0))
+	}
+}
+
+func TestFullScanCostConstantInSelectivity(t *testing.T) {
+	p := paperParams(1_000_000)
+	c := p.FullScanCost()
+	if c != float64(p.Pages()) {
+		t.Errorf("FullScanCost = %v, want %v", c, float64(p.Pages()))
+	}
+}
+
+func TestIndexScanCostGrowsLinearly(t *testing.T) {
+	p := paperParams(1_000_000)
+	c1 := p.IndexScanCost(p.Card(0.001))
+	c2 := p.IndexScanCost(p.Card(0.01))
+	c3 := p.IndexScanCost(p.Card(0.1))
+	if !(c1 < c2 && c2 < c3) {
+		t.Errorf("index scan cost not increasing: %v %v %v", c1, c2, c3)
+	}
+	// The dominant term is card × rand_cost.
+	card := p.Card(0.01)
+	if got := p.IndexScanCost(card); got < float64(card)*p.RandCost {
+		t.Errorf("IndexScanCost(%d) = %v below card×rand", card, got)
+	}
+}
+
+// The crossover between index scan and full scan should fall at a
+// fraction of a percent selectivity on HDD — the paper places the
+// index-beneficial region below 0.01% (Section VI-E).
+func TestHDDCrossoverBelowOnePercent(t *testing.T) {
+	p := paperParams(10_000_000)
+	fs := p.FullScanCost()
+	if p.IndexScanCost(p.Card(0.0001)) >= fs {
+		t.Errorf("index scan at 0.01%% should beat full scan: %v vs %v",
+			p.IndexScanCost(p.Card(0.0001)), fs)
+	}
+	if p.IndexScanCost(p.Card(0.02)) <= fs {
+		t.Errorf("index scan at 2%% should lose to full scan: %v vs %v",
+			p.IndexScanCost(p.Card(0.02)), fs)
+	}
+}
+
+func TestSSDExtendsIndexRange(t *testing.T) {
+	hdd := paperParams(10_000_000)
+	ssd := hdd
+	ssd.RandCost = 2
+	// Find the highest selectivity (over a grid) where the index scan
+	// still beats the full scan, per device.
+	cross := func(p Params) float64 {
+		last := 0.0
+		for _, sel := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+			if p.IndexScanCost(p.Card(sel)) < p.FullScanCost() {
+				last = sel
+			}
+		}
+		return last
+	}
+	if cross(ssd) <= cross(hdd) {
+		t.Errorf("SSD crossover (%v) should exceed HDD crossover (%v)", cross(ssd), cross(hdd))
+	}
+}
+
+func TestMode2Recurrence(t *testing.T) {
+	// Eq. 18: after n doublings the region sums to 2^n - 1 pages
+	// fetched with n random jumps; Eq. 20 inverts that.
+	cases := []struct {
+		pm2  int64
+		want int64
+	}{{0, 0}, {1, 1}, {3, 2}, {7, 3}, {8, 4}, {15, 4}, {16, 5}}
+	for _, c := range cases {
+		if got := Mode2RandIOMin(c.pm2); got != c.want {
+			t.Errorf("Mode2RandIOMin(%d) = %d, want %d", c.pm2, got, c.want)
+		}
+	}
+}
+
+func TestMode2RandIOMax(t *testing.T) {
+	p := paperParams(1_000_000) // 9804 pages
+	bound := int64(math.Ceil(math.Log2(float64(p.Pages() + 1))))
+	if got := p.Mode2RandIOMax(5); got != 5 {
+		t.Errorf("small pm2: got %d, want 5", got)
+	}
+	if got := p.Mode2RandIOMax(1 << 40); got != bound {
+		t.Errorf("large pm2: got %d, want bound %d", got, bound)
+	}
+}
+
+func TestSmoothScanCostComposition(t *testing.T) {
+	p := paperParams(1_000_000)
+	// All-mode-2 cost of a full-selectivity scan should be close to a
+	// full scan: log2(#P) random jumps instead of one initial seek.
+	ss := p.SmoothScanCost(0, 0, p.NumTuples)
+	fs := p.FullScanCost()
+	if ss < fs {
+		t.Errorf("smooth scan cheaper than full scan: %v < %v", ss, fs)
+	}
+	if ss > fs*1.2 {
+		t.Errorf("smooth scan at 100%% selectivity should be within 20%% of full scan: %v vs %v", ss, fs)
+	}
+	// Mode 1 only: every tuple a random page access — close to the
+	// index scan but without repeated accesses.
+	m1 := p.SmoothScanCost(0, p.Card(0.01), 0)
+	is := p.IndexScanCost(p.Card(0.01))
+	if m1 > is {
+		t.Errorf("mode-1 cost should not exceed index scan: %v vs %v", m1, is)
+	}
+}
+
+func TestMode2PagesSkipsMode1Pages(t *testing.T) {
+	p := paperParams(1_000_000)
+	pages := p.Pages()
+	if got := p.Mode2Pages(100, p.NumTuples); got != pages-100 {
+		t.Errorf("Mode2Pages = %d, want %d", got, pages-100)
+	}
+	if got := p.Mode2Pages(0, 50); got != 50 {
+		t.Errorf("Mode2Pages small card = %d, want 50", got)
+	}
+	if got := p.Mode2Pages(0, 0); got != 0 {
+		t.Errorf("Mode2Pages(0,0) = %d", got)
+	}
+}
+
+func TestSLATriggerCard(t *testing.T) {
+	p := paperParams(1_000_000)
+	// SLA of two full scans (the paper's Figure 7b setting).
+	sla := 2 * p.FullScanCost()
+	trigger := p.SLATriggerCard(sla)
+	if trigger <= 0 {
+		t.Fatalf("trigger = %d, want positive", trigger)
+	}
+	// At the trigger the worst-case completion must fit the bound...
+	cost := p.Mode0Cost(trigger) + p.WorstCaseSmoothScanCost(trigger)
+	if cost > sla {
+		t.Errorf("cost at trigger %v exceeds SLA %v", cost, sla)
+	}
+	// ...and one more tuple must not.
+	cost2 := p.Mode0Cost(trigger+1) + p.WorstCaseSmoothScanCost(trigger+1)
+	if cost2 <= sla {
+		t.Errorf("trigger not maximal: %d", trigger)
+	}
+	// An impossible SLA yields trigger 0.
+	if got := p.SLATriggerCard(0); got != 0 {
+		t.Errorf("impossible SLA trigger = %d", got)
+	}
+}
+
+func TestCompetitiveRatioClosedForms(t *testing.T) {
+	p := paperParams(1_000_000)
+	if got := p.ElasticWorstCaseCR(); got != 5.5 {
+		t.Errorf("HDD ElasticWorstCaseCR = %v, want 5.5", got)
+	}
+	if got := p.TheoreticalCRBound(); got != 11 {
+		t.Errorf("HDD TheoreticalCRBound = %v, want 11", got)
+	}
+	ssd := p
+	ssd.RandCost = 2
+	if got := ssd.ElasticWorstCaseCR(); got != 1.5 {
+		t.Errorf("SSD ElasticWorstCaseCR = %v, want 1.5", got)
+	}
+	if got := ssd.TheoreticalCRBound(); got != 3 {
+		t.Errorf("SSD TheoreticalCRBound = %v, want 3", got)
+	}
+}
+
+func TestAdversarialCRNearClosedForm(t *testing.T) {
+	p := paperParams(10_000_000)
+	worst, atK := p.MaxAdversarialCR(64)
+	if atK != 2 {
+		t.Errorf("worst adversarial k = %d, want 2 (every second page)", atK)
+	}
+	// The numeric worst case should be near (r+1)/2 = 5.5 (leaf-walk
+	// and descent terms shift it slightly).
+	if worst < 4.5 || worst > 6.5 {
+		t.Errorf("numeric worst CR = %v, want ≈5.5", worst)
+	}
+	// k = 1 (every page) is nearly optimal thanks to sequential heads.
+	if cr := p.EveryKthPageCR(1); cr > 1.2 {
+		t.Errorf("every-page CR = %v, want ≈1", cr)
+	}
+}
+
+func TestGreedyCRGrowsWithTableSize(t *testing.T) {
+	small := paperParams(100_000)
+	big := paperParams(10_000_000)
+	// Fixed low cardinality: Greedy's doubling covers both tables
+	// entirely (2^20 pages >> #P), so its wasted work scales with the
+	// table while the optimal (index) cost stays fixed.
+	const card = 20
+	crSmall := small.GreedyCRForCard(card)
+	crBig := big.GreedyCRForCard(card)
+	if crBig <= crSmall {
+		t.Errorf("greedy CR should grow with table size: small=%v big=%v", crSmall, crBig)
+	}
+	if crSmall <= 1 {
+		t.Errorf("greedy CR at low selectivity should exceed 1: %v", crSmall)
+	}
+	if crSmall2 := small.GreedyLowSelectivityCR(float64(card) / 100_000); crSmall2 != crSmall {
+		t.Errorf("GreedyLowSelectivityCR = %v, want %v", crSmall2, crSmall)
+	}
+}
+
+// Property: smooth scan cost is monotone in each mode's cardinality,
+// and never negative.
+func TestSmoothScanCostMonotoneProperty(t *testing.T) {
+	p := paperParams(1_000_000)
+	f := func(a, b uint32, delta uint16) bool {
+		m1, m2 := int64(a)%p.NumTuples, int64(b)%p.NumTuples
+		base := p.SmoothScanCost(0, m1, m2)
+		if base < 0 {
+			return false
+		}
+		return p.SmoothScanCost(0, m1+int64(delta), m2) >= base &&
+			p.SmoothScanCost(0, m1, m2+int64(delta)) >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the SLA trigger is monotone in the SLA bound.
+func TestSLATriggerMonotoneProperty(t *testing.T) {
+	p := paperParams(200_000)
+	f := func(a, b uint16) bool {
+		la, lb := float64(a), float64(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return p.SLATriggerCard(la*100) <= p.SLATriggerCard(lb*100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

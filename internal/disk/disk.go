@@ -1,0 +1,340 @@
+// Package disk implements a cost-accounting disk simulator.
+//
+// The Smooth Scan paper (Section V) models operator cost purely in terms
+// of the number of random and sequential page I/Os, weighted by the
+// device's random/sequential cost ratio (10:1 for the paper's HDD, 2:1
+// for its SSD). This package reproduces that model: it stores pages in
+// memory, classifies every access as random or sequential based on the
+// previous physical position, and charges simulated time accordingly.
+//
+// A Device hosts any number of Spaces (independent page-addressed
+// files, e.g. one per heap file or index). All I/O statistics —
+// requests issued, random vs sequential accesses, pages and bytes
+// transferred, simulated time — are tracked per device, matching the
+// units the paper reports (Table II, Figures 4–11).
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Profile describes the cost characteristics of a simulated device.
+// Costs are in abstract cost units; by convention one sequential page
+// read costs 1 unit.
+type Profile struct {
+	// Name identifies the profile in reports ("hdd", "ssd").
+	Name string
+	// RandCost is the cost of a page read that requires a seek.
+	RandCost float64
+	// SeqCost is the cost of a page read adjacent to the previous one.
+	SeqCost float64
+	// PageSize is the page size in bytes.
+	PageSize int
+}
+
+// HDD mirrors the paper's hard-disk assumption: random accesses are an
+// order of magnitude slower than sequential ones (Section V-A).
+var HDD = Profile{Name: "hdd", RandCost: 10, SeqCost: 1, PageSize: 8192}
+
+// SSD mirrors the paper's solid-state assumption: random accesses are
+// twice as slow as sequential ones (Section VI-E).
+var SSD = Profile{Name: "ssd", RandCost: 2, SeqCost: 1, PageSize: 8192}
+
+// Stats aggregates all I/O and CPU accounting for a device.
+type Stats struct {
+	// Requests counts I/O requests issued. A multi-page run read
+	// counts as a single request (this is the "#I/O Req." column of
+	// Table II).
+	Requests int64
+	// RandomAccesses counts page reads charged at RandCost.
+	RandomAccesses int64
+	// SeqAccesses counts page reads charged at SeqCost (including
+	// short-forward-skip reads, see SkippedPages).
+	SeqAccesses int64
+	// SkippedPages counts pages the head passed over (charged at
+	// SeqCost each) during short forward skips: when the next read
+	// lies a few pages ahead, streaming through the gap is cheaper
+	// than a seek, and the device model picks the cheaper option.
+	SkippedPages int64
+	// PagesRead counts pages transferred from the device.
+	PagesRead int64
+	// PagesWritten counts pages transferred to the device.
+	PagesWritten int64
+	// BytesRead is PagesRead times the page size.
+	BytesRead int64
+	// IOTime is the simulated time spent on I/O, in cost units.
+	IOTime float64
+	// CPUTime is the simulated time spent on CPU work, in cost
+	// units. Operators charge CPU through Device.ChargeCPU; keeping
+	// the two clocks side by side lets the harness reproduce the
+	// CPU-vs-I/O-wait breakdown of Figure 4.
+	CPUTime float64
+}
+
+// Time returns total simulated time (I/O plus CPU).
+func (s Stats) Time() float64 { return s.IOTime + s.CPUTime }
+
+// Sub returns the difference s minus t, field by field. It is used to
+// compute per-query deltas from device-lifetime counters.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Requests:       s.Requests - t.Requests,
+		RandomAccesses: s.RandomAccesses - t.RandomAccesses,
+		SeqAccesses:    s.SeqAccesses - t.SeqAccesses,
+		SkippedPages:   s.SkippedPages - t.SkippedPages,
+		PagesRead:      s.PagesRead - t.PagesRead,
+		PagesWritten:   s.PagesWritten - t.PagesWritten,
+		BytesRead:      s.BytesRead - t.BytesRead,
+		IOTime:         s.IOTime - t.IOTime,
+		CPUTime:        s.CPUTime - t.CPUTime,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("req=%d rand=%d seq=%d pages=%d io=%.1f cpu=%.1f",
+		s.Requests, s.RandomAccesses, s.SeqAccesses, s.PagesRead, s.IOTime, s.CPUTime)
+}
+
+// SpaceID identifies a page space (file) on a device.
+type SpaceID int32
+
+// ErrOutOfRange is returned when a read addresses a page beyond the end
+// of its space.
+var ErrOutOfRange = errors.New("disk: page out of range")
+
+// ErrNoSpace is returned when an operation addresses an unknown space.
+var ErrNoSpace = errors.New("disk: unknown space")
+
+// ErrInjected is the error returned by reads once failure injection is
+// armed; tests use it to verify error propagation through the stack.
+var ErrInjected = errors.New("disk: injected I/O failure")
+
+type space struct {
+	pages [][]byte
+}
+
+// Device is a simulated disk. It is safe for concurrent use.
+type Device struct {
+	mu      sync.Mutex
+	profile Profile
+	spaces  []*space
+	stats   Stats
+
+	// lastSpace/lastPage record the physical head position used for
+	// random-vs-sequential classification.
+	lastSpace SpaceID
+	lastPage  int64
+	hasPos    bool
+
+	// failAfter, when >= 0, counts down on every page read; the read
+	// that decrements it to below zero fails with ErrInjected.
+	failAfter int64
+}
+
+// NewDevice creates an empty device with the given profile.
+func NewDevice(p Profile) *Device {
+	if p.PageSize <= 0 {
+		panic("disk: profile requires positive page size")
+	}
+	return &Device{profile: p, failAfter: -1}
+}
+
+// Profile returns the device's cost profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// PageSize returns the device page size in bytes.
+func (d *Device) PageSize() int { return d.profile.PageSize }
+
+// CreateSpace allocates a new, empty page space and returns its ID.
+func (d *Device) CreateSpace() SpaceID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.spaces = append(d.spaces, &space{})
+	return SpaceID(len(d.spaces) - 1)
+}
+
+// SpacePages returns the number of pages currently in the space.
+func (d *Device) SpacePages(id SpaceID) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sp, err := d.space(id)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(sp.pages)), nil
+}
+
+func (d *Device) space(id SpaceID) (*space, error) {
+	if id < 0 || int(id) >= len(d.spaces) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSpace, id)
+	}
+	return d.spaces[id], nil
+}
+
+// AppendPage appends a page to the space and returns its page number.
+// Writes are charged sequentially; bulk loading is not the object of
+// the paper's study, so write cost accounting is deliberately simple.
+func (d *Device) AppendPage(id SpaceID, data []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sp, err := d.space(id)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != d.profile.PageSize {
+		return 0, fmt.Errorf("disk: append of %d bytes, want page size %d", len(data), d.profile.PageSize)
+	}
+	page := make([]byte, d.profile.PageSize)
+	copy(page, data)
+	sp.pages = append(sp.pages, page)
+	d.stats.PagesWritten++
+	return int64(len(sp.pages) - 1), nil
+}
+
+// WritePage overwrites an existing page.
+func (d *Device) WritePage(id SpaceID, pageNo int64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sp, err := d.space(id)
+	if err != nil {
+		return err
+	}
+	if pageNo < 0 || pageNo >= int64(len(sp.pages)) {
+		return fmt.Errorf("%w: space %d page %d", ErrOutOfRange, id, pageNo)
+	}
+	if len(data) != d.profile.PageSize {
+		return fmt.Errorf("disk: write of %d bytes, want page size %d", len(data), d.profile.PageSize)
+	}
+	copy(sp.pages[pageNo], data)
+	d.stats.PagesWritten++
+	return nil
+}
+
+// ReadPage reads a single page. It issues one I/O request, charged
+// RandCost unless the page physically follows the previously accessed
+// one, in which case SeqCost applies.
+func (d *Device) ReadPage(id SpaceID, pageNo int64) ([]byte, error) {
+	pages, err := d.ReadRun(id, pageNo, 1)
+	if err != nil {
+		return nil, err
+	}
+	return pages[0], nil
+}
+
+// ReadRun reads n consecutive pages starting at start as one I/O
+// request: the first page is classified random or sequential against
+// the current head position and the remaining n-1 pages are sequential.
+// This models the flattened, prefetcher-friendly access pattern of
+// Smooth Scan's Mode 2 and of Sort Scan.
+//
+// The returned slices alias device memory and must not be modified.
+func (d *Device) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("disk: ReadRun of %d pages", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sp, err := d.space(id)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 || start+n > int64(len(sp.pages)) {
+		return nil, fmt.Errorf("%w: space %d pages [%d,%d)", ErrOutOfRange, id, start, start+n)
+	}
+	if d.failAfter >= 0 {
+		if d.failAfter < n {
+			d.failAfter = -1
+			return nil, ErrInjected
+		}
+		d.failAfter -= n
+	}
+
+	d.stats.Requests++
+	switch gap := start - (d.lastPage + 1); {
+	case d.hasPos && d.lastSpace == id && gap == 0:
+		// Head is already in position: pure sequential transfer.
+		d.stats.SeqAccesses++
+		d.stats.IOTime += d.profile.SeqCost
+	case d.hasPos && d.lastSpace == id && gap > 0 &&
+		float64(gap+1)*d.profile.SeqCost < d.profile.RandCost:
+		// Short forward skip: streaming through the gap is cheaper
+		// than seeking (shortest-positioning-time rule). The paper
+		// relies on this when calling page-ordered patterns "nearly
+		// sequential" (Sort Scan, Section II).
+		d.stats.SeqAccesses++
+		d.stats.SkippedPages += gap
+		d.stats.IOTime += float64(gap+1) * d.profile.SeqCost
+	default:
+		d.stats.RandomAccesses++
+		d.stats.IOTime += d.profile.RandCost
+	}
+	if n > 1 {
+		d.stats.SeqAccesses += n - 1
+		d.stats.IOTime += float64(n-1) * d.profile.SeqCost
+	}
+	d.stats.PagesRead += n
+	d.stats.BytesRead += n * int64(d.profile.PageSize)
+	d.lastSpace, d.lastPage, d.hasPos = id, start+n-1, true
+
+	out := make([][]byte, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = sp.pages[start+i]
+	}
+	return out, nil
+}
+
+// ChargeSpill models an external-sort (or other out-of-core) spill:
+// pages are written to scratch space and read back once, both
+// sequentially, as two requests. The head position is invalidated —
+// after a spill the next data access seeks.
+func (d *Device) ChargeSpill(pages int64) {
+	if pages <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Requests += 2
+	d.stats.SeqAccesses += 2 * pages
+	d.stats.PagesWritten += pages
+	d.stats.PagesRead += pages
+	d.stats.BytesRead += pages * int64(d.profile.PageSize)
+	d.stats.IOTime += 2 * float64(pages) * d.profile.SeqCost
+	d.hasPos = false
+}
+
+// ChargeCPU adds t cost units to the CPU clock. Operators use it to
+// account for per-tuple predicate evaluation, sorting and hashing so
+// that the harness can reproduce the paper's CPU/I-O breakdown.
+func (d *Device) ChargeCPU(t float64) {
+	d.mu.Lock()
+	d.stats.CPUTime += t
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters and forgets the head position, so the
+// next access is classified random. The paper reports cold runs; the
+// harness calls this (together with buffer-pool reset) between queries.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	d.hasPos = false
+	d.mu.Unlock()
+}
+
+// FailAfter arms failure injection: the read that would transfer page
+// number n+1 (counting from the call) fails with ErrInjected, after
+// which injection disarms. FailAfter(-1) disarms immediately.
+func (d *Device) FailAfter(n int64) {
+	d.mu.Lock()
+	d.failAfter = n
+	d.mu.Unlock()
+}

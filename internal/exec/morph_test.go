@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/tuple"
+)
+
+func TestMorphingLookupMatchesPlainLookup(t *testing.T) {
+	file, pool, tree, _, rows := lookupFixture(t)
+	ml := NewMorphingLookup(file, pool, tree, 1)
+	for key := int64(-1); key < 32; key++ {
+		got, err := ml.Find(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int
+		for _, r := range rows {
+			if r.Int(1) == key {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("Find(%d) = %d rows, want %d", key, len(got), want)
+		}
+		for _, r := range got {
+			if r.Int(1) != key {
+				t.Errorf("Find(%d) returned key %d", key, r.Int(1))
+			}
+		}
+	}
+}
+
+func TestMorphingLookupConvergesToHashJoin(t *testing.T) {
+	file, _, tree, dev, _ := lookupFixture(t)
+	// A pool large enough to keep the index hot, so the second sweep
+	// isolates heap behaviour.
+	pool := bufferpool.New(dev, 512)
+	ml := NewMorphingLookup(file, pool, tree, 1)
+	// First sweep over all keys: pages get analysed and cached.
+	for key := int64(0); key < 30; key++ {
+		if _, err := ml.Find(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := ml.Stats()
+	if first.PagesRead == 0 {
+		t.Fatal("first sweep read no pages")
+	}
+	if first.PageCoverage < 0.9 {
+		t.Errorf("coverage after full-key sweep = %v, want ~1", first.PageCoverage)
+	}
+	// Second sweep: everything must be served from the hash table
+	// with no further heap I/O.
+	dev.ResetStats()
+	for key := int64(0); key < 30; key++ {
+		if _, err := ml.Find(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := ml.Stats()
+	if second.PagesRead != first.PagesRead {
+		t.Errorf("second sweep read %d more pages", second.PagesRead-first.PagesRead)
+	}
+	if hits := second.HashHits - first.HashHits; hits != 30 {
+		t.Errorf("hash hits on second sweep = %d, want 30", hits)
+	}
+	// Heap space sees no reads (index pages may still be touched).
+	if ds := dev.Stats(); ds.PagesRead > 10 {
+		t.Errorf("second sweep caused %d page reads", ds.PagesRead)
+	}
+}
+
+func TestMorphingLookupNeverRereadsPages(t *testing.T) {
+	file, pool, tree, _, _ := lookupFixture(t)
+	ml := NewMorphingLookup(file, pool, tree, 1)
+	for round := 0; round < 3; round++ {
+		for key := int64(0); key < 30; key += 3 {
+			if _, err := ml.Find(key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := ml.Stats()
+	if st.PagesRead > file.NumPages() {
+		t.Errorf("read %d pages, table has %d", st.PagesRead, file.NumPages())
+	}
+}
+
+func TestMorphingLookupInINLJ(t *testing.T) {
+	file, pool, tree, dev, rows := lookupFixture(t)
+	var outer []tuple.Row
+	for i := int64(0); i < 60; i++ {
+		outer = append(outer, tuple.IntsRow(i%30)) // keys repeat: morphing pays off
+	}
+	j := NewIndexNestedLoopJoin(
+		NewValues(tuple.Ints(1), outer),
+		NewMorphingLookup(file, pool, tree, 1),
+		dev, 0,
+	)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rows {
+		if r.Int(1) < 30 {
+			want += 2 // each key probed twice
+		}
+	}
+	if len(got) != want {
+		t.Errorf("INLJ rows = %d, want %d", len(got), want)
+	}
+}
+
+func TestSymmetricHashJoinMatchesReference(t *testing.T) {
+	left := []tuple.Row{tuple.IntsRow(1, 0), tuple.IntsRow(2, 1), tuple.IntsRow(2, 2)}
+	right := []tuple.Row{tuple.IntsRow(2, 10), tuple.IntsRow(3, 11), tuple.IntsRow(2, 12)}
+	j := NewSymmetricHashJoin(NewValues(tuple.Ints(2), left), NewValues(tuple.Ints(2), right), nil, 0, 0)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceJoin(left, right, 0, 0)
+	normalise(got)
+	normalise(want)
+	if !joinRowsEqual(got, want) {
+		t.Errorf("symmetric hash join = %v, want %v", got, want)
+	}
+	if j.Schema().NumCols() != 4 {
+		t.Errorf("schema = %v", j.Schema())
+	}
+}
+
+func TestSymmetricHashJoinIsPipelined(t *testing.T) {
+	// The join must produce its first result before either input is
+	// exhausted — the property that lets it replace a blocking sort +
+	// merge join.
+	left := make([]tuple.Row, 1000)
+	right := make([]tuple.Row, 1000)
+	for i := range left {
+		left[i] = tuple.IntsRow(int64(i), 0)
+		right[i] = tuple.IntsRow(int64(i), 1)
+	}
+	lv := NewValues(tuple.Ints(2), left)
+	rv := NewValues(tuple.Ints(2), right)
+	j := NewSymmetricHashJoin(lv, rv, nil, 0, 0)
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := j.Next(); err != nil || !ok {
+		t.Fatalf("no first row: %v %v", ok, err)
+	}
+	// Values tracks position; after one result at most a handful of
+	// rows were pulled from each side.
+	if lv.pos > 5 || rv.pos > 5 {
+		t.Errorf("join buffered inputs before first result: left=%d right=%d", lv.pos, rv.pos)
+	}
+	j.Close()
+}
+
+func TestSymmetricHashJoinUnevenInputs(t *testing.T) {
+	// One side much longer than the other; the alternation must drain
+	// the longer side after the shorter finishes.
+	var left, right []tuple.Row
+	for i := int64(0); i < 5; i++ {
+		left = append(left, tuple.IntsRow(i))
+	}
+	for i := int64(0); i < 500; i++ {
+		right = append(right, tuple.IntsRow(i%10))
+	}
+	j := NewSymmetricHashJoin(NewValues(tuple.Ints(1), left), NewValues(tuple.Ints(1), right), nil, 0, 0)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceJoin(left, right, 0, 0)
+	if len(got) != len(want) {
+		t.Errorf("rows = %d, want %d", len(got), len(want))
+	}
+}
+
+// Property: symmetric hash join ≡ hash join ≡ reference, with
+// duplicate keys on both sides.
+func TestSymmetricHashJoinEquivalenceProperty(t *testing.T) {
+	f := func(lraw, rraw []uint8) bool {
+		left := make([]tuple.Row, len(lraw))
+		for i, v := range lraw {
+			left[i] = tuple.IntsRow(int64(v)%8, int64(i))
+		}
+		right := make([]tuple.Row, len(rraw))
+		for i, v := range rraw {
+			right[i] = tuple.IntsRow(int64(v)%8, int64(i)+100)
+		}
+		want := referenceJoin(left, right, 0, 0)
+		normalise(want)
+		got, err := Drain(NewSymmetricHashJoin(NewValues(tuple.Ints(2), left), NewValues(tuple.Ints(2), right), nil, 0, 0))
+		if err != nil {
+			return false
+		}
+		normalise(got)
+		return joinRowsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sortedJoinKeys is a helper verifying normalise orders deterministically.
+func TestNormaliseHelper(t *testing.T) {
+	rows := []tuple.Row{tuple.IntsRow(2, 1), tuple.IntsRow(1, 9), tuple.IntsRow(1, 2)}
+	normalise(rows)
+	if !sort.SliceIsSorted(rows, func(i, j int) bool {
+		if rows[i][0] != rows[j][0] {
+			return rows[i][0] < rows[j][0]
+		}
+		return rows[i][1] < rows[j][1]
+	}) {
+		t.Errorf("normalise did not sort: %v", rows)
+	}
+}

@@ -1,0 +1,232 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/tuple"
+)
+
+func testDevice() *disk.Device {
+	return disk.NewDevice(disk.Profile{Name: "t", RandCost: 10, SeqCost: 1, PageSize: 256})
+}
+
+func loadRows(t *testing.T, dev *disk.Device, schema *tuple.Schema, rows []tuple.Row) *File {
+	t.Helper()
+	f, err := Create(dev, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.NewBuilder()
+	for _, r := range rows {
+		if err := b.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCreateRejectsOversizedTuples(t *testing.T) {
+	dev := testDevice() // 256-byte pages, 240 usable
+	if _, err := Create(dev, tuple.Ints(31)); err == nil {
+		t.Error("oversized tuple accepted")
+	}
+	f, err := Create(dev, tuple.Ints(30))
+	if err != nil {
+		t.Fatalf("240-byte tuple rejected: %v", err)
+	}
+	if f.TuplesPerPage() != 1 {
+		t.Errorf("TuplesPerPage = %d, want 1", f.TuplesPerPage())
+	}
+}
+
+func TestTuplesPerPage(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3)) // 24-byte tuples, (256-16)/24 = 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TuplesPerPage() != 10 {
+		t.Errorf("TuplesPerPage = %d, want 10", f.TuplesPerPage())
+	}
+}
+
+func TestBuildAndReadBack(t *testing.T) {
+	dev := testDevice()
+	schema := tuple.Ints(3)
+	var rows []tuple.Row
+	for i := int64(0); i < 25; i++ { // 2.5 pages at 10 tuples/page
+		rows = append(rows, tuple.IntsRow(i, i*2, -i))
+	}
+	f := loadRows(t, dev, schema, rows)
+
+	if f.NumTuples() != 25 {
+		t.Errorf("NumTuples = %d", f.NumTuples())
+	}
+	if f.NumPages() != 3 {
+		t.Errorf("NumPages = %d", f.NumPages())
+	}
+
+	pool := bufferpool.New(dev, 8)
+	for i := int64(0); i < 25; i++ {
+		got, err := f.RowAt(pool, f.TIDOf(i))
+		if err != nil {
+			t.Fatalf("RowAt(%d): %v", i, err)
+		}
+		if !got.Equal(rows[i]) {
+			t.Errorf("row %d = %v, want %v", i, got, rows[i])
+		}
+	}
+}
+
+func TestPartialLastPage(t *testing.T) {
+	dev := testDevice()
+	f := loadRows(t, dev, tuple.Ints(3), []tuple.Row{tuple.IntsRow(7, 8, 9)})
+	pool := bufferpool.New(dev, 2)
+	page, err := f.GetPage(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PageTupleCount(page) != 1 {
+		t.Errorf("PageTupleCount = %d, want 1", PageTupleCount(page))
+	}
+	if _, err := f.RowAt(pool, TID{Page: 0, Slot: 5}); err == nil {
+		t.Error("read of empty slot succeeded")
+	}
+}
+
+func TestAppendWrongWidth(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.NewBuilder().Append(tuple.IntsRow(1, 2)); err == nil {
+		t.Error("wrong-width row accepted")
+	}
+}
+
+func TestGetPageBounds(t *testing.T) {
+	dev := testDevice()
+	f := loadRows(t, dev, tuple.Ints(3), []tuple.Row{tuple.IntsRow(1, 2, 3)})
+	pool := bufferpool.New(dev, 2)
+	if _, err := f.GetPage(pool, 1); err == nil {
+		t.Error("out-of-range page read succeeded")
+	}
+	if _, err := f.GetPage(pool, -1); err == nil {
+		t.Error("negative page read succeeded")
+	}
+	if _, err := f.GetRun(pool, 0, 2); err == nil {
+		t.Error("out-of-range run succeeded")
+	}
+}
+
+func TestTIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b TID
+		want bool
+	}{
+		{TID{0, 0}, TID{0, 1}, true},
+		{TID{0, 5}, TID{1, 0}, true},
+		{TID{1, 0}, TID{0, 5}, false},
+		{TID{1, 1}, TID{1, 1}, false},
+	}
+	for _, c := range cases {
+		if c.a.Less(c.b) != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, !c.want, c.want)
+		}
+	}
+}
+
+func TestTIDOf(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3)) // 10 tuples/page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.TIDOf(0); got != (TID{0, 0}) {
+		t.Errorf("TIDOf(0) = %v", got)
+	}
+	if got := f.TIDOf(25); got != (TID{2, 5}) {
+		t.Errorf("TIDOf(25) = %v", got)
+	}
+}
+
+func TestGetRunDecoding(t *testing.T) {
+	dev := testDevice()
+	var rows []tuple.Row
+	for i := int64(0); i < 30; i++ {
+		rows = append(rows, tuple.IntsRow(i, 0, 0))
+	}
+	f := loadRows(t, dev, tuple.Ints(3), rows)
+	pool := bufferpool.New(dev, 8)
+	pages, err := f.GetRun(pool, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := f.DecodeRow(pages[0], 0, nil)
+	if first.Int(0) != 10 {
+		t.Errorf("first row of page 1 = %d, want 10", first.Int(0))
+	}
+	last := f.DecodeRow(pages[1], 9, nil)
+	if last.Int(0) != 29 {
+		t.Errorf("last row of page 2 = %d, want 29", last.Int(0))
+	}
+}
+
+// Property: any sequence of rows round-trips through build + read in
+// load order, across page boundaries, with mixed int/float columns.
+func TestHeapRoundTripProperty(t *testing.T) {
+	schema := tuple.MustSchema(
+		tuple.Column{Name: "a", Type: tuple.Int64},
+		tuple.Column{Name: "b", Type: tuple.Float64},
+	)
+	f := func(ints []int64, floats []float64) bool {
+		n := len(ints)
+		if len(floats) < n {
+			n = len(floats)
+		}
+		dev := testDevice()
+		file, err := Create(dev, schema)
+		if err != nil {
+			return false
+		}
+		b := file.NewBuilder()
+		for i := 0; i < n; i++ {
+			r := tuple.NewRow(schema)
+			r.SetInt(0, ints[i])
+			r.SetFloat(1, floats[i])
+			if err := b.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := b.Flush(); err != nil {
+			return false
+		}
+		if file.NumTuples() != int64(n) {
+			return false
+		}
+		pool := bufferpool.New(dev, 4)
+		for i := 0; i < n; i++ {
+			got, err := file.RowAt(pool, file.TIDOf(int64(i)))
+			if err != nil {
+				return false
+			}
+			want := tuple.NewRow(schema)
+			want.SetInt(0, ints[i])
+			want.SetFloat(1, floats[i])
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package heap
+
+import (
+	"testing"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/tuple"
+)
+
+func TestInsertIntoPartialPage(t *testing.T) {
+	dev := testDevice()
+	f := loadRows(t, dev, tuple.Ints(3), []tuple.Row{tuple.IntsRow(0, 0, 0)}) // 1 of 10 slots used
+	tid, err := f.Insert(tuple.IntsRow(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != (TID{Page: 0, Slot: 1}) {
+		t.Errorf("TID = %v, want (0,1)", tid)
+	}
+	if f.NumTuples() != 2 || f.NumPages() != 1 {
+		t.Errorf("counts: %d tuples %d pages", f.NumTuples(), f.NumPages())
+	}
+	pool := bufferpool.New(dev, 4)
+	row, err := f.RowAt(pool, tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Equal(tuple.IntsRow(1, 2, 3)) {
+		t.Errorf("read back %v", row)
+	}
+	// The original row is untouched.
+	first, err := f.RowAt(pool, TID{Page: 0, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(tuple.IntsRow(0, 0, 0)) {
+		t.Errorf("first row corrupted: %v", first)
+	}
+}
+
+func TestInsertAppendsNewPageWhenFull(t *testing.T) {
+	dev := testDevice()
+	var rows []tuple.Row
+	for i := int64(0); i < 10; i++ { // exactly one full page
+		rows = append(rows, tuple.IntsRow(i, 0, 0))
+	}
+	f := loadRows(t, dev, tuple.Ints(3), rows)
+	tid, err := f.Insert(tuple.IntsRow(99, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != (TID{Page: 1, Slot: 0}) {
+		t.Errorf("TID = %v, want (1,0)", tid)
+	}
+	if f.NumPages() != 2 {
+		t.Errorf("NumPages = %d", f.NumPages())
+	}
+}
+
+func TestInsertIntoEmptyFile(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := f.Insert(tuple.IntsRow(7, 8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != (TID{Page: 0, Slot: 0}) {
+		t.Errorf("TID = %v", tid)
+	}
+	if f.NumTuples() != 1 || f.NumPages() != 1 {
+		t.Errorf("counts: %d/%d", f.NumTuples(), f.NumPages())
+	}
+}
+
+func TestInsertWrongWidth(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Insert(tuple.IntsRow(1)); err == nil {
+		t.Error("wrong-width insert accepted")
+	}
+}
+
+func TestInsertManySpansPages(t *testing.T) {
+	dev := testDevice()
+	f, err := Create(dev, tuple.Ints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 57
+	for i := int64(0); i < n; i++ {
+		if _, err := f.Insert(tuple.IntsRow(i, i*2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.NumTuples() != n {
+		t.Fatalf("NumTuples = %d", f.NumTuples())
+	}
+	if f.NumPages() != 6 { // ceil(57/10)
+		t.Errorf("NumPages = %d, want 6", f.NumPages())
+	}
+	pool := bufferpool.New(dev, 8)
+	for i := int64(0); i < n; i++ {
+		row, err := f.RowAt(pool, f.TIDOf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Int(0) != i || row.Int(1) != i*2 {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+}

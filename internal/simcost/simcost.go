@@ -1,0 +1,38 @@
+// Package simcost centralises the CPU cost constants of the
+// simulation, expressed in the same units as disk I/O costs (one
+// sequential 8 KB page read = 1 unit).
+//
+// The paper's premise (Section III-A, citing Graefe) is that one I/O
+// corresponds to about a million CPU instructions, so per-tuple CPU
+// work is orders of magnitude cheaper than a page fetch: Smooth Scan
+// "invests CPU cycles for reading additional tuples from each page
+// with minimal CPU overhead". The constants keep that ratio: scanning
+// all ~100 tuples of a page costs ~0.1 units against 1–10 units for
+// fetching it.
+package simcost
+
+const (
+	// Tuple is the cost of decoding one tuple and evaluating a simple
+	// predicate on it.
+	Tuple = 0.001
+	// Compare is the cost of one comparison during sorting.
+	Compare = 0.0002
+	// Hash is the cost of hashing a tuple into a hash table (build or
+	// probe side).
+	Hash = 0.0005
+	// Aggregate is the cost of folding one tuple into an aggregate.
+	Aggregate = 0.0003
+)
+
+// SortCost returns the CPU cost of sorting n items: n·log2(n)
+// comparisons at Compare units each.
+func SortCost(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	log2 := 0
+	for v := n; v > 1; v >>= 1 {
+		log2++
+	}
+	return float64(n) * float64(log2) * Compare
+}

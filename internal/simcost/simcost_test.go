@@ -1,0 +1,25 @@
+package simcost
+
+import "testing"
+
+func TestSortCost(t *testing.T) {
+	if SortCost(0) != 0 || SortCost(1) != 0 {
+		t.Error("trivial sorts should cost nothing")
+	}
+	// 8 items, log2 = 3: 8*3*Compare.
+	if got, want := SortCost(8), 8*3*Compare; got < want*0.999 || got > want*1.001 {
+		t.Errorf("SortCost(8) = %v, want ~%v", got, want)
+	}
+	if SortCost(1000) <= SortCost(100) {
+		t.Error("SortCost not increasing")
+	}
+}
+
+func TestTupleCostRatio(t *testing.T) {
+	// Scanning a full page of ~100 tuples must stay well below the
+	// cost of one sequential page read (1 unit), preserving the
+	// paper's CPU-vs-I/O premise.
+	if 102*Tuple >= 0.5 {
+		t.Errorf("per-page CPU cost %v too close to I/O cost", 102*Tuple)
+	}
+}

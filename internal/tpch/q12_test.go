@@ -1,0 +1,56 @@
+package tpch
+
+import "testing"
+
+func TestQ12PlansAgree(t *testing.T) {
+	db := genDB(t, 1200)
+	var want QueryResult
+	for i, plan := range []Q12Plan{Q12PlanHash, Q12PlanTunedINLJ, Q12PlanSmooth} {
+		pool := newPool(db)
+		got, err := db.Q12(pool, plan)
+		if err != nil {
+			t.Fatalf("%v: %v", plan, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%v: result %+v, want %+v", plan, got, want)
+		}
+	}
+	if _, err := db.Q12(newPool(db), Q12Plan(9)); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestQ12RegressionAndRescue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := genDB(t, 6000)
+	measure := func(plan Q12Plan) float64 {
+		pool := newPool(db)
+		db.Dev.ResetStats()
+		if _, err := db.Q12(pool, plan); err != nil {
+			t.Fatal(err)
+		}
+		return db.Dev.Stats().Time()
+	}
+	original := measure(Q12PlanHash)
+	tuned := measure(Q12PlanTunedINLJ)
+	smooth := measure(Q12PlanSmooth)
+
+	// The paper's Q12: tuned regresses by orders of magnitude.
+	if tuned < 20*original {
+		t.Errorf("tuned plan regression only %.1fx (tuned=%v original=%v)", tuned/original, tuned, original)
+	}
+	// Smooth Scan + morphing inner rescues the plan without
+	// re-optimization: within a small factor of the original.
+	if smooth > 4*original {
+		t.Errorf("smooth rescue insufficient: smooth=%v original=%v", smooth, original)
+	}
+	if tuned < 5*smooth {
+		t.Errorf("smooth (%v) should beat tuned (%v) decisively", smooth, tuned)
+	}
+}

@@ -1,0 +1,49 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColTypeString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" {
+		t.Errorf("type names: %v %v", Int64, Float64)
+	}
+	if !strings.Contains(ColType(7).String(), "7") {
+		t.Errorf("unknown type: %v", ColType(7))
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Int64}, Column{Name: "b", Type: Float64})
+	got := s.String()
+	if got != "(a int64, b float64)" {
+		t.Errorf("Schema.String() = %q", got)
+	}
+}
+
+func TestRangePredString(t *testing.T) {
+	p := RangePred{Col: 2, Lo: 5, Hi: 9}
+	got := p.String()
+	if !strings.Contains(got, "5") || !strings.Contains(got, "9") || !strings.Contains(got, "2") {
+		t.Errorf("RangePred.String() = %q", got)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema accepted invalid schema")
+		}
+	}()
+	MustSchema()
+}
+
+func TestColumnsReturnsCopy(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Int64})
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Col(0).Name != "a" {
+		t.Error("Columns() exposed internal state")
+	}
+}

@@ -1,0 +1,163 @@
+// Package workload generates the paper's synthetic tables: the
+// micro-benchmark of Section VI-C (10 integer columns, c1 a dense
+// primary key, c2 uniform over [0, 10^5), secondary index on c2) and
+// the skewed variant of Section VI-D (a dense head of matching tuples
+// followed by a sparse tail).
+//
+// Table sizes are configurable; the paper uses 400M/1.5B rows, this
+// reproduction defaults to laptop-scale sizes with identical structure.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoothscan/internal/btree"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+// DefaultDomain is the value domain of the micro-benchmark's non-key
+// columns, as in the paper (0 – 10^5).
+const DefaultDomain = 100_000
+
+// Table bundles a loaded heap file with its secondary index.
+type Table struct {
+	File *heap.File
+	// Index is the non-clustered B+-tree on IndexCol.
+	Index *btree.Tree
+	// IndexCol is the indexed column (c2 = column 1).
+	IndexCol int
+	// Domain is the value domain of the indexed column.
+	Domain int64
+}
+
+// MicroConfig parameterises the uniform micro-benchmark table.
+type MicroConfig struct {
+	// NumRows is the table cardinality.
+	NumRows int64
+	// NumCols is the column count (the paper uses 10).
+	NumCols int
+	// Domain is the value domain of non-key columns (default 10^5).
+	Domain int64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *MicroConfig) defaults() error {
+	if c.NumCols == 0 {
+		c.NumCols = 10
+	}
+	if c.Domain == 0 {
+		c.Domain = DefaultDomain
+	}
+	if c.NumRows < 0 || c.NumCols < 2 {
+		return fmt.Errorf("workload: bad config %+v", *c)
+	}
+	return nil
+}
+
+// BuildMicro generates the micro-benchmark table on the device: c1 is
+// the row number (primary key), c2..cN are uniform over [0, Domain).
+// A secondary index is built on c2. Device statistics are reset
+// afterwards so measurements start clean.
+func BuildMicro(dev *disk.Device, cfg MicroConfig) (*Table, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := func(i int64, row tuple.Row) {
+		row.SetInt(0, i)
+		for c := 1; c < cfg.NumCols; c++ {
+			row.SetInt(c, rng.Int63n(cfg.Domain))
+		}
+	}
+	return build(dev, cfg.NumCols, cfg.NumRows, cfg.Domain, gen)
+}
+
+// SkewConfig parameterises the skewed table of Section VI-D: the first
+// DenseRows rows all carry the match value 0 in c2; afterwards one row
+// in SparseEvery carries it; all other rows are uniform over
+// [1, Domain).
+type SkewConfig struct {
+	NumRows     int64
+	NumCols     int
+	Domain      int64
+	DenseRows   int64
+	SparseEvery int64
+	Seed        int64
+}
+
+// BuildSkewed generates the skewed table. The paper's instance has
+// 1.5B rows with the first 15M matching and 0.001% sparse extras,
+// i.e. DenseRows = NumRows/100 and SparseEvery = 100000.
+func BuildSkewed(dev *disk.Device, cfg SkewConfig) (*Table, error) {
+	m := MicroConfig{NumRows: cfg.NumRows, NumCols: cfg.NumCols, Domain: cfg.Domain, Seed: cfg.Seed}
+	if err := m.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.DenseRows < 0 || cfg.DenseRows > cfg.NumRows || cfg.SparseEvery < 1 {
+		return nil, fmt.Errorf("workload: bad skew config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	gen := func(i int64, row tuple.Row) {
+		row.SetInt(0, i)
+		var c2 int64
+		switch {
+		case i < cfg.DenseRows:
+			c2 = 0
+		case (i-cfg.DenseRows)%cfg.SparseEvery == 0:
+			c2 = 0
+		default:
+			c2 = 1 + rng.Int63n(m.Domain-1)
+		}
+		row.SetInt(1, c2)
+		for c := 2; c < m.NumCols; c++ {
+			row.SetInt(c, rng.Int63n(m.Domain))
+		}
+	}
+	return build(dev, m.NumCols, m.NumRows, m.Domain, gen)
+}
+
+func build(dev *disk.Device, numCols int, numRows, domain int64, gen func(i int64, row tuple.Row)) (*Table, error) {
+	file, err := heap.Create(dev, tuple.Ints(numCols))
+	if err != nil {
+		return nil, err
+	}
+	b := file.NewBuilder()
+	row := tuple.NewRow(file.Schema())
+	for i := int64(0); i < numRows; i++ {
+		gen(i, row)
+		if err := b.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	tree, err := btree.BuildOnColumn(dev, file, 1)
+	if err != nil {
+		return nil, err
+	}
+	dev.ResetStats()
+	return &Table{File: file, Index: tree, IndexCol: 1, Domain: domain}, nil
+}
+
+// PredForSelectivity returns the paper's stress predicate
+// "c2 >= 0 and c2 < X" sized for the requested selectivity (a
+// fraction in [0,1]) under the uniform distribution. Selectivity 0
+// yields an empty range; 1 covers the whole domain.
+func (t *Table) PredForSelectivity(sel float64) tuple.RangePred {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	hi := int64(sel * float64(t.Domain))
+	if sel == 1 {
+		hi = t.Domain
+	}
+	return tuple.RangePred{Col: t.IndexCol, Lo: 0, Hi: hi}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+)
+
+func smallDev() *disk.Device {
+	return disk.NewDevice(disk.Profile{Name: "t", RandCost: 10, SeqCost: 1, PageSize: 1024})
+}
+
+func countMatches(t *testing.T, tab *Table, dev *disk.Device, pred tuple.RangePred) int64 {
+	t.Helper()
+	pool := bufferpool.New(dev, 64)
+	var n int64
+	row := tuple.NewRow(tab.File.Schema())
+	for p := int64(0); p < tab.File.NumPages(); p++ {
+		page, err := tab.File.GetPage(pool, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < heap.PageTupleCount(page); s++ {
+			row = tab.File.DecodeRow(page, s, row)
+			if pred.Matches(row) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBuildMicroShape(t *testing.T) {
+	dev := smallDev()
+	tab, err := BuildMicro(dev, MicroConfig{NumRows: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.File.NumTuples() != 5000 {
+		t.Errorf("NumTuples = %d", tab.File.NumTuples())
+	}
+	if tab.File.Schema().NumCols() != 10 {
+		t.Errorf("NumCols = %d, want 10 (paper layout)", tab.File.Schema().NumCols())
+	}
+	if tab.Index.NumKeys() != 5000 {
+		t.Errorf("index keys = %d", tab.Index.NumKeys())
+	}
+	// Device stats were reset after the bulk load.
+	if dev.Stats().PagesRead != 0 {
+		t.Errorf("stats not reset: %+v", dev.Stats())
+	}
+}
+
+func TestBuildMicroDeterministic(t *testing.T) {
+	devA, devB := smallDev(), smallDev()
+	a, err := BuildMicro(devA, MicroConfig{NumRows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMicro(devB, MicroConfig{NumRows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolA := bufferpool.New(devA, 8)
+	poolB := bufferpool.New(devB, 8)
+	for _, i := range []int64{0, 99, 499} {
+		ra, err := a.File.RowAt(poolA, a.File.TIDOf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.File.RowAt(poolB, b.File.TIDOf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.Equal(rb) {
+			t.Fatalf("row %d differs across same-seed builds", i)
+		}
+	}
+}
+
+func TestPredForSelectivity(t *testing.T) {
+	dev := smallDev()
+	tab, err := BuildMicro(dev, MicroConfig{NumRows: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []float64{0, 0.001, 0.01, 0.1, 0.5, 1.0} {
+		pred := tab.PredForSelectivity(sel)
+		got := float64(countMatches(t, tab, dev, pred)) / 20000
+		if math.Abs(got-sel) > 0.02+sel*0.1 {
+			t.Errorf("sel %v: actual %v", sel, got)
+		}
+	}
+}
+
+func TestPredForSelectivityClamps(t *testing.T) {
+	dev := smallDev()
+	tab, err := BuildMicro(dev, MicroConfig{NumRows: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tab.PredForSelectivity(-1); p.Hi != p.Lo {
+		t.Errorf("negative sel: %v", p)
+	}
+	if p := tab.PredForSelectivity(2); p.Hi != tab.Domain {
+		t.Errorf("sel > 1: %v", p)
+	}
+}
+
+func TestBuildSkewedShape(t *testing.T) {
+	dev := smallDev()
+	cfg := SkewConfig{NumRows: 10000, DenseRows: 1000, SparseEvery: 500, Seed: 5}
+	tab, err := BuildSkewed(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: 1000 dense + every 500th of the remaining 9000 = 18.
+	pred := tuple.RangePred{Col: 1, Lo: 0, Hi: 1}
+	got := countMatches(t, tab, dev, pred)
+	want := int64(1000 + 9000/500)
+	if got != want {
+		t.Errorf("skew matches = %d, want %d", got, want)
+	}
+	// The dense head is physically at the start of the heap.
+	pool := bufferpool.New(dev, 8)
+	first, err := tab.File.RowAt(pool, heap.TID{Page: 0, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Int(1) != 0 {
+		t.Errorf("first row c2 = %d, want 0", first.Int(1))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := BuildMicro(smallDev(), MicroConfig{NumRows: -1}); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := BuildSkewed(smallDev(), SkewConfig{NumRows: 10, DenseRows: 20, SparseEvery: 1}); err == nil {
+		t.Error("dense > total accepted")
+	}
+	if _, err := BuildSkewed(smallDev(), SkewConfig{NumRows: 10, DenseRows: 1, SparseEvery: 0}); err == nil {
+		t.Error("zero sparse interval accepted")
+	}
+}

@@ -1,0 +1,576 @@
+// Package smoothscan is a from-scratch Go reproduction of "Smooth
+// Scan: Statistics-Oblivious Access Paths" (Borovica-Gajic et al.,
+// ICDE 2015): a storage engine whose table scans morph continuously
+// between index look-ups and full table scans at run time, delivering
+// near-optimal performance at every selectivity without requiring
+// accurate optimizer statistics.
+//
+// The package is the public facade over the engine:
+//
+//	db, _ := smoothscan.Open(smoothscan.Options{})
+//	tb, _ := db.CreateTable("t", "id", "val")
+//	tb.Append(1, 42)
+//	tb.Finish()
+//	db.CreateIndex("t", "val")
+//	rows, _ := db.Scan("t", "val", 0, 100, smoothscan.ScanOptions{})
+//	for rows.Next() { use(rows.Row()) }
+//
+// Scans default to the adaptive Smooth Scan path (Elastic policy,
+// Eager trigger — the paper's recommendation); ScanOptions selects the
+// traditional paths, other morphing policies and triggers, and
+// order-preserving delivery. Device-level I/O accounting (simulated
+// time, random vs sequential accesses) is available through Stats,
+// mirroring the measurements of the paper's evaluation.
+package smoothscan
+
+import (
+	"errors"
+	"fmt"
+
+	"smoothscan/internal/access"
+	"smoothscan/internal/btree"
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/core"
+	"smoothscan/internal/costmodel"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/exec"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/optimizer"
+	"smoothscan/internal/tuple"
+)
+
+// Profile describes a simulated storage device.
+type Profile = disk.Profile
+
+// Device profiles matching the paper's hardware assumptions.
+var (
+	// HDD: random access 10x slower than sequential.
+	HDD = disk.HDD
+	// SSD: random access 2x slower than sequential.
+	SSD = disk.SSD
+)
+
+// IOStats are device-level counters (simulated time in cost units,
+// where one sequential 8 KB page read costs 1).
+type IOStats = disk.Stats
+
+// Policy selects how the morphing region evolves (paper Section III-B).
+type Policy = core.Policy
+
+// Morphing policies.
+const (
+	// Greedy doubles the region after every probe.
+	Greedy = core.Greedy
+	// SelectivityIncrease grows when local density reaches the global
+	// average and never shrinks.
+	SelectivityIncrease = core.SelectivityIncrease
+	// Elastic grows in dense regions and shrinks in sparse ones; the
+	// paper's recommended default.
+	Elastic = core.Elastic
+)
+
+// Trigger selects when morphing starts (paper Section III-C).
+type Trigger = core.Trigger
+
+// Morphing triggers.
+const (
+	// Eager morphs from the first tuple; the paper's default.
+	Eager = core.Eager
+	// OptimizerDriven morphs when the optimizer's cardinality
+	// estimate is exceeded.
+	OptimizerDriven = core.OptimizerDriven
+	// SLADriven morphs at the cost-model point beyond which a
+	// worst-case completion would violate the SLA bound.
+	SLADriven = core.SLADriven
+)
+
+// SmoothStats exposes the Smooth Scan operator's run-time counters.
+type SmoothStats = core.Stats
+
+// AccessPath selects the scan implementation.
+type AccessPath int
+
+// Access paths available to Scan.
+const (
+	// PathSmooth is the adaptive Smooth Scan (default).
+	PathSmooth AccessPath = iota
+	// PathAuto lets the cost-based optimizer pick among the
+	// traditional paths using whatever statistics exist — the
+	// baseline whose fragility the paper demonstrates.
+	PathAuto
+	// PathFull forces a full table scan.
+	PathFull
+	// PathIndex forces a classic non-clustered index scan.
+	PathIndex
+	// PathSort forces a sort scan (bitmap heap scan).
+	PathSort
+	// PathSwitch forces the binary-switching adaptive baseline.
+	PathSwitch
+)
+
+func (p AccessPath) String() string {
+	switch p {
+	case PathSmooth:
+		return "smooth"
+	case PathAuto:
+		return "auto"
+	case PathFull:
+		return "full"
+	case PathIndex:
+		return "index"
+	case PathSort:
+		return "sort"
+	case PathSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("AccessPath(%d)", int(p))
+	}
+}
+
+// Options configures a database.
+type Options struct {
+	// Disk is the device profile (default HDD).
+	Disk Profile
+	// PoolPages is the buffer pool capacity in pages (default 1024).
+	PoolPages int
+}
+
+// DB is an embedded, read-optimised database: bulk-load tables, build
+// secondary indexes, scan with any access path.
+type DB struct {
+	dev    *disk.Device
+	pool   *bufferpool.Pool
+	tables map[string]*table
+}
+
+type table struct {
+	file    *heap.File
+	builder *heap.Builder // nil once finished
+	indexes map[string]*btree.Tree
+	stats   *optimizer.TableStats // nil until Analyze
+}
+
+// Open creates an empty database on a fresh simulated device.
+func Open(opts Options) (*DB, error) {
+	if opts.Disk.PageSize == 0 {
+		opts.Disk = HDD
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 1024
+	}
+	if opts.PoolPages < 1 {
+		return nil, fmt.Errorf("smoothscan: PoolPages %d", opts.PoolPages)
+	}
+	dev := disk.NewDevice(opts.Disk)
+	return &DB{
+		dev:    dev,
+		pool:   bufferpool.New(dev, opts.PoolPages),
+		tables: make(map[string]*table),
+	}, nil
+}
+
+// ErrNoTable is returned for operations on unknown tables.
+var ErrNoTable = errors.New("smoothscan: no such table")
+
+// ErrNoIndex is returned when a scan needs an index that does not
+// exist.
+var ErrNoIndex = errors.New("smoothscan: no index on column")
+
+// TableBuilder loads rows into a new table. All columns are int64.
+type TableBuilder struct {
+	tab  *table
+	cols int
+}
+
+// CreateTable creates a table with the named int64 columns and returns
+// its loader. Call Finish before querying or indexing.
+func (db *DB) CreateTable(name string, columns ...string) (*TableBuilder, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("smoothscan: table %q exists", name)
+	}
+	cols := make([]tuple.Column, len(columns))
+	for i, c := range columns {
+		cols[i] = tuple.Column{Name: c, Type: tuple.Int64}
+	}
+	schema, err := tuple.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	file, err := heap.Create(db.dev, schema)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{file: file, builder: file.NewBuilder(), indexes: map[string]*btree.Tree{}}
+	db.tables[name] = t
+	return &TableBuilder{tab: t, cols: len(columns)}, nil
+}
+
+// Append adds one row; values must match the column count.
+func (b *TableBuilder) Append(vals ...int64) error {
+	if b.tab.builder == nil {
+		return fmt.Errorf("smoothscan: table already finished")
+	}
+	if len(vals) != b.cols {
+		return fmt.Errorf("smoothscan: %d values for %d columns", len(vals), b.cols)
+	}
+	return b.tab.builder.Append(tuple.IntsRow(vals...))
+}
+
+// Finish flushes the load. The table becomes queryable; further
+// Appends fail.
+func (b *TableBuilder) Finish() error {
+	if b.tab.builder == nil {
+		return nil
+	}
+	err := b.tab.builder.Flush()
+	b.tab.builder = nil
+	return err
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	if t.builder != nil {
+		return nil, fmt.Errorf("smoothscan: table %q is still loading (call Finish)", name)
+	}
+	return t, nil
+}
+
+// CreateIndex builds a non-clustered B+-tree index on the column.
+func (db *DB) CreateIndex(tableName, column string) error {
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	col := t.file.Schema().ColIndex(column)
+	if col < 0 {
+		return fmt.Errorf("smoothscan: table %q has no column %q", tableName, column)
+	}
+	tree, err := btree.BuildOnColumn(db.dev, t.file, col)
+	if err != nil {
+		return err
+	}
+	t.indexes[column] = tree
+	return nil
+}
+
+// Analyze collects accurate statistics (histograms) for the given
+// columns — what a DBA's ANALYZE run does. Scans with PathAuto use
+// them; without Analyze the optimizer falls back to uniformity
+// assumptions, the paper's recipe for misestimation.
+func (db *DB) Analyze(tableName string, columns ...string) error {
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		cols[i] = t.file.Schema().ColIndex(c)
+		if cols[i] < 0 {
+			return fmt.Errorf("smoothscan: table %q has no column %q", tableName, c)
+		}
+	}
+	stats, err := optimizer.CollectStats(t.file, func(p int64) ([]byte, error) {
+		return db.dev.ReadPage(t.file.Space(), p)
+	}, cols, 64)
+	if err != nil {
+		return err
+	}
+	t.stats = stats
+	return nil
+}
+
+// Insert appends one row to a finished table and updates every index
+// on it incrementally (new entries live in an in-memory index delta
+// until Compact merges them; scans see them immediately). Statistics
+// collected by Analyze become stale; re-run Analyze after bulk
+// ingestion.
+func (db *DB) Insert(tableName string, vals ...int64) error {
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	if len(vals) != t.file.Schema().NumCols() {
+		return fmt.Errorf("smoothscan: %d values for %d columns", len(vals), t.file.Schema().NumCols())
+	}
+	row := tuple.IntsRow(vals...)
+	tid, err := t.file.Insert(row)
+	if err != nil {
+		return err
+	}
+	db.pool.InvalidatePage(t.file.Space(), tid.Page)
+	for column, tree := range t.indexes {
+		col := t.file.Schema().ColIndex(column)
+		tree.Insert(btree.Entry{Key: row.Int(col), TID: tid})
+	}
+	return nil
+}
+
+// Compact merges every index's insert delta into its on-disk run,
+// restoring the contiguous-leaf layout that makes index traversals
+// sequential. A maintenance operation, like the original index build.
+func (db *DB) Compact(tableName string) error {
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	for _, tree := range t.indexes {
+		if err := tree.Compact(db.dev, db.pool); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumRows returns the row count of a table.
+func (db *DB) NumRows(tableName string) (int64, error) {
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return t.file.NumTuples(), nil
+}
+
+// NumPages returns the heap page count of a table.
+func (db *DB) NumPages(tableName string) (int64, error) {
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return t.file.NumPages(), nil
+}
+
+// Stats returns the device counters accumulated so far.
+func (db *DB) Stats() IOStats { return db.dev.Stats() }
+
+// ResetStats zeroes the device counters.
+func (db *DB) ResetStats() { db.dev.ResetStats() }
+
+// ColdCache empties the buffer pool (and resets its counters), putting
+// the system in the cold state the paper measures.
+func (db *DB) ColdCache() { db.pool.Reset() }
+
+// ScanOptions configures a Scan.
+type ScanOptions struct {
+	// Path selects the access path (default PathSmooth).
+	Path AccessPath
+	// Policy is the Smooth Scan morphing policy (default Elastic).
+	Policy Policy
+	// Trigger is the Smooth Scan morphing trigger (default Eager).
+	Trigger Trigger
+	// Ordered requests output in index-key order. Smooth, index and
+	// sort scans deliver it natively (sort scan via a posterior
+	// sort); full and switch scans return an error when Ordered is
+	// set, as they cannot.
+	Ordered bool
+	// EstimatedRows is the optimizer's cardinality estimate, used by
+	// the OptimizerDriven trigger and the PathSwitch threshold. When
+	// zero, the estimate comes from table statistics (Analyze) or the
+	// uniformity assumption.
+	EstimatedRows int64
+	// SLABound is the operator cost bound for the SLADriven trigger,
+	// in cost units.
+	SLABound float64
+	// MaxRegionPages caps the Smooth Scan morphing region (default
+	// 2048 pages = 16 MB, the paper's optimum).
+	MaxRegionPages int64
+	// ResultCacheBudget bounds the ordered Smooth Scan's Result Cache
+	// resident memory in bytes; beyond it, far partitions spill to
+	// overflow files (charged as sequential I/O). Zero = unlimited.
+	ResultCacheBudget int64
+}
+
+// Rows iterates a scan result.
+type Rows struct {
+	op     exec.Operator
+	schema *tuple.Schema
+	cur    tuple.Row
+	err    error
+	smooth *core.SmoothScan
+	choice *optimizer.Choice
+	done   bool
+}
+
+// Next advances to the next row; it returns false at the end of the
+// scan or on error (check Err).
+func (r *Rows) Next() bool {
+	if r.done || r.err != nil {
+		return false
+	}
+	row, ok, err := r.op.Next()
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	if !ok {
+		r.done = true
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current row's values. The slice is valid until the
+// next call to Next.
+func (r *Rows) Row() []int64 {
+	out := make([]int64, len(r.cur))
+	for i := range r.cur {
+		out[i] = r.cur.Int(i)
+	}
+	return out
+}
+
+// Col returns the current row's value for the named column (-1, false
+// if unknown).
+func (r *Rows) Col(name string) (int64, bool) {
+	i := r.schema.ColIndex(name)
+	if i < 0 {
+		return 0, false
+	}
+	return r.cur.Int(i), true
+}
+
+// Err returns the first error encountered.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the scan.
+func (r *Rows) Close() error { return r.op.Close() }
+
+// SmoothStats returns the Smooth Scan operator counters when the scan
+// used PathSmooth.
+func (r *Rows) SmoothStats() (SmoothStats, bool) {
+	if r.smooth == nil {
+		return SmoothStats{}, false
+	}
+	return r.smooth.Stats(), true
+}
+
+// Choice returns the optimizer's decision when the scan used PathAuto.
+func (r *Rows) Choice() (path string, estimatedRows int64, ok bool) {
+	if r.choice == nil {
+		return "", 0, false
+	}
+	return r.choice.Path.String(), r.choice.EstimatedCard, true
+}
+
+// Scan returns the rows of tableName whose column value v satisfies
+// lo <= v < hi, using the configured access path. All paths except
+// PathFull require an index on the column (CreateIndex).
+func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*Rows, error) {
+	t, err := db.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	col := t.file.Schema().ColIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("smoothscan: table %q has no column %q", tableName, column)
+	}
+	pred := tuple.RangePred{Col: col, Lo: lo, Hi: hi}
+	tree, hasIndex := t.indexes[column]
+	if opts.MaxRegionPages == 0 {
+		opts.MaxRegionPages = core.DefaultMaxRegionPages
+	}
+
+	params := db.costParams(t)
+	stats := t.stats
+	if stats == nil {
+		stats = optimizer.DefaultStats(t.file.NumTuples(), t.file.NumPages(), nil)
+	}
+	estimate := opts.EstimatedRows
+	if estimate == 0 {
+		estimate = stats.EstimateCard(pred)
+	}
+
+	rows := &Rows{schema: t.file.Schema()}
+	path := opts.Path
+	if path == PathAuto {
+		choice := optimizer.ChooseAccessPath(params, stats, pred, hasIndex, opts.Ordered)
+		rows.choice = &choice
+		switch choice.Path {
+		case optimizer.PathFullScan:
+			path = PathFull
+		case optimizer.PathIndexScan:
+			path = PathIndex
+		case optimizer.PathSortScan:
+			path = PathSort
+		}
+		estimate = choice.EstimatedCard
+	}
+
+	switch path {
+	case PathFull:
+		if opts.Ordered {
+			return nil, fmt.Errorf("smoothscan: full scan cannot deliver ordered output; add an explicit sort")
+		}
+		rows.op = access.NewFullScan(t.file, db.pool, pred)
+	case PathIndex:
+		if !hasIndex {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
+		}
+		rows.op = access.NewIndexScan(t.file, db.pool, tree, pred)
+	case PathSort:
+		if !hasIndex {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
+		}
+		rows.op = access.NewSortScan(t.file, db.pool, tree, pred, opts.Ordered)
+	case PathSwitch:
+		if !hasIndex {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
+		}
+		if opts.Ordered {
+			return nil, fmt.Errorf("smoothscan: switch scan cannot guarantee ordered output")
+		}
+		rows.op = access.NewSwitchScan(t.file, db.pool, tree, pred, estimate)
+	case PathSmooth:
+		if !hasIndex {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
+		}
+		cfg := core.Config{
+			Policy:            opts.Policy,
+			Trigger:           opts.Trigger,
+			Ordered:           opts.Ordered,
+			MaxRegionPages:    opts.MaxRegionPages,
+			EstimatedCard:     estimate,
+			SLABound:          opts.SLABound,
+			CostParams:        params,
+			ResultCacheBudget: opts.ResultCacheBudget,
+		}
+		ss, err := core.NewSmoothScan(t.file, db.pool, tree, pred, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows.smooth = ss
+		rows.op = ss
+	default:
+		return nil, fmt.Errorf("smoothscan: unknown access path %d", opts.Path)
+	}
+	if err := rows.op.Open(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// costParams derives Section V cost-model parameters for a table.
+func (db *DB) costParams(t *table) costmodel.Params {
+	return costmodel.Params{
+		TupleSize: t.file.Schema().TupleSize(),
+		PageSize:  db.dev.PageSize(),
+		KeySize:   8,
+		NumTuples: t.file.NumTuples(),
+		RandCost:  db.dev.Profile().RandCost,
+		SeqCost:   db.dev.Profile().SeqCost,
+	}
+}
+
+// FullScanCost returns the cost-model estimate of a full scan of the
+// table, useful for expressing SLA bounds ("two full scans").
+func (db *DB) FullScanCost(tableName string) (float64, error) {
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return db.costParams(t).FullScanCost(), nil
+}
