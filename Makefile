@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke bench
+
+## check: everything CI runs — format, vet, build, tests, bench smoke.
+check: fmt vet build test bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## bench-smoke: one iteration of every benchmark so they cannot rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench: the real benchmark suite with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,96 @@
+package smoothscan
+
+// Allocation-regression tests for the batched execution pipeline. The
+// contract of the tentpole batching work: moving a tuple through the
+// batched scan path costs (amortised) no allocation. These tests pin
+// that down with testing.AllocsPerRun so a regression fails CI rather
+// than silently eroding throughput.
+
+import (
+	"testing"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/core"
+	"smoothscan/internal/disk"
+	"smoothscan/internal/exec"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
+	"smoothscan/internal/workload"
+)
+
+// TestBatchedScanAllocsPerTuple drives a full batched Smooth Scan at
+// 100% selectivity (the paper's worst case and the benchmark's
+// configuration) and asserts the whole run — operator construction,
+// buffer-pool refill, region morphing, batch delivery — stays at or
+// under 0.2 allocations per produced tuple.
+func TestBatchedScanAllocsPerTuple(t *testing.T) {
+	const numRows = 20_000
+	dev := disk.NewDevice(disk.HDD)
+	tab, err := workload.BuildMicro(dev, workload.MicroConfig{NumRows: numRows, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(dev, int(tab.File.NumPages()/10)+64)
+	pred := tab.PredForSelectivity(1)
+	batch := tuple.NewBatchFor(tab.File.Schema(), exec.DefaultBatchSize)
+
+	scan := func() int64 {
+		pool.Reset()
+		dev.ResetStats()
+		ss, err := core.NewSmoothScan(tab.File, pool, tab.Index, pred, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Open(); err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		for {
+			k, err := ss.NextBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 0 {
+				break
+			}
+			n += int64(k)
+		}
+		ss.Close()
+		return n
+	}
+	if got := scan(); got != numRows {
+		t.Fatalf("scan produced %d tuples, want %d", got, numRows)
+	}
+	allocs := testing.AllocsPerRun(5, func() { scan() })
+	perTuple := allocs / numRows
+	t.Logf("batched scan: %.0f allocs/run, %.5f allocs/tuple", allocs, perTuple)
+	if perTuple > 0.2 {
+		t.Errorf("batched scan allocates %.3f per tuple, budget is 0.2", perTuple)
+	}
+}
+
+// TestBatchDecodeAllocFree pins the innermost decode loop at exactly
+// zero allocations once the batch is warm.
+func TestBatchDecodeAllocFree(t *testing.T) {
+	dev := disk.NewDevice(disk.HDD)
+	tab, err := workload.BuildMicro(dev, workload.MicroConfig{NumRows: 2_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(dev, int(tab.File.NumPages())+8)
+	pages, err := tab.File.GetRun(pool, 0, tab.File.NumPages(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tuple.NewGrowableBatch(tab.File.Schema().NumCols())
+	decodeAll := func() {
+		batch.Reset()
+		for _, page := range pages {
+			tab.File.DecodeBatch(page, 0, heap.PageTupleCount(page), batch)
+		}
+	}
+	decodeAll() // warm the growable batch
+	if allocs := testing.AllocsPerRun(10, decodeAll); allocs != 0 {
+		t.Errorf("page decode allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"smoothscan/internal/disk"
 	"smoothscan/internal/exec"
 	"smoothscan/internal/harness"
+	"smoothscan/internal/heap"
+	"smoothscan/internal/tuple"
 	"smoothscan/internal/workload"
 )
 
@@ -121,9 +123,12 @@ func benchTable(b *testing.B, rows int64) (*workload.Table, *disk.Device, *buffe
 }
 
 // BenchmarkSmoothScanThroughput measures tuples/second through the
-// morphing operator at 100% selectivity.
+// morphing operator at 100% selectivity. Allocations are reported:
+// the batched pipeline's budget is well under 0.2 allocs/tuple (see
+// TestBatchedScanAllocsPerTuple).
 func BenchmarkSmoothScanThroughput(b *testing.B) {
 	tab, dev, pool := benchTable(b, 100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var produced int64
 	for i := 0; i < b.N; i++ {
@@ -255,6 +260,38 @@ func BenchmarkBufferPoolGet(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchDecode measures raw page decoding into a reused batch:
+// the innermost loop of every batched scan (no I/O, no operator
+// overhead). It reports tuples/s and must stay allocation-free.
+func BenchmarkBatchDecode(b *testing.B) {
+	dev := disk.NewDevice(disk.HDD)
+	tab, err := workload.BuildMicro(dev, workload.MicroConfig{NumRows: 10_000, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := bufferpool.New(dev, int(tab.File.NumPages())+8)
+	pages, err := tab.File.GetRun(pool, 0, tab.File.NumPages(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := tuple.NewBatchFor(tab.File.Schema(), 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var decoded int64
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, page := range pages {
+			count := heap.PageTupleCount(page)
+			if batch.Cap()-batch.Len() < count {
+				batch.Reset()
+			}
+			tab.File.DecodeBatch(page, 0, count, batch)
+			decoded += int64(count)
+		}
+	}
+	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tuples/s")
+}
+
 // BenchmarkPublicAPIScan exercises the full public stack end to end.
 func BenchmarkPublicAPIScan(b *testing.B) {
 	db, err := Open(Options{PoolPages: 256})
@@ -277,6 +314,7 @@ func BenchmarkPublicAPIScan(b *testing.B) {
 	if err := db.CreateIndex("t", "val"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.ColdCache()

@@ -1,0 +1,3 @@
+module smoothscan
+
+go 1.24

@@ -38,6 +38,7 @@ type FullScan struct {
 	open    bool
 	pageNo  int64    // next page number to request
 	pages   [][]byte // current chunk
+	runBuf  [][]byte // scratch backing for pages, reused across chunks
 	pageIdx int      // index into pages
 	slot    int      // next slot in current page
 	row     tuple.Row
@@ -62,6 +63,25 @@ func (s *FullScan) Open() error {
 	return nil
 }
 
+// nextChunk requests the next read-ahead chunk of pages; it reports
+// false when the table is exhausted.
+func (s *FullScan) nextChunk() (bool, error) {
+	if s.pageNo >= s.file.NumPages() {
+		return false, nil
+	}
+	n := min64(fullScanChunk, s.file.NumPages()-s.pageNo)
+	pages, err := s.file.GetRun(s.pool, s.pageNo, n, s.runBuf)
+	if err != nil {
+		return false, fmt.Errorf("full scan: %w", err)
+	}
+	s.pages = pages
+	s.runBuf = pages
+	s.pageIdx = 0
+	s.slot = 0
+	s.pageNo += n
+	return true, nil
+}
+
 // Next returns the next matching tuple.
 func (s *FullScan) Next() (tuple.Row, bool, error) {
 	if !s.open {
@@ -70,18 +90,10 @@ func (s *FullScan) Next() (tuple.Row, bool, error) {
 	dev := s.pool.Device()
 	for {
 		if s.pageIdx >= len(s.pages) {
-			if s.pageNo >= s.file.NumPages() {
-				return nil, false, nil
+			ok, err := s.nextChunk()
+			if err != nil || !ok {
+				return nil, false, err
 			}
-			n := min64(fullScanChunk, s.file.NumPages()-s.pageNo)
-			pages, err := s.file.GetRun(s.pool, s.pageNo, n)
-			if err != nil {
-				return nil, false, fmt.Errorf("full scan: %w", err)
-			}
-			s.pages = pages
-			s.pageIdx = 0
-			s.slot = 0
-			s.pageNo += n
 		}
 		page := s.pages[s.pageIdx]
 		count := heap.PageTupleCount(page)
@@ -96,6 +108,50 @@ func (s *FullScan) Next() (tuple.Row, bool, error) {
 		s.pageIdx++
 		s.slot = 0
 	}
+}
+
+// NextBatch fills out with the next matching tuples, decoding whole
+// pages at a time directly into the caller's batch.
+func (s *FullScan) NextBatch(out *tuple.Batch) (int, error) {
+	if !s.open {
+		return 0, ErrClosed
+	}
+	out.Reset()
+	return s.fillBatch(out, nil)
+}
+
+// fillBatch appends matching tuples to out until it fills or the table
+// is exhausted. keep, when non-nil, can veto a slot of the current
+// page after the predicate matched (SwitchScan's duplicate
+// suppression); it receives the page number and slot.
+func (s *FullScan) fillBatch(out *tuple.Batch, keep func(pageNo int64, slot int) bool) (int, error) {
+	dev := s.pool.Device()
+	for !out.Full() {
+		if s.pageIdx >= len(s.pages) {
+			ok, err := s.nextChunk()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+		}
+		page := s.pages[s.pageIdx]
+		count := heap.PageTupleCount(page)
+		var slotKeep func(slot int) bool
+		if keep != nil {
+			pageNo := s.pageNo - int64(len(s.pages)) + int64(s.pageIdx)
+			slotKeep = func(slot int) bool { return keep(pageNo, slot) }
+		}
+		next, examined := s.file.DecodeBatchMatching(page, s.slot, count, s.pred, slotKeep, out)
+		dev.ChargeCPUN(simcost.Tuple, int64(examined))
+		s.slot = next
+		if next >= count {
+			s.pageIdx++
+			s.slot = 0
+		}
+	}
+	return out.Len(), nil
 }
 
 // Close releases the scan.
@@ -116,6 +172,7 @@ type IndexScan struct {
 	pred tuple.RangePred
 
 	open bool
+	done bool // key range exhausted; latched so repeated pulls do no I/O
 	it   *btree.Iter
 }
 
@@ -137,6 +194,7 @@ func (s *IndexScan) Open() error {
 	}
 	s.it = it
 	s.open = true
+	s.done = false
 	return nil
 }
 
@@ -145,11 +203,15 @@ func (s *IndexScan) Next() (tuple.Row, bool, error) {
 	if !s.open {
 		return nil, false, ErrClosed
 	}
+	if s.done {
+		return nil, false, nil
+	}
 	e, ok, err := s.it.Next()
 	if err != nil {
 		return nil, false, fmt.Errorf("index scan: %w", err)
 	}
 	if !ok || e.Key >= s.pred.Hi {
+		s.done = true
 		return nil, false, nil
 	}
 	row, err := s.file.RowAt(s.pool, e.TID)
@@ -158,6 +220,33 @@ func (s *IndexScan) Next() (tuple.Row, bool, error) {
 	}
 	s.pool.Device().ChargeCPU(simcost.Tuple)
 	return row, true, nil
+}
+
+// NextBatch fills out with the next matching tuples in key order. Each
+// tuple still costs its own (possibly random) heap access — batching
+// cannot change the index scan's I/O pattern — but rows are decoded
+// straight into the caller's batch with no per-tuple allocation.
+func (s *IndexScan) NextBatch(out *tuple.Batch) (int, error) {
+	if !s.open {
+		return 0, ErrClosed
+	}
+	out.Reset()
+	dev := s.pool.Device()
+	for !out.Full() && !s.done {
+		e, ok, err := s.it.Next()
+		if err != nil {
+			return 0, fmt.Errorf("index scan: %w", err)
+		}
+		if !ok || e.Key >= s.pred.Hi {
+			s.done = true
+			break
+		}
+		if _, err := s.file.DecodeRowAt(s.pool, e.TID, out.AppendSlotRaw()); err != nil {
+			return 0, fmt.Errorf("index scan: %w", err)
+		}
+		dev.ChargeCPU(simcost.Tuple)
+	}
+	return out.Len(), nil
 }
 
 // Close releases the scan.
@@ -182,7 +271,8 @@ type SortScan struct {
 	memBytes   int64 // 0 = unlimited
 
 	open    bool
-	results []tuple.Row
+	results *tuple.Batch // flat materialised result, reused across reopens
+	runBuf  [][]byte
 	pos     int
 }
 
@@ -235,8 +325,12 @@ func (s *SortScan) Open() error {
 	s.chargeSpill(int64(len(tids)) * 20)
 	sort.Slice(tids, func(i, j int) bool { return tids[i].Less(tids[j]) })
 
-	// Fetch result pages grouped into maximal adjacent runs.
-	s.results = s.results[:0]
+	// Fetch result pages grouped into maximal adjacent runs, decoding
+	// straight into the flat result batch.
+	if s.results == nil {
+		s.results = tuple.NewGrowableBatch(s.file.Schema().NumCols())
+	}
+	s.results.Reset()
 	for i := 0; i < len(tids); {
 		runStart := tids[i].Page
 		runEnd := runStart + 1
@@ -247,48 +341,56 @@ func (s *SortScan) Open() error {
 			}
 			j++
 		}
-		pages, err := s.file.GetRun(s.pool, runStart, runEnd-runStart)
+		pages, err := s.file.GetRun(s.pool, runStart, runEnd-runStart, s.runBuf)
 		if err != nil {
 			return fmt.Errorf("sort scan: %w", err)
 		}
+		s.runBuf = pages
+		dev.ChargeCPUN(simcost.Tuple, int64(j-i))
 		for ; i < j; i++ {
 			page := pages[tids[i].Page-runStart]
-			row := s.file.DecodeRow(page, int(tids[i].Slot), nil)
-			dev.ChargeCPU(simcost.Tuple)
-			s.results = append(s.results, row)
+			s.file.DecodeRow(page, int(tids[i].Slot), s.results.AppendSlotRaw())
 		}
 	}
 	// Posterior sort restoring the interesting order, if required.
 	if s.orderByKey {
-		col := s.pred.Col
-		dev.ChargeCPU(simcost.SortCost(len(s.results)))
-		s.chargeSpill(int64(len(s.results)) * int64(s.file.Schema().TupleSize()))
-		sort.SliceStable(s.results, func(i, j int) bool {
-			return s.results[i].Int(col) < s.results[j].Int(col)
-		})
+		dev.ChargeCPU(simcost.SortCost(s.results.Len()))
+		s.chargeSpill(int64(s.results.Len()) * int64(s.file.Schema().TupleSize()))
+		s.results.SortByIntCol(s.pred.Col)
 	}
 	s.pos = 0
 	s.open = true
 	return nil
 }
 
-// Next streams the materialised result.
+// Next streams the materialised result. Rows are copies owned by the
+// caller.
 func (s *SortScan) Next() (tuple.Row, bool, error) {
 	if !s.open {
 		return nil, false, ErrClosed
 	}
-	if s.pos >= len(s.results) {
+	if s.pos >= s.results.Len() {
 		return nil, false, nil
 	}
-	row := s.results[s.pos]
+	row := s.results.Row(s.pos).Clone()
 	s.pos++
 	return row, true, nil
 }
 
-// Close releases the scan.
+// NextBatch streams the materialised result in blocks.
+func (s *SortScan) NextBatch(out *tuple.Batch) (int, error) {
+	if !s.open {
+		return 0, ErrClosed
+	}
+	out.Reset()
+	s.pos += out.AppendRows(s.results, s.pos, s.results.Len()-s.pos)
+	return out.Len(), nil
+}
+
+// Close releases the scan; the materialised buffer is kept for reuse
+// by a later Open.
 func (s *SortScan) Close() error {
 	s.open = false
-	s.results = nil
 	return nil
 }
 

@@ -29,6 +29,7 @@ type SwitchScan struct {
 	threshold int64
 
 	open     bool
+	done     bool // index phase hit the key bound; latched
 	switched bool
 	produced int64
 	seen     *bitmap.Bitmap // TIDs produced during the index phase
@@ -58,6 +59,7 @@ func (s *SwitchScan) Open() error {
 	}
 	s.it = it
 	s.open = true
+	s.done = false
 	s.switched = false
 	s.produced = 0
 	s.seen = bitmap.New(s.file.NumTuples())
@@ -75,11 +77,15 @@ func (s *SwitchScan) Next() (tuple.Row, bool, error) {
 		return nil, false, ErrClosed
 	}
 	if !s.switched {
+		if s.done {
+			return nil, false, nil
+		}
 		e, ok, err := s.it.Next()
 		if err != nil {
 			return nil, false, fmt.Errorf("switch scan: %w", err)
 		}
 		if !ok || e.Key >= s.pred.Hi {
+			s.done = true
 			return nil, false, nil
 		}
 		if s.produced < s.threshold {
@@ -119,6 +125,57 @@ func (s *SwitchScan) Next() (tuple.Row, bool, error) {
 		}
 		return row, true, nil
 	}
+}
+
+// NextBatch fills out with the next matching tuples: index-ordered
+// until the switch, physical order afterwards. The full-scan phase
+// decodes qualifying pages directly into the batch, vetoing tuples
+// already produced through the index via the Tuple ID bitmap.
+func (s *SwitchScan) NextBatch(out *tuple.Batch) (int, error) {
+	if !s.open {
+		return 0, ErrClosed
+	}
+	out.Reset()
+	dev := s.pool.Device()
+	for !out.Full() && !s.switched {
+		if s.done {
+			return out.Len(), nil
+		}
+		e, ok, err := s.it.Next()
+		if err != nil {
+			return 0, fmt.Errorf("switch scan: %w", err)
+		}
+		if !ok || e.Key >= s.pred.Hi {
+			s.done = true
+			return out.Len(), nil
+		}
+		if s.produced < s.threshold {
+			if _, err := s.file.DecodeRowAt(s.pool, e.TID, out.AppendSlotRaw()); err != nil {
+				return 0, fmt.Errorf("switch scan: %w", err)
+			}
+			dev.ChargeCPU(simcost.Tuple)
+			s.produced++
+			s.seen.Set(s.tidBit(e.TID))
+			continue
+		}
+		s.switched = true
+		s.it = nil
+		s.full = NewFullScan(s.file, s.pool, s.pred)
+		if err := s.full.Open(); err != nil {
+			return 0, fmt.Errorf("switch scan: %w", err)
+		}
+	}
+	if !s.switched {
+		return out.Len(), nil
+	}
+	// Full-scan phase: FullScan's batch loop with the Tuple ID bitmap
+	// vetoing tuples already produced through the index.
+	if _, err := s.full.fillBatch(out, func(pageNo int64, slot int) bool {
+		return !s.seen.Get(s.tidBit(heap.TID{Page: pageNo, Slot: int32(slot)}))
+	}); err != nil {
+		return 0, fmt.Errorf("switch scan: %w", err)
+	}
+	return out.Len(), nil
 }
 
 // Close releases the scan.

@@ -244,8 +244,12 @@ type Iter struct {
 	leaf int64
 	pos  int
 
-	delta       *deltaCursor
-	pendingTree *Entry
+	delta *deltaCursor
+	// pendingTree buffers the next on-disk entry during the merge with
+	// the delta; a value field (not a pointer) so the iterator does not
+	// allocate per entry on the scan path.
+	pendingTree Entry
+	havePending bool
 }
 
 // SeekGE positions an iterator at the first entry with key >= lo.
@@ -283,26 +287,26 @@ func (t *Tree) SeekGE(pool *bufferpool.Pool, lo int64) (*Iter, error) {
 // next leaf charges one (sequential, when the heap has not intervened)
 // page access.
 func (it *Iter) Next() (Entry, bool, error) {
-	if it.pendingTree == nil {
+	if !it.havePending {
 		e, ok, err := it.nextFromRun()
 		if err != nil {
 			return Entry{}, false, err
 		}
 		if ok {
-			it.pendingTree = &e
+			it.pendingTree = e
+			it.havePending = true
 		}
 	}
 	de, dok := it.delta.peek()
 	switch {
-	case it.pendingTree == nil && !dok:
+	case !it.havePending && !dok:
 		return Entry{}, false, nil
-	case it.pendingTree == nil:
+	case !it.havePending:
 		it.delta.advance()
 		return de, true, nil
-	case !dok || less(*it.pendingTree, de):
-		e := *it.pendingTree
-		it.pendingTree = nil
-		return e, true, nil
+	case !dok || less(it.pendingTree, de):
+		it.havePending = false
+		return it.pendingTree, true, nil
 	default:
 		it.delta.advance()
 		return de, true, nil

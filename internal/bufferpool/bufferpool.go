@@ -112,11 +112,23 @@ func (p *Pool) Get(space disk.SpaceID, pageNo int64) ([]byte, error) {
 // This is the read primitive behind Smooth Scan's flattening mode and
 // Sort Scan's sorted fetch: a morphing region of pages costs one seek
 // plus sequential transfers, and pages already cached cost nothing.
-func (p *Pool) GetRun(space disk.SpaceID, start, n int64) ([][]byte, error) {
+//
+// scratch, when non-nil, is reused as the backing array of the returned
+// slice if it has the capacity; hot scan loops pass the previous result
+// back in to avoid a per-run allocation. Pass nil when unsure.
+func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("bufferpool: GetRun of %d pages", n)
 	}
-	out := make([][]byte, n)
+	var out [][]byte
+	if int64(cap(scratch)) >= n {
+		out = scratch[:n]
+		// Drop stale page pointers beyond this run so the scratch tail
+		// cannot pin evicted page buffers for the scan's lifetime.
+		clear(scratch[n:cap(scratch)])
+	} else {
+		out = make([][]byte, n)
+	}
 	var runStart int64 = -1 // start of the current uncached stretch
 	flush := func(end int64) error {
 		if runStart < 0 {
@@ -184,12 +196,14 @@ func (p *Pool) insert(k key, data []byte) {
 }
 
 // Reset empties the cache and zeroes its counters, simulating the cold
-// buffer cache the paper starts every measured query with.
+// buffer cache the paper starts every measured query with. The frame
+// array and the lookup map are cleared in place and reused, so a
+// benchmark resetting between queries does not churn the allocator.
 func (p *Pool) Reset() {
 	for i := range p.frames {
 		p.frames[i] = frame{}
 	}
-	p.table = make(map[key]int, p.capacity)
+	clear(p.table)
 	p.hand = 0
 	p.stats = Stats{}
 }

@@ -105,7 +105,7 @@ func TestClockSecondChance(t *testing.T) {
 func TestGetRunSingleRequest(t *testing.T) {
 	d, sp := newDev(t, 16)
 	p := New(d, 16)
-	pages, err := p.GetRun(sp, 4, 4)
+	pages, err := p.GetRun(sp, 4, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestGetRunSingleRequest(t *testing.T) {
 	}
 	// All four pages are now cached.
 	d.ResetStats()
-	if _, err := p.GetRun(sp, 4, 4); err != nil {
+	if _, err := p.GetRun(sp, 4, 4, nil); err != nil {
 		t.Fatal(err)
 	}
 	if ds := d.Stats(); ds.Requests != 0 {
@@ -132,7 +132,7 @@ func TestGetRunSkipsCachedStretches(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.ResetStats()
-	if _, err := p.GetRun(sp, 4, 5); err != nil { // pages 4..8, 6 cached
+	if _, err := p.GetRun(sp, 4, 5, nil); err != nil { // pages 4..8, 6 cached
 		t.Fatal(err)
 	}
 	ds := d.Stats()
@@ -150,10 +150,10 @@ func TestGetRunSkipsCachedStretches(t *testing.T) {
 func TestGetRunValidation(t *testing.T) {
 	d, sp := newDev(t, 4)
 	p := New(d, 4)
-	if _, err := p.GetRun(sp, 0, 0); err == nil {
+	if _, err := p.GetRun(sp, 0, 0, nil); err == nil {
 		t.Error("zero-length run accepted")
 	}
-	if _, err := p.GetRun(sp, 2, 10); err == nil {
+	if _, err := p.GetRun(sp, 2, 10, nil); err == nil {
 		t.Error("out-of-range run accepted")
 	}
 }
@@ -166,7 +166,7 @@ func TestErrorPropagation(t *testing.T) {
 		t.Errorf("Get err = %v, want ErrInjected", err)
 	}
 	d.FailAfter(0)
-	if _, err := p.GetRun(sp, 0, 2); !errors.Is(err, disk.ErrInjected) {
+	if _, err := p.GetRun(sp, 0, 2, nil); !errors.Is(err, disk.ErrInjected) {
 		t.Errorf("GetRun err = %v, want ErrInjected", err)
 	}
 }

@@ -225,13 +225,16 @@ type SmoothScan struct {
 	cfg  Config
 
 	open     bool
+	done     bool // index exhausted or key bound passed; latched
 	mode     Mode
 	it       *btree.Iter
 	pageSeen *bitmap.Bitmap // Page ID cache
 	tupSeen  *bitmap.Bitmap // Tuple ID cache (non-eager triggers only)
 	cache    *spillingCache // ordered mode only
-	queue    []tuple.Row    // unordered mode: pending tuples
+	queue    *tuple.Batch   // unordered mode: pending region tuples, flat
 	queuePos int
+	runBuf   [][]byte  // GetRun scratch, reused across regions
+	scratch  tuple.Row // per-slot decode scratch (ordered/tupSeen paths)
 
 	regionPages int64 // current morphing region size
 	triggerCard int64 // produced-count threshold for non-eager triggers
@@ -306,12 +309,17 @@ func (s *SmoothScan) Open() error {
 		return fmt.Errorf("smooth scan: %w", err)
 	}
 	s.it = it
+	s.done = false
 	s.stats = Stats{TriggeredAt: -1}
 	s.pageSeen = bitmap.New(s.file.NumPages())
 	s.stats.PageCacheBytes = s.pageSeen.MemoryBytes()
 	s.regionPages = 1
-	s.queue = nil
+	if s.queue == nil {
+		s.queue = tuple.NewGrowableBatch(s.file.Schema().NumCols())
+	}
+	s.queue.Reset()
 	s.queuePos = 0
+	s.scratch = tuple.NewRow(s.file.Schema())
 	s.globalPagesSeen = 0
 	s.globalPagesWithRes = 0
 
@@ -344,11 +352,11 @@ func (s *SmoothScan) Open() error {
 }
 
 // Close releases the scan. Statistics (including Result Cache peaks)
-// remain readable after Close.
+// remain readable after Close; the region queue's buffer is kept for
+// reuse by a later Open.
 func (s *SmoothScan) Close() error {
 	s.open = false
 	s.it = nil
-	s.queue = nil
 	return nil
 }
 
@@ -356,17 +364,70 @@ func (s *SmoothScan) tidBit(tid heap.TID) int64 {
 	return tid.Page*int64(s.file.TuplesPerPage()) + int64(tid.Slot)
 }
 
-// Next returns the next qualifying tuple.
+// Next returns the next qualifying tuple. The returned row is owned by
+// the caller.
 func (s *SmoothScan) Next() (tuple.Row, bool, error) {
 	if !s.open {
 		return nil, false, ErrClosed
 	}
-	// Unordered mode: drain pending tuples from the last region.
-	if s.queuePos < len(s.queue) {
-		row := s.queue[s.queuePos]
+	// Unordered mode: drain pending tuples from the last region. The
+	// queue is a reused flat buffer, so hand out a copy.
+	if s.queuePos < s.queue.Len() {
+		row := s.queue.Row(s.queuePos).Clone()
 		s.queuePos++
 		s.stats.Produced++
 		return row, true, nil
+	}
+	row, ok, err := s.advance()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if row == nil {
+		// advance refilled the queue.
+		row = s.queue.Row(s.queuePos).Clone()
+		s.queuePos++
+	}
+	s.stats.Produced++
+	return row, true, nil
+}
+
+// NextBatch fills out with the next qualifying tuples. Whole regions
+// flow from the queue into the caller's batch as flat copies, so the
+// morphing fast path allocates nothing per tuple.
+func (s *SmoothScan) NextBatch(out *tuple.Batch) (int, error) {
+	if !s.open {
+		return 0, ErrClosed
+	}
+	out.Reset()
+	for !out.Full() {
+		if s.queuePos < s.queue.Len() {
+			n := out.AppendRows(s.queue, s.queuePos, s.queue.Len()-s.queuePos)
+			s.queuePos += n
+			s.stats.Produced += int64(n)
+			continue
+		}
+		row, ok, err := s.advance()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		if row != nil {
+			out.Append(row)
+			s.stats.Produced++
+		}
+	}
+	return out.Len(), nil
+}
+
+// advance runs the morphing loop until it produces a direct row (mode-0
+// probe, ordered direct return or cache hit — returned non-nil), refills
+// the unordered queue (returned nil, true), or exhausts the index
+// (false). The caller accounts Produced.
+func (s *SmoothScan) advance() (tuple.Row, bool, error) {
+	if s.done {
+		return nil, false, nil
 	}
 	dev := s.pool.Device()
 	for {
@@ -375,6 +436,7 @@ func (s *SmoothScan) Next() (tuple.Row, bool, error) {
 			return nil, false, fmt.Errorf("smooth scan: %w", err)
 		}
 		if !ok || e.Key >= s.pred.Hi {
+			s.done = true
 			return nil, false, nil
 		}
 		// Morphing trigger check (non-eager strategies).
@@ -390,7 +452,6 @@ func (s *SmoothScan) Next() (tuple.Row, bool, error) {
 			}
 			dev.ChargeCPU(simcost.Tuple)
 			s.tupSeen.Set(s.tidBit(e.TID))
-			s.stats.Produced++
 			return row, true, nil
 		}
 
@@ -412,7 +473,6 @@ func (s *SmoothScan) Next() (tuple.Row, bool, error) {
 				return nil, false, fmt.Errorf("smooth scan: result cache miss for key %d tid %v (invariant violation)", e.Key, e.TID)
 			}
 			s.stats.CacheHits++
-			s.stats.Produced++
 			return row, true, nil
 		}
 
@@ -423,14 +483,10 @@ func (s *SmoothScan) Next() (tuple.Row, bool, error) {
 		}
 		if s.cfg.Ordered {
 			s.stats.DirectReturns++
-			s.stats.Produced++
 			return direct, true, nil
 		}
-		if s.queuePos < len(s.queue) {
-			row := s.queue[s.queuePos]
-			s.queuePos++
-			s.stats.Produced++
-			return row, true, nil
+		if s.queuePos < s.queue.Len() {
+			return nil, true, nil
 		}
 		// The probed page must contain the probed tuple, so the queue
 		// cannot be empty here unless every region tuple was already
@@ -447,7 +503,7 @@ func (s *SmoothScan) processRegion(probe btree.Entry) (tuple.Row, error) {
 	end := min64(start+s.regionPages, s.file.NumPages())
 
 	var direct tuple.Row
-	s.queue = s.queue[:0]
+	s.queue.Reset()
 	s.queuePos = 0
 	regionSeen := int64(0)
 	regionWithRes := int64(0)
@@ -462,10 +518,11 @@ func (s *SmoothScan) processRegion(probe btree.Entry) (tuple.Row, error) {
 		for runEnd < end && !s.pageSeen.Get(runEnd) {
 			runEnd++
 		}
-		pages, err := s.file.GetRun(s.pool, p, runEnd-p)
+		pages, err := s.file.GetRun(s.pool, p, runEnd-p, s.runBuf)
 		if err != nil {
 			return nil, fmt.Errorf("smooth scan: %w", err)
 		}
+		s.runBuf = pages
 		for i, page := range pages {
 			pageNo := p + int64(i)
 			s.pageSeen.Set(pageNo)
@@ -492,15 +549,28 @@ func (s *SmoothScan) processRegion(probe btree.Entry) (tuple.Row, error) {
 
 // analysePage scans every record of the page (Entire Page Probe),
 // dispatching qualifying tuples; reports whether any qualified.
+//
+// The hot configuration (unordered, eager trigger) decodes matching
+// rows straight into the flat region queue, reading only the predicate
+// column of non-matching slots and allocating nothing per tuple. Other
+// configurations take the general path below. Per-tuple CPU charges
+// are accumulated and flushed in runs (ChargeCPUN), preserving the
+// exact sequence of cost additions of tuple-at-a-time execution.
 func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, direct *tuple.Row) bool {
 	dev := s.pool.Device()
 	count := heap.PageTupleCount(page)
-	row := tuple.NewRow(s.file.Schema())
+	if !s.cfg.Ordered && s.tupSeen == nil {
+		before := s.queue.Len()
+		_, examined := s.file.DecodeBatchMatching(page, 0, count, s.pred, nil, s.queue)
+		dev.ChargeCPUN(simcost.Tuple, int64(examined))
+		return s.queue.Len() > before
+	}
 	found := false
+	pendingTuples := int64(0) // accumulated simcost.Tuple charges
 	for slot := 0; slot < count; slot++ {
-		row = s.file.DecodeRow(page, slot, row)
-		dev.ChargeCPU(simcost.Tuple)
-		if !s.pred.Matches(row) {
+		pendingTuples++
+		v := s.file.ColInt(page, slot, s.pred.Col)
+		if v < s.pred.Lo || v >= s.pred.Hi {
 			continue
 		}
 		found = true
@@ -509,17 +579,21 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 			continue // already produced in Mode 0
 		}
 		if s.cfg.Ordered {
+			row := s.file.DecodeRow(page, slot, s.scratch)
 			if tid == probe.TID {
 				*direct = row.Clone()
 			} else {
+				dev.ChargeCPUN(simcost.Tuple, pendingTuples)
+				pendingTuples = 0
 				dev.ChargeCPU(simcost.Hash)
 				s.cache.insert(row.Int(s.pred.Col), tid, row.Clone())
 				s.stats.CacheInserts++
 			}
 		} else {
-			s.queue = append(s.queue, row.Clone())
+			s.file.DecodeRow(page, slot, s.queue.AppendSlotRaw())
 		}
 	}
+	dev.ChargeCPUN(simcost.Tuple, pendingTuples)
 	return found
 }
 

@@ -313,6 +313,22 @@ func (d *Device) ChargeCPU(t float64) {
 	d.mu.Unlock()
 }
 
+// ChargeCPUN adds t cost units to the CPU clock n times under a single
+// lock acquisition. It performs n individual floating-point additions,
+// so the accumulated CPUTime is bit-identical to n successive
+// ChargeCPU(t) calls — batched operators rely on this to keep the
+// simulated cost of a query independent of execution granularity.
+func (d *Device) ChargeCPUN(t float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	for i := int64(0); i < n; i++ {
+		d.stats.CPUTime += t
+	}
+	d.mu.Unlock()
+}
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()

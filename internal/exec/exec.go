@@ -36,43 +36,49 @@ type Operator interface {
 // ErrClosed is returned by Next before Open or after Close.
 var ErrClosed = errors.New("exec: operator is not open")
 
-// Drain runs an operator to completion and returns all rows.
+// Drain runs an operator to completion and returns all rows. It pulls
+// through the batched protocol, cloning each row out of the batch (the
+// returned rows are owned by the caller).
 func Drain(op Operator) ([]tuple.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
 	var out []tuple.Row
+	b := newScratchFor(op)
 	for {
-		row, ok, err := op.Next()
+		n, err := NextBatch(op, b)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			return out, nil
 		}
-		out = append(out, row)
+		for i := 0; i < n; i++ {
+			out = append(out, b.Row(i).Clone())
+		}
 	}
 }
 
 // Count runs an operator to completion, discarding rows, and returns
-// the row count. It avoids materialising results the caller does not
-// need (benchmarks).
+// the row count. It drains through the batched protocol, so counting a
+// scan moves no per-tuple allocations at all (benchmarks).
 func Count(op Operator) (int64, error) {
 	if err := op.Open(); err != nil {
 		return 0, err
 	}
 	defer op.Close()
 	var n int64
+	b := newScratchFor(op)
 	for {
-		_, ok, err := op.Next()
+		k, err := NextBatch(op, b)
 		if err != nil {
 			return n, err
 		}
-		if !ok {
+		if k == 0 {
 			return n, nil
 		}
-		n++
+		n += int64(k)
 	}
 }
 
@@ -165,10 +171,11 @@ func (f *Filter) Close() error { f.open = false; return f.child.Close() }
 
 // Project maps each input row through a function.
 type Project struct {
-	child  Operator
-	schema *tuple.Schema
-	fn     func(tuple.Row) tuple.Row
-	open   bool
+	child   Operator
+	schema  *tuple.Schema
+	fn      func(tuple.Row) tuple.Row
+	scratch *tuple.Batch // lazily allocated by NextBatch
+	open    bool
 }
 
 // NewProject wraps child with a row transform producing rows of the
@@ -401,43 +408,47 @@ func (h *HashAgg) Open() error {
 	defer h.child.Close()
 	groups := map[int64]*aggState{}
 	var order []int64
+	in := newScratchFor(h.child)
 	for {
-		row, ok, err := h.child.Next()
+		n, err := NextBatch(h.child, in)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
 		if h.dev != nil {
-			h.dev.ChargeCPU(simcost.Aggregate)
+			h.dev.ChargeCPUN(simcost.Aggregate, int64(n))
 		}
-		key := int64(0)
-		if h.groupCol >= 0 {
-			key = row.Int(h.groupCol)
-		}
-		st := groups[key]
-		if st == nil {
-			st = &aggState{
-				sum: make([]int64, len(h.specs)),
-				min: make([]int64, len(h.specs)),
-				max: make([]int64, len(h.specs)),
+		for r := 0; r < n; r++ {
+			row := in.Row(r)
+			key := int64(0)
+			if h.groupCol >= 0 {
+				key = row.Int(h.groupCol)
 			}
-			groups[key] = st
-			order = append(order, key)
-		}
-		st.count++
-		for i, sp := range h.specs {
-			v := row.Int(sp.Col)
-			st.sum[i] += v
-			if !st.seen || v < st.min[i] {
-				st.min[i] = v
+			st := groups[key]
+			if st == nil {
+				st = &aggState{
+					sum: make([]int64, len(h.specs)),
+					min: make([]int64, len(h.specs)),
+					max: make([]int64, len(h.specs)),
+				}
+				groups[key] = st
+				order = append(order, key)
 			}
-			if !st.seen || v > st.max[i] {
-				st.max[i] = v
+			st.count++
+			for i, sp := range h.specs {
+				v := row.Int(sp.Col)
+				st.sum[i] += v
+				if !st.seen || v < st.min[i] {
+					st.min[i] = v
+				}
+				if !st.seen || v > st.max[i] {
+					st.max[i] = v
+				}
 			}
+			st.seen = true
 		}
-		st.seen = true
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	h.out = h.out[:0]

@@ -106,7 +106,7 @@ func (l *SmoothLookup) Find(key int64) ([]tuple.Row, error) {
 			}
 			j++
 		}
-		pages, err := l.file.GetRun(l.pool, runStart, runEnd-runStart)
+		pages, err := l.file.GetRun(l.pool, runStart, runEnd-runStart, nil)
 		if err != nil {
 			return nil, fmt.Errorf("smooth lookup: %w", err)
 		}

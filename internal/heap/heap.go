@@ -203,6 +203,60 @@ func (f *File) DecodeRow(page []byte, s int, dst tuple.Row) tuple.Row {
 	return dst
 }
 
+// ColInt returns column col of slot s as an int64 without decoding the
+// rest of the row — the predicate fast path of the batched scans.
+func (f *File) ColInt(page []byte, s, col int) int64 {
+	return int64(binary.LittleEndian.Uint64(page[headerSize+s*f.schema.TupleSize()+8*col:]))
+}
+
+// DecodeBatch decodes slots [lo, hi) of a raw page into dst, appending
+// one batch row per slot, and stops early when dst fills. It returns
+// the first slot not decoded (hi when every slot fit). The caller must
+// ensure hi <= PageTupleCount and that dst's width matches the schema.
+func (f *File) DecodeBatch(page []byte, lo, hi int, dst *tuple.Batch) int {
+	size := f.schema.TupleSize()
+	off := headerSize + lo*size
+	s := lo
+	for ; s < hi; s++ {
+		slot := dst.AppendSlotRaw()
+		if slot == nil {
+			break
+		}
+		for i := range slot {
+			slot[i] = binary.LittleEndian.Uint64(page[off:])
+			off += 8
+		}
+	}
+	return s
+}
+
+// DecodeBatchMatching examines slots [lo, hi) of a raw page in order,
+// appending to dst the rows whose pred column satisfies pred, and stops
+// as soon as dst fills. The optional keep callback can veto a slot
+// whose predicate matched (used to suppress already-produced tuples).
+// Only the predicate column is read for non-qualifying slots, so the
+// scan path never materialises rows it will not return.
+//
+// It returns the first slot not examined (hi when the page was
+// exhausted) and the number of slots examined, which is what operators
+// charge per-tuple CPU for.
+func (f *File) DecodeBatchMatching(page []byte, lo, hi int, pred tuple.RangePred, keep func(slot int) bool, dst *tuple.Batch) (next, examined int) {
+	size := f.schema.TupleSize()
+	predOff := headerSize + lo*size + 8*pred.Col
+	s := lo
+	for ; s < hi; s++ {
+		if dst.Full() {
+			break
+		}
+		v := int64(binary.LittleEndian.Uint64(page[predOff:]))
+		predOff += size
+		if v >= pred.Lo && v < pred.Hi && (keep == nil || keep(s)) {
+			f.DecodeRow(page, s, dst.AppendSlotRaw())
+		}
+	}
+	return s, s - lo
+}
+
 // GetPage reads a heap page through the buffer pool.
 func (f *File) GetPage(pool *bufferpool.Pool, pageNo int64) ([]byte, error) {
 	if pageNo < 0 || pageNo >= f.numPages {
@@ -212,16 +266,20 @@ func (f *File) GetPage(pool *bufferpool.Pool, pageNo int64) ([]byte, error) {
 }
 
 // GetRun reads n consecutive heap pages through the buffer pool as a
-// flattened (mostly sequential) access.
-func (f *File) GetRun(pool *bufferpool.Pool, start, n int64) ([][]byte, error) {
+// flattened (mostly sequential) access. scratch, when non-nil, is
+// reused as the backing array of the result (see bufferpool.GetRun).
+func (f *File) GetRun(pool *bufferpool.Pool, start, n int64, scratch [][]byte) ([][]byte, error) {
 	if start < 0 || start+n > f.numPages {
 		return nil, fmt.Errorf("%w: heap pages [%d,%d) of %d", disk.ErrOutOfRange, start, start+n, f.numPages)
 	}
-	return pool.GetRun(f.space, start, n)
+	return pool.GetRun(f.space, start, n, scratch)
 }
 
-// RowAt fetches the tuple addressed by tid through the buffer pool.
-func (f *File) RowAt(pool *bufferpool.Pool, tid TID) (tuple.Row, error) {
+// DecodeRowAt fetches the tuple addressed by tid through the buffer
+// pool, decoding it into dst (allocating when dst is nil) — the shared
+// TID-to-row path of RowAt and the batched index-driven scans. On
+// error dst's contents are undefined.
+func (f *File) DecodeRowAt(pool *bufferpool.Pool, tid TID, dst tuple.Row) (tuple.Row, error) {
 	page, err := f.GetPage(pool, tid.Page)
 	if err != nil {
 		return nil, err
@@ -229,7 +287,12 @@ func (f *File) RowAt(pool *bufferpool.Pool, tid TID) (tuple.Row, error) {
 	if int(tid.Slot) >= PageTupleCount(page) {
 		return nil, fmt.Errorf("heap: slot %d out of range on page %d", tid.Slot, tid.Page)
 	}
-	return f.DecodeRow(page, int(tid.Slot), nil), nil
+	return f.DecodeRow(page, int(tid.Slot), dst), nil
+}
+
+// RowAt fetches the tuple addressed by tid through the buffer pool.
+func (f *File) RowAt(pool *bufferpool.Pool, tid TID) (tuple.Row, error) {
+	return f.DecodeRowAt(pool, tid, nil)
 }
 
 // TIDOf returns the TID a row number (0-based load order) maps to.

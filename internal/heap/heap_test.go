@@ -121,7 +121,7 @@ func TestGetPageBounds(t *testing.T) {
 	if _, err := f.GetPage(pool, -1); err == nil {
 		t.Error("negative page read succeeded")
 	}
-	if _, err := f.GetRun(pool, 0, 2); err == nil {
+	if _, err := f.GetRun(pool, 0, 2, nil); err == nil {
 		t.Error("out-of-range run succeeded")
 	}
 }
@@ -165,7 +165,7 @@ func TestGetRunDecoding(t *testing.T) {
 	}
 	f := loadRows(t, dev, tuple.Ints(3), rows)
 	pool := bufferpool.New(dev, 8)
-	pages, err := f.GetRun(pool, 1, 2)
+	pages, err := f.GetRun(pool, 1, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -382,10 +382,16 @@ type ScanOptions struct {
 	ResultCacheBudget int64
 }
 
-// Rows iterates a scan result.
+// Rows iterates a scan result. Internally it drains the operator tree
+// through the batched (vectorized) protocol: Next refills a private
+// row batch once per exec.DefaultBatchSize rows and then serves views
+// into it, so the per-row cost of the public iterator is a bounds
+// check and a slice header.
 type Rows struct {
 	op     exec.Operator
 	schema *tuple.Schema
+	batch  *tuple.Batch
+	pos    int
 	cur    tuple.Row
 	err    error
 	smooth *core.SmoothScan
@@ -399,17 +405,24 @@ func (r *Rows) Next() bool {
 	if r.done || r.err != nil {
 		return false
 	}
-	row, ok, err := r.op.Next()
-	if err != nil {
-		r.err = err
-		r.done = true
-		return false
+	if r.batch == nil {
+		r.batch = tuple.NewBatchFor(r.schema, exec.DefaultBatchSize)
 	}
-	if !ok {
-		r.done = true
-		return false
+	if r.pos >= r.batch.Len() {
+		n, err := exec.NextBatch(r.op, r.batch)
+		if err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+		if n == 0 {
+			r.done = true
+			return false
+		}
+		r.pos = 0
 	}
-	r.cur = row
+	r.cur = r.batch.Row(r.pos)
+	r.pos++
 	return true
 }
 
