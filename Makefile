@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel
 
-## check: everything CI runs — format, vet, build, tests, bench smoke.
-check: fmt vet build test bench-smoke
+## check: everything CI runs — format, vet, build, tests (incl. -race), bench smoke.
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -18,6 +18,11 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the test suite under the race detector (the concurrent scan
+## and session tests only prove anything when this runs).
+race:
+	$(GO) test -race ./...
+
 ## bench-smoke: one iteration of every benchmark so they cannot rot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -25,3 +30,8 @@ bench-smoke:
 ## bench: the real benchmark suite with allocation reporting.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+## bench-parallel: the P=1/2/4/8 parallel-scan sweep, refreshing the
+## machine-readable trajectory file BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/ssload -bench parallel -json BENCH_parallel.json

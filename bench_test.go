@@ -292,6 +292,79 @@ func BenchmarkBatchDecode(b *testing.B) {
 	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tuples/s")
 }
 
+// BenchmarkParallelSmoothScan measures wall-clock tuples/second of the
+// partitioned parallel Smooth Scan at P = 1/2/4/8 workers, 100%
+// selectivity (the decode-bound regime where intra-query parallelism
+// pays). P=1 is the classic serial operator. Two custom metrics are
+// reported per sub-benchmark: tuples/s (wall clock) and simcost (the
+// simulated device cost of one cold scan — parallel runs may differ
+// from serial only in random/sequential classification; the delta is
+// visible by comparing the sub-benchmarks). cmd/ssload -bench parallel
+// emits the same sweep as machine-readable BENCH_parallel.json.
+func BenchmarkParallelSmoothScan(b *testing.B) {
+	const (
+		numRows = 200_000
+		domain  = 100_000
+	)
+	db, err := Open(Options{PoolPages: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]int64, 10)
+	for i := int64(0); i < numRows; i++ {
+		vals[0] = i
+		for c := 1; c < 10; c++ {
+			vals[c] = rng.Int63n(domain)
+		}
+		if err := tb.Append(vals...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "val"); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run("P="+strconv.Itoa(p), func(b *testing.B) {
+			b.ReportAllocs()
+			var produced int64
+			var simTime float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.ResetStats(); err != nil {
+					b.Fatal(err)
+				}
+				rows, err := db.Scan("t", "val", 0, domain, ScanOptions{Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.Next() {
+					produced++
+				}
+				if rows.Err() != nil {
+					b.Fatal(rows.Err())
+				}
+				if err := rows.Close(); err != nil {
+					b.Fatal(err)
+				}
+				simTime = db.Stats().Time()
+			}
+			b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(simTime, "simcost")
+		})
+	}
+}
+
 // BenchmarkPublicAPIScan exercises the full public stack end to end.
 func BenchmarkPublicAPIScan(b *testing.B) {
 	db, err := Open(Options{PoolPages: 256})

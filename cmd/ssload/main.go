@@ -1,0 +1,391 @@
+// Command ssload is a concurrent load driver for the smoothscan
+// engine: it bulk-loads a synthetic table, then hammers it from many
+// client goroutines sharing one DB, reporting aggregate tuples/s,
+// queries/s and p50/p99 query latency. It is the inter-query
+// counterpart of ScanOptions.Parallelism (intra-query): both can be
+// combined.
+//
+// Usage:
+//
+//	ssload -rows 200000 -clients 8 -queries 64 -selectivity 0.01
+//	ssload -clients 4 -parallelism 4 -ordered
+//	ssload -bench parallel -json BENCH_parallel.json
+//
+// The -bench parallel mode runs the fixed P=1/2/4/8 intra-query sweep
+// of BenchmarkParallelSmoothScan and writes machine-readable JSON, so
+// the parallel-scan perf trajectory can be tracked across commits.
+// Wall-clock numbers depend on the host (see the reported cpus);
+// simulated cost is deterministic up to random/sequential
+// classification differences between worker interleavings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"smoothscan"
+)
+
+func main() {
+	var (
+		rows        = flag.Int64("rows", 200_000, "table rows (10 int64 columns, like the paper's micro table)")
+		domain      = flag.Int64("domain", 100_000, "indexed-column value domain")
+		clients     = flag.Int("clients", 4, "concurrent client goroutines")
+		queries     = flag.Int("queries", 64, "total queries across all clients")
+		selectivity = flag.Float64("selectivity", 0.01, "per-query selectivity (0..1]")
+		parallelism = flag.Int("parallelism", 1, "ScanOptions.Parallelism per query")
+		ordered     = flag.Bool("ordered", false, "request index-key-ordered output")
+		policy      = flag.String("policy", "elastic", "morphing policy: elastic, greedy, si")
+		path        = flag.String("path", "smooth", "access path: smooth, full, index, sort, switch")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		pool        = flag.Int("pool", 2048, "buffer pool pages")
+		bench       = flag.String("bench", "", "run a fixed benchmark instead: 'parallel' (P=1/2/4/8 sweep)")
+		jsonOut     = flag.String("json", "", "also write results as JSON to this file")
+	)
+	flag.Parse()
+
+	db, err := buildDB(*rows, *domain, *seed, *pool)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bench == "parallel" {
+		if err := benchParallel(db, *rows, *domain, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *bench != "" {
+		fatal(fmt.Errorf("unknown -bench %q (known: parallel)", *bench))
+	}
+
+	opts, err := scanOptions(*path, *policy, *ordered, *parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := runLoad(db, loadConfig{
+		clients:     *clients,
+		queries:     *queries,
+		selectivity: *selectivity,
+		domain:      *domain,
+		seed:        *seed,
+		opts:        opts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ssload: %d clients x %d queries, sel=%.4f%%, path=%s, parallelism=%d, ordered=%v, cpus=%d\n",
+		*clients, *queries, *selectivity*100, *path, *parallelism, *ordered, runtime.NumCPU())
+	res.print(os.Stdout)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssload:", err)
+	os.Exit(1)
+}
+
+// buildDB loads the micro-benchmark-shaped table: c0 dense key, c1
+// indexed uniform over the domain, c2..c9 payload.
+func buildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
+	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := db.CreateTable("t", "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, 10)
+	for i := int64(0); i < rows; i++ {
+		vals[0] = i
+		for c := 1; c < len(vals); c++ {
+			vals[c] = rng.Int63n(domain)
+		}
+		if err := tb.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex("t", "val"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func scanOptions(path, policy string, ordered bool, parallelism int) (smoothscan.ScanOptions, error) {
+	opts := smoothscan.ScanOptions{Ordered: ordered, Parallelism: parallelism}
+	switch path {
+	case "smooth":
+		opts.Path = smoothscan.PathSmooth
+	case "full":
+		opts.Path = smoothscan.PathFull
+	case "index":
+		opts.Path = smoothscan.PathIndex
+	case "sort":
+		opts.Path = smoothscan.PathSort
+	case "switch":
+		opts.Path = smoothscan.PathSwitch
+	default:
+		return opts, fmt.Errorf("unknown path %q", path)
+	}
+	switch policy {
+	case "elastic":
+		opts.Policy = smoothscan.Elastic
+	case "greedy":
+		opts.Policy = smoothscan.Greedy
+	case "si":
+		opts.Policy = smoothscan.SelectivityIncrease
+	default:
+		return opts, fmt.Errorf("unknown policy %q", policy)
+	}
+	return opts, nil
+}
+
+type loadConfig struct {
+	clients     int
+	queries     int
+	selectivity float64
+	domain      int64
+	seed        int64
+	opts        smoothscan.ScanOptions
+}
+
+// loadResult aggregates a load run; field names feed the JSON output.
+type loadResult struct {
+	Clients     int     `json:"clients"`
+	Queries     int     `json:"queries"`
+	Parallelism int     `json:"parallelism"`
+	CPUs        int     `json:"cpus"`
+	WallMS      float64 `json:"wall_ms"`
+	Tuples      int64   `json:"tuples"`
+	TuplesPerS  float64 `json:"tuples_per_s"`
+	QueriesPerS float64 `json:"queries_per_s"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	SimCost     float64 `json:"simcost"`
+}
+
+func (r loadResult) print(w *os.File) {
+	fmt.Fprintf(w, "  wall       %.1f ms\n", r.WallMS)
+	fmt.Fprintf(w, "  tuples     %d (%.2fM tuples/s aggregate)\n", r.Tuples, r.TuplesPerS/1e6)
+	fmt.Fprintf(w, "  queries/s  %.1f\n", r.QueriesPerS)
+	fmt.Fprintf(w, "  latency    p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", r.P50MS, r.P99MS, r.MaxMS)
+	fmt.Fprintf(w, "  simcost    %.1f units (device total for the run)\n", r.SimCost)
+}
+
+// runLoad fires cfg.queries queries across cfg.clients goroutines
+// sharing db and aggregates wall-clock throughput and latency.
+func runLoad(db *smoothscan.DB, cfg loadConfig) (loadResult, error) {
+	if cfg.clients < 1 || cfg.queries < 1 {
+		return loadResult{}, fmt.Errorf("need at least one client and one query")
+	}
+	if err := db.ColdCache(); err != nil {
+		return loadResult{}, err
+	}
+	if err := db.ResetStats(); err != nil {
+		return loadResult{}, err
+	}
+	width := int64(float64(cfg.domain) * cfg.selectivity)
+	if width < 1 {
+		width = 1
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		tuples    int64
+		firstErr  error
+	)
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Distribute exactly cfg.queries across the clients.
+			perClient := cfg.queries / cfg.clients
+			if c < cfg.queries%cfg.clients {
+				perClient++
+			}
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			var localLat []time.Duration
+			var localTuples int64
+			for q := 0; q < perClient; q++ {
+				lo := int64(0)
+				if cfg.domain > width {
+					lo = rng.Int63n(cfg.domain - width)
+				}
+				qStart := time.Now()
+				rows, err := db.Scan("t", "val", lo, lo+width, cfg.opts)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				for rows.Next() {
+					localTuples++
+				}
+				err = rows.Err()
+				rows.Close()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				localLat = append(localLat, time.Since(qStart))
+			}
+			mu.Lock()
+			latencies = append(latencies, localLat...)
+			tuples += localTuples
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return loadResult{}, firstErr
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	return loadResult{
+		Clients:     cfg.clients,
+		Queries:     len(latencies),
+		Parallelism: cfg.opts.Parallelism,
+		CPUs:        runtime.NumCPU(),
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		Tuples:      tuples,
+		TuplesPerS:  float64(tuples) / wall.Seconds(),
+		QueriesPerS: float64(len(latencies)) / wall.Seconds(),
+		P50MS:       pct(0.50),
+		P99MS:       pct(0.99),
+		MaxMS:       pct(1.0),
+		SimCost:     db.Stats().Time(),
+	}, nil
+}
+
+// parallelBenchResult is one point of the -bench parallel sweep.
+type parallelBenchResult struct {
+	Parallelism int     `json:"parallelism"`
+	WallMS      float64 `json:"wall_ms"`
+	TuplesPerS  float64 `json:"tuples_per_s"`
+	SpeedupP1   float64 `json:"speedup_vs_p1"`
+	SimCost     float64 `json:"simcost"`
+	// SimCostDeltaP1 is the simulated-cost delta vs the serial run —
+	// by construction purely random/sequential classification and
+	// per-worker leaf-walk differences, never different heap pages.
+	SimCostDeltaP1 float64 `json:"simcost_delta_vs_p1"`
+}
+
+// parallelBenchReport is the BENCH_parallel.json document.
+type parallelBenchReport struct {
+	Benchmark string                `json:"benchmark"`
+	Rows      int64                 `json:"rows"`
+	CPUs      int                   `json:"cpus"`
+	Results   []parallelBenchResult `json:"results"`
+}
+
+// benchParallel runs the P=1/2/4/8 intra-query sweep at 100%
+// selectivity (the decode-bound regime) and reports wall-clock
+// tuples/s plus the simulated-cost delta vs serial.
+func benchParallel(db *smoothscan.DB, rows, domain int64, jsonOut string) error {
+	const iters = 5
+	report := parallelBenchReport{
+		Benchmark: "BenchmarkParallelSmoothScan",
+		Rows:      rows,
+		CPUs:      runtime.NumCPU(),
+	}
+	var base parallelBenchResult
+	for _, p := range []int{1, 2, 4, 8} {
+		best := time.Duration(1<<63 - 1)
+		var produced int64
+		var simCost float64
+		for i := 0; i < iters; i++ {
+			if err := db.ColdCache(); err != nil {
+				return err
+			}
+			if err := db.ResetStats(); err != nil {
+				return err
+			}
+			start := time.Now()
+			rs, err := db.Scan("t", "val", 0, domain, smoothscan.ScanOptions{Parallelism: p})
+			if err != nil {
+				return err
+			}
+			produced = 0
+			for rs.Next() {
+				produced++
+			}
+			if rs.Err() != nil {
+				rs.Close()
+				return rs.Err()
+			}
+			if err := rs.Close(); err != nil {
+				return err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			simCost = db.Stats().Time()
+		}
+		res := parallelBenchResult{
+			Parallelism: p,
+			WallMS:      float64(best) / float64(time.Millisecond),
+			TuplesPerS:  float64(produced) / best.Seconds(),
+			SimCost:     simCost,
+		}
+		if p == 1 {
+			base = res
+		}
+		if base.WallMS > 0 {
+			res.SpeedupP1 = base.WallMS / res.WallMS
+		}
+		res.SimCostDeltaP1 = res.SimCost - base.SimCost
+		report.Results = append(report.Results, res)
+		fmt.Printf("P=%d  %8.1f ms  %8.2fM tuples/s  speedup %.2fx  simcost %.0f (Δ%+.0f vs P=1)\n",
+			p, res.WallMS, res.TuplesPerS/1e6, res.SpeedupP1, res.SimCost, res.SimCostDeltaP1)
+	}
+	if report.CPUs == 1 {
+		fmt.Println("note: single-CPU host; wall-clock speedup is not expected here, only overhead is visible")
+	}
+	if jsonOut != "" {
+		return writeJSON(jsonOut, report)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -34,6 +34,9 @@ type FullScan struct {
 	file *heap.File
 	pool *bufferpool.Pool
 	pred tuple.RangePred
+	// pageLo/pageHi bound the scan to heap pages [pageLo, pageHi) — a
+	// parallel scan's shard; NewFullScan covers the whole file.
+	pageLo, pageHi int64
 
 	open    bool
 	pageNo  int64    // next page number to request
@@ -46,7 +49,21 @@ type FullScan struct {
 
 // NewFullScan creates a full scan of file with the given predicate.
 func NewFullScan(file *heap.File, pool *bufferpool.Pool, pred tuple.RangePred) *FullScan {
-	return &FullScan{file: file, pool: pool, pred: pred}
+	return NewFullScanRange(file, pool, pred, 0, file.NumPages())
+}
+
+// NewFullScanRange creates a full scan restricted to heap pages
+// [pageLo, pageHi) — one shard of a parallel full scan. Shards are
+// disjoint, so every tuple of the file is produced by exactly one of
+// the shard scans covering it.
+func NewFullScanRange(file *heap.File, pool *bufferpool.Pool, pred tuple.RangePred, pageLo, pageHi int64) *FullScan {
+	if pageLo < 0 {
+		pageLo = 0
+	}
+	if pageHi > file.NumPages() {
+		pageHi = file.NumPages()
+	}
+	return &FullScan{file: file, pool: pool, pred: pred, pageLo: pageLo, pageHi: pageHi}
 }
 
 // Schema returns the table schema.
@@ -55,7 +72,7 @@ func (s *FullScan) Schema() *tuple.Schema { return s.file.Schema() }
 // Open prepares the scan.
 func (s *FullScan) Open() error {
 	s.open = true
-	s.pageNo = 0
+	s.pageNo = s.pageLo
 	s.pages = nil
 	s.pageIdx = 0
 	s.slot = 0
@@ -66,10 +83,10 @@ func (s *FullScan) Open() error {
 // nextChunk requests the next read-ahead chunk of pages; it reports
 // false when the table is exhausted.
 func (s *FullScan) nextChunk() (bool, error) {
-	if s.pageNo >= s.file.NumPages() {
+	if s.pageNo >= s.pageHi {
 		return false, nil
 	}
-	n := min64(fullScanChunk, s.file.NumPages()-s.pageNo)
+	n := min64(fullScanChunk, s.pageHi-s.pageNo)
 	pages, err := s.file.GetRun(s.pool, s.pageNo, n, s.runBuf)
 	if err != nil {
 		return false, fmt.Errorf("full scan: %w", err)
@@ -87,7 +104,6 @@ func (s *FullScan) Next() (tuple.Row, bool, error) {
 	if !s.open {
 		return nil, false, ErrClosed
 	}
-	dev := s.pool.Device()
 	for {
 		if s.pageIdx >= len(s.pages) {
 			ok, err := s.nextChunk()
@@ -100,7 +116,7 @@ func (s *FullScan) Next() (tuple.Row, bool, error) {
 		for s.slot < count {
 			s.row = s.file.DecodeRow(page, s.slot, s.row)
 			s.slot++
-			dev.ChargeCPU(simcost.Tuple)
+			s.pool.ChargeCPU(simcost.Tuple)
 			if s.pred.Matches(s.row) {
 				return s.row.Clone(), true, nil
 			}
@@ -125,7 +141,6 @@ func (s *FullScan) NextBatch(out *tuple.Batch) (int, error) {
 // page after the predicate matched (SwitchScan's duplicate
 // suppression); it receives the page number and slot.
 func (s *FullScan) fillBatch(out *tuple.Batch, keep func(pageNo int64, slot int) bool) (int, error) {
-	dev := s.pool.Device()
 	for !out.Full() {
 		if s.pageIdx >= len(s.pages) {
 			ok, err := s.nextChunk()
@@ -144,7 +159,7 @@ func (s *FullScan) fillBatch(out *tuple.Batch, keep func(pageNo int64, slot int)
 			slotKeep = func(slot int) bool { return keep(pageNo, slot) }
 		}
 		next, examined := s.file.DecodeBatchMatching(page, s.slot, count, s.pred, slotKeep, out)
-		dev.ChargeCPUN(simcost.Tuple, int64(examined))
+		s.pool.ChargeCPUN(simcost.Tuple, int64(examined))
 		s.slot = next
 		if next >= count {
 			s.pageIdx++

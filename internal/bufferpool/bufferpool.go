@@ -11,10 +11,18 @@
 // Pages are immutable at query time (the engine is bulk-load-then-read,
 // like the paper's experiments), so frames hold read-only aliases of
 // device memory and eviction never writes back.
+//
+// A Pool is safe for concurrent use: the frame table is guarded by one
+// mutex shared by every view of the pool. A Pool value is itself a
+// lightweight view — View returns a new handle over the same cache
+// whose reads go through a private disk.Channel, so each parallel scan
+// worker keeps its own random-vs-sequential head position and its own
+// deferred CPU meter while sharing every cached page.
 package bufferpool
 
 import (
 	"fmt"
+	"sync"
 
 	"smoothscan/internal/disk"
 )
@@ -47,16 +55,25 @@ type frame struct {
 	used bool // slot occupied
 }
 
-// Pool is a fixed-capacity page cache. It is not safe for concurrent
-// use; the engine executes queries single-threaded, as PostgreSQL 9.2
-// does per backend.
-type Pool struct {
+// state is the cache shared by every view of a Pool.
+type state struct {
+	mu       sync.Mutex
 	dev      *disk.Device
 	capacity int
 	frames   []frame
 	table    map[key]int // key -> frame index
 	hand     int
 	stats    Stats
+}
+
+// Pool is a view of a fixed-capacity page cache: the cache itself is
+// shared with every other view, while the I/O channel is private to
+// this view. The Pool returned by New reads through the device's
+// default channel (classic single-stream behaviour); views created
+// with View read through fresh channels.
+type Pool struct {
+	st *state
+	ch *disk.Channel
 }
 
 // New creates a pool of capacity pages over the device. Capacity must
@@ -66,44 +83,90 @@ func New(dev *disk.Device, capacity int) *Pool {
 		panic(fmt.Sprintf("bufferpool: capacity %d", capacity))
 	}
 	return &Pool{
-		dev:      dev,
-		capacity: capacity,
-		frames:   make([]frame, capacity),
-		table:    make(map[key]int, capacity),
+		st: &state{
+			dev:      dev,
+			capacity: capacity,
+			frames:   make([]frame, capacity),
+			table:    make(map[key]int, capacity),
+		},
+		ch: dev.DefaultChannel(),
 	}
 }
 
+// View returns a new handle over the same shared cache whose device
+// reads go through a private disk.Channel (fresh head position,
+// deferred CPU accounting). Parallel scan workers each take one view;
+// the caller must flush the view (FlushCPU) when the worker finishes.
+func (p *Pool) View() *Pool {
+	return &Pool{st: p.st, ch: p.st.dev.NewChannel()}
+}
+
 // Device returns the underlying device.
-func (p *Pool) Device() *disk.Device { return p.dev }
+func (p *Pool) Device() *disk.Device { return p.st.dev }
+
+// Channel returns the disk channel this view reads through.
+func (p *Pool) Channel() *disk.Channel { return p.ch }
+
+// FlushCPU folds the view's deferred CPU charges into the device
+// counters (no-op for the default view, which charges immediately).
+func (p *Pool) FlushCPU() { p.ch.FlushCPU() }
+
+// ChargeCPU charges t CPU cost units through the view's channel.
+// Operators charge through their pool view so that a parallel worker's
+// per-tuple accounting stays off the device mutex.
+func (p *Pool) ChargeCPU(t float64) { p.ch.ChargeCPU(t) }
+
+// ChargeCPUN charges t CPU cost units n times through the view's
+// channel (n individual additions, like disk.Device.ChargeCPUN).
+func (p *Pool) ChargeCPUN(t float64, n int64) { p.ch.ChargeCPUN(t, n) }
 
 // Capacity returns the pool capacity in pages.
-func (p *Pool) Capacity() int { return p.capacity }
+func (p *Pool) Capacity() int { return p.st.capacity }
 
 // Stats returns a snapshot of the cache counters.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	return p.st.stats
+}
 
 // Contains reports whether the page is currently cached, without
 // touching reference bits or counters.
 func (p *Pool) Contains(space disk.SpaceID, pageNo int64) bool {
-	_, ok := p.table[key{space, pageNo}]
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	_, ok := p.st.table[key{space, pageNo}]
 	return ok
 }
 
 // Get returns the page, reading it from the device on a miss. The
 // returned slice is read-only.
+//
+// The pool mutex is released during the device read so concurrent
+// views overlap their page fetches; two views missing the same page
+// may both read it (a benign duplicate charge — insert tolerates the
+// race), and a single-threaded caller sees exactly the classic probe,
+// read, insert sequence.
 func (p *Pool) Get(space disk.SpaceID, pageNo int64) ([]byte, error) {
+	st := p.st
 	k := key{space, pageNo}
-	if idx, ok := p.table[k]; ok {
-		p.stats.Hits++
-		p.frames[idx].ref = true
-		return p.frames[idx].data, nil
+	st.mu.Lock()
+	if idx, ok := st.table[k]; ok {
+		st.stats.Hits++
+		st.frames[idx].ref = true
+		data := st.frames[idx].data
+		st.mu.Unlock()
+		return data, nil
 	}
-	p.stats.Misses++
-	data, err := p.dev.ReadPage(space, pageNo)
+	st.stats.Misses++
+	st.mu.Unlock()
+	data, err := p.ch.ReadPage(space, pageNo)
 	if err != nil {
 		return nil, err
 	}
-	p.insert(k, data)
+	st.mu.Lock()
+	st.insert(k, data)
+	st.mu.Unlock()
 	return data, nil
 }
 
@@ -120,6 +183,9 @@ func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][
 	if n <= 0 {
 		return nil, fmt.Errorf("bufferpool: GetRun of %d pages", n)
 	}
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var out [][]byte
 	if int64(cap(scratch)) >= n {
 		out = scratch[:n]
@@ -134,29 +200,36 @@ func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][
 		if runStart < 0 {
 			return nil
 		}
-		pages, err := p.dev.ReadRun(space, runStart, end-runStart)
+		// Read the stretch with the pool unlocked so concurrent views
+		// overlap their device requests; re-lock for frame insertion
+		// (and for the caller's loop). insert tolerates pages raced in
+		// by another view meanwhile, and a single-threaded caller sees
+		// the classic probe/read/insert order unchanged.
+		st.mu.Unlock()
+		pages, err := p.ch.ReadRun(space, runStart, end-runStart)
+		st.mu.Lock()
 		if err != nil {
 			return err
 		}
 		for i, data := range pages {
 			pageNo := runStart + int64(i)
-			p.insert(key{space, pageNo}, data)
+			st.insert(key{space, pageNo}, data)
 			out[pageNo-start] = data
 		}
 		runStart = -1
 		return nil
 	}
 	for pageNo := start; pageNo < start+n; pageNo++ {
-		if idx, ok := p.table[key{space, pageNo}]; ok {
-			p.stats.Hits++
-			p.frames[idx].ref = true
-			out[pageNo-start] = p.frames[idx].data
+		if idx, ok := st.table[key{space, pageNo}]; ok {
+			st.stats.Hits++
+			st.frames[idx].ref = true
+			out[pageNo-start] = st.frames[idx].data
 			if err := flush(pageNo); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		p.stats.Misses++
+		st.stats.Misses++
 		if runStart < 0 {
 			runStart = pageNo
 		}
@@ -168,29 +241,30 @@ func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][
 }
 
 // insert places a page into a frame, evicting via clock sweep if full.
-func (p *Pool) insert(k key, data []byte) {
-	if idx, ok := p.table[k]; ok { // already present (raced via GetRun)
-		p.frames[idx].data = data
-		p.frames[idx].ref = true
+// Callers hold st.mu.
+func (st *state) insert(k key, data []byte) {
+	if idx, ok := st.table[k]; ok { // already present (raced via GetRun)
+		st.frames[idx].data = data
+		st.frames[idx].ref = true
 		return
 	}
 	for {
-		f := &p.frames[p.hand]
-		slot := p.hand
-		p.hand = (p.hand + 1) % p.capacity
+		f := &st.frames[st.hand]
+		slot := st.hand
+		st.hand = (st.hand + 1) % st.capacity
 		if !f.used {
 			*f = frame{key: k, data: data, ref: true, used: true}
-			p.table[k] = slot
+			st.table[k] = slot
 			return
 		}
 		if f.ref {
 			f.ref = false
 			continue
 		}
-		delete(p.table, f.key)
-		p.stats.Evictions++
+		delete(st.table, f.key)
+		st.stats.Evictions++
 		*f = frame{key: k, data: data, ref: true, used: true}
-		p.table[k] = slot
+		st.table[k] = slot
 		return
 	}
 }
@@ -199,32 +273,44 @@ func (p *Pool) insert(k key, data []byte) {
 // buffer cache the paper starts every measured query with. The frame
 // array and the lookup map are cleared in place and reused, so a
 // benchmark resetting between queries does not churn the allocator.
+//
+// Reset is not safe to run while other views are scanning; the facade
+// guards its ColdCache entry point against open scans.
 func (p *Pool) Reset() {
-	for i := range p.frames {
-		p.frames[i] = frame{}
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := range st.frames {
+		st.frames[i] = frame{}
 	}
-	clear(p.table)
-	p.hand = 0
-	p.stats = Stats{}
+	clear(st.table)
+	st.hand = 0
+	st.stats = Stats{}
 }
 
 // InvalidatePage drops one cached page, if present; callers must
 // invoke it after an in-place page write (heap inserts).
 func (p *Pool) InvalidatePage(space disk.SpaceID, pageNo int64) {
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	k := key{space, pageNo}
-	if idx, ok := p.table[k]; ok {
-		p.frames[idx] = frame{}
-		delete(p.table, k)
+	if idx, ok := st.table[k]; ok {
+		st.frames[idx] = frame{}
+		delete(st.table, k)
 	}
 }
 
 // InvalidateSpace drops every cached page of the space; callers must
 // invoke it after writing to a space outside the pool (bulk loads).
 func (p *Pool) InvalidateSpace(space disk.SpaceID) {
-	for k, idx := range p.table {
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, idx := range st.table {
 		if k.space == space {
-			p.frames[idx] = frame{}
-			delete(p.table, k)
+			st.frames[idx] = frame{}
+			delete(st.table, k)
 		}
 	}
 }

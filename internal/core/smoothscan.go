@@ -150,6 +150,15 @@ type Config struct {
 	// from the current key range spill to simulated overflow files
 	// (Section IV-A). Zero means unlimited.
 	ResultCacheBudget int64
+	// PageLo/PageHi restrict the scan to the heap pages [PageLo,
+	// PageHi): index entries pointing outside the range are skipped and
+	// morphing regions never extend past PageHi. A parallel scan gives
+	// each worker one disjoint page shard, so every heap page is
+	// analysed by exactly one worker and the exactly-once guarantee
+	// holds across workers by construction. Both zero means the whole
+	// file.
+	PageLo int64
+	PageHi int64
 }
 
 // Stats exposes the operator's run-time counters, the raw material of
@@ -193,6 +202,41 @@ type Stats struct {
 	TupleCacheBytes int64
 }
 
+// AggregateStats combines per-worker Smooth Scan stats into query
+// totals: counters are summed, peaks are summed for the Result Cache
+// (workers' caches coexist) but maxed for the morphing region (regions
+// are per-worker), and TriggeredAt is the earliest worker trigger (-1
+// when no worker's trigger fired).
+func AggregateStats(parts []Stats) Stats {
+	out := Stats{TriggeredAt: -1}
+	for _, p := range parts {
+		out.Produced += p.Produced
+		out.PagesFetched += p.PagesFetched
+		out.PagesWithResults += p.PagesWithResults
+		out.LeafPointersSkipped += p.LeafPointersSkipped
+		out.Expansions += p.Expansions
+		out.Shrinks += p.Shrinks
+		if p.PeakRegionPages > out.PeakRegionPages {
+			out.PeakRegionPages = p.PeakRegionPages
+		}
+		if p.TriggeredAt >= 0 && (out.TriggeredAt < 0 || p.TriggeredAt < out.TriggeredAt) {
+			out.TriggeredAt = p.TriggeredAt
+		}
+		out.CacheHits += p.CacheHits
+		out.CacheInserts += p.CacheInserts
+		out.DirectReturns += p.DirectReturns
+		out.CachePeakTuples += p.CachePeakTuples
+		out.CachePeakBytes += p.CachePeakBytes
+		out.Spill.Spills += p.Spill.Spills
+		out.Spill.Reloads += p.Spill.Reloads
+		out.Spill.SpillBytes += p.Spill.SpillBytes
+		out.Spill.ReloadBytes += p.Spill.ReloadBytes
+		out.PageCacheBytes += p.PageCacheBytes
+		out.TupleCacheBytes += p.TupleCacheBytes
+	}
+	return out
+}
+
 // MorphingAccuracy returns PagesWithResults/PagesFetched (Figure 9b),
 // or 0 when nothing was fetched.
 func (s Stats) MorphingAccuracy() float64 {
@@ -226,6 +270,7 @@ type SmoothScan struct {
 
 	open     bool
 	done     bool // index exhausted or key bound passed; latched
+	sharded  bool // page shard narrower than the file (parallel worker)
 	mode     Mode
 	it       *btree.Iter
 	pageSeen *bitmap.Bitmap // Page ID cache
@@ -255,6 +300,14 @@ func NewSmoothScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pre
 	if cfg.MaxRegionPages < 1 {
 		return nil, fmt.Errorf("core: MaxRegionPages %d < 1", cfg.MaxRegionPages)
 	}
+	if cfg.PageLo == 0 && cfg.PageHi == 0 {
+		cfg.PageHi = file.NumPages()
+	}
+	if cfg.PageLo < 0 || cfg.PageLo > cfg.PageHi || cfg.PageHi > file.NumPages() {
+		return nil, fmt.Errorf("core: page shard [%d,%d) outside file of %d pages",
+			cfg.PageLo, cfg.PageHi, file.NumPages())
+	}
+	sharded := cfg.PageLo > 0 || cfg.PageHi < file.NumPages()
 	if cfg.MaxMode == ModeIndex {
 		cfg.MaxMode = ModeFlattening
 	}
@@ -279,7 +332,7 @@ func NewSmoothScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pre
 	default:
 		return nil, fmt.Errorf("core: unknown trigger %d", cfg.Trigger)
 	}
-	return &SmoothScan{file: file, pool: pool, tree: tree, pred: pred, cfg: cfg}, nil
+	return &SmoothScan{file: file, pool: pool, tree: tree, pred: pred, cfg: cfg, sharded: sharded}, nil
 }
 
 // Schema returns the table schema.
@@ -345,7 +398,7 @@ func (s *SmoothScan) Open() error {
 			return fmt.Errorf("smooth scan: %w", err)
 		}
 		rc := newResultCache(bounds, s.file.Schema().NumCols())
-		s.cache = newSpillingCache(rc, s.pool.Device(), s.cfg.ResultCacheBudget)
+		s.cache = newSpillingCache(rc, s.pool.Channel(), s.cfg.ResultCacheBudget)
 	}
 	s.open = true
 	return nil
@@ -429,13 +482,25 @@ func (s *SmoothScan) advance() (tuple.Row, bool, error) {
 	if s.done {
 		return nil, false, nil
 	}
-	dev := s.pool.Device()
 	for {
-		e, ok, err := s.it.Next()
+		// A sharded (parallel) worker pulls only the index entries
+		// pointing into its own heap pages, filtered inside the leaf
+		// scan; the serial path keeps the classic entry stream.
+		var e btree.Entry
+		var ok bool
+		var err error
+		if s.sharded {
+			e, ok, err = s.it.NextInRange(s.pred.Hi, s.cfg.PageLo, s.cfg.PageHi)
+		} else {
+			e, ok, err = s.it.Next()
+			if ok && e.Key >= s.pred.Hi {
+				ok = false
+			}
+		}
 		if err != nil {
 			return nil, false, fmt.Errorf("smooth scan: %w", err)
 		}
-		if !ok || e.Key >= s.pred.Hi {
+		if !ok {
 			s.done = true
 			return nil, false, nil
 		}
@@ -450,7 +515,7 @@ func (s *SmoothScan) advance() (tuple.Row, bool, error) {
 			if err != nil {
 				return nil, false, fmt.Errorf("smooth scan: %w", err)
 			}
-			dev.ChargeCPU(simcost.Tuple)
+			s.pool.ChargeCPU(simcost.Tuple)
 			s.tupSeen.Set(s.tidBit(e.TID))
 			return row, true, nil
 		}
@@ -467,7 +532,7 @@ func (s *SmoothScan) advance() (tuple.Row, bool, error) {
 			if s.tupSeen != nil && s.tupSeen.Get(s.tidBit(e.TID)) {
 				continue // produced during Mode 0
 			}
-			dev.ChargeCPU(simcost.Hash)
+			s.pool.ChargeCPU(simcost.Hash)
 			row, ok := s.cache.take(e.Key, e.TID)
 			if !ok {
 				return nil, false, fmt.Errorf("smooth scan: result cache miss for key %d tid %v (invariant violation)", e.Key, e.TID)
@@ -500,7 +565,7 @@ func (s *SmoothScan) advance() (tuple.Row, bool, error) {
 // it returns the probed tuple; in unordered mode it fills the queue.
 func (s *SmoothScan) processRegion(probe btree.Entry) (tuple.Row, error) {
 	start := probe.TID.Page
-	end := min64(start+s.regionPages, s.file.NumPages())
+	end := min64(start+s.regionPages, s.cfg.PageHi)
 
 	var direct tuple.Row
 	s.queue.Reset()
@@ -557,12 +622,11 @@ func (s *SmoothScan) processRegion(probe btree.Entry) (tuple.Row, error) {
 // are accumulated and flushed in runs (ChargeCPUN), preserving the
 // exact sequence of cost additions of tuple-at-a-time execution.
 func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, direct *tuple.Row) bool {
-	dev := s.pool.Device()
 	count := heap.PageTupleCount(page)
 	if !s.cfg.Ordered && s.tupSeen == nil {
 		before := s.queue.Len()
 		_, examined := s.file.DecodeBatchMatching(page, 0, count, s.pred, nil, s.queue)
-		dev.ChargeCPUN(simcost.Tuple, int64(examined))
+		s.pool.ChargeCPUN(simcost.Tuple, int64(examined))
 		return s.queue.Len() > before
 	}
 	found := false
@@ -583,9 +647,9 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 			if tid == probe.TID {
 				*direct = row.Clone()
 			} else {
-				dev.ChargeCPUN(simcost.Tuple, pendingTuples)
+				s.pool.ChargeCPUN(simcost.Tuple, pendingTuples)
 				pendingTuples = 0
-				dev.ChargeCPU(simcost.Hash)
+				s.pool.ChargeCPU(simcost.Hash)
 				s.cache.insert(row.Int(s.pred.Col), tid, row.Clone())
 				s.stats.CacheInserts++
 			}
@@ -593,7 +657,7 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 			s.file.DecodeRow(page, slot, s.queue.AppendSlotRaw())
 		}
 	}
-	dev.ChargeCPUN(simcost.Tuple, pendingTuples)
+	s.pool.ChargeCPUN(simcost.Tuple, pendingTuples)
 	return found
 }
 

@@ -22,12 +22,14 @@ import (
 // cost exactly the way an overflow file would, while preserving
 // correctness trivially.
 
-// spillPolicy bounds the in-memory Result Cache.
+// spillPolicy bounds the in-memory Result Cache. Spill I/O is charged
+// through the operator's disk channel so a parallel worker's overflow
+// traffic invalidates its own head position, not another stream's.
 type spillPolicy struct {
 	// memBudget is the maximum resident bytes before spilling kicks
 	// in; 0 disables spilling.
 	memBudget int64
-	dev       *disk.Device
+	ch        *disk.Channel
 	pageSize  int64
 }
 
@@ -54,10 +56,10 @@ type spillingCache struct {
 
 // newSpillingCache wraps a fresh resultCache. memBudget == 0 means
 // never spill.
-func newSpillingCache(rc *resultCache, dev *disk.Device, memBudget int64) *spillingCache {
+func newSpillingCache(rc *resultCache, ch *disk.Channel, memBudget int64) *spillingCache {
 	return &spillingCache{
 		resultCache: rc,
-		policy:      spillPolicy{memBudget: memBudget, dev: dev, pageSize: int64(dev.PageSize())},
+		policy:      spillPolicy{memBudget: memBudget, ch: ch, pageSize: int64(ch.Device().PageSize())},
 		state:       make([]partState, len(rc.parts)),
 	}
 }
@@ -143,7 +145,7 @@ func (c *spillingCache) spillPartition(i int, bytes int64) {
 	// the accounting in one place. Partitions that are dropped before
 	// reload are slightly overcharged, which is the conservative
 	// direction.
-	c.policy.dev.ChargeSpill(pages)
+	c.policy.ch.ChargeSpill(pages)
 	c.state[i] = partSpilled
 	c.spills++
 	c.spillBytes += bytes

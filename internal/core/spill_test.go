@@ -11,7 +11,7 @@ import (
 func newSpillFixture(budget int64) (*spillingCache, *disk.Device) {
 	dev := disk.NewDevice(disk.HDD)
 	rc := newResultCache([]int64{100, 200, 300}, 4) // 4 partitions
-	return newSpillingCache(rc, dev, budget), dev
+	return newSpillingCache(rc, dev.DefaultChannel(), budget), dev
 }
 
 func fill(c *spillingCache, key int64, n int) {

@@ -115,18 +115,27 @@ type space struct {
 	pages [][]byte
 }
 
-// Device is a simulated disk. It is safe for concurrent use.
+// Device is a simulated disk. It is safe for concurrent use: page
+// storage and the Stats counters are guarded by one mutex, and Stats
+// always returns a consistent snapshot taken under that mutex.
+//
+// Random-vs-sequential classification is per Channel. The device owns
+// a default channel that its own read methods use, so single-threaded
+// callers see exactly the classic single-head behaviour; concurrent
+// workers open one Channel each (NewChannel) so that interleaved
+// requests from independent streams do not destroy each other's
+// sequentiality — the model is a device with per-stream read-ahead
+// state, which is what makes the random/sequential split meaningful
+// under parallel scans.
 type Device struct {
 	mu      sync.Mutex
 	profile Profile
 	spaces  []*space
 	stats   Stats
 
-	// lastSpace/lastPage record the physical head position used for
-	// random-vs-sequential classification.
-	lastSpace SpaceID
-	lastPage  int64
-	hasPos    bool
+	// def is the device's default I/O channel, used by the Device-level
+	// read methods.
+	def Channel
 
 	// failAfter, when >= 0, counts down on every page read; the read
 	// that decrements it to below zero fails with ErrInjected.
@@ -138,8 +147,59 @@ func NewDevice(p Profile) *Device {
 	if p.PageSize <= 0 {
 		panic("disk: profile requires positive page size")
 	}
-	return &Device{profile: p, failAfter: -1}
+	d := &Device{profile: p, failAfter: -1}
+	d.def.dev = d
+	return d
 }
+
+// Channel is an independent I/O stream on a device. Each channel keeps
+// its own head position (lastSpace/lastPage), so the random-vs-
+// sequential classification of its reads is unaffected by other
+// channels' interleaved requests; all counters still accumulate into
+// the shared device Stats, and a per-channel contribution snapshot is
+// kept on the side.
+//
+// Channels obtained from NewChannel additionally defer CPU charges:
+// ChargeCPU/ChargeCPUN accumulate into a channel-local meter with no
+// locking, and FlushCPU folds the pending total into the device
+// counters. A parallel scan gives each worker one channel and flushes
+// when the worker finishes, so per-tuple CPU accounting never contends
+// on the device mutex.
+//
+// A Channel must be used by one goroutine at a time.
+type Channel struct {
+	dev *Device
+
+	// Head position for random-vs-sequential classification, guarded
+	// by dev.mu (reads touch it together with the shared stats).
+	lastSpace SpaceID
+	lastPage  int64
+	hasPos    bool
+
+	// local is this channel's contribution to the device stats,
+	// guarded by dev.mu.
+	local Stats
+
+	// deferred selects local CPU accumulation (worker channels) over
+	// immediate charging (the device's default channel).
+	deferred   bool
+	pendingCPU float64
+}
+
+// NewChannel opens a fresh I/O stream on the device with no head
+// position (its first read is classified random, like any cold stream)
+// and deferred CPU accounting.
+func (d *Device) NewChannel() *Channel {
+	return &Channel{dev: d, deferred: true}
+}
+
+// DefaultChannel returns the device's built-in channel: the head
+// position the Device-level read methods use, with immediate CPU
+// charging. Single-stream callers share it.
+func (d *Device) DefaultChannel() *Channel { return &d.def }
+
+// Device returns the device the channel reads from.
+func (c *Channel) Device() *Device { return c.dev }
 
 // Profile returns the device's cost profile.
 func (d *Device) Profile() Profile { return d.profile }
@@ -212,11 +272,23 @@ func (d *Device) WritePage(id SpaceID, pageNo int64, data []byte) error {
 	return nil
 }
 
-// ReadPage reads a single page. It issues one I/O request, charged
-// RandCost unless the page physically follows the previously accessed
-// one, in which case SeqCost applies.
+// ReadPage reads a single page through the device's default channel.
+// It issues one I/O request, charged RandCost unless the page
+// physically follows the previously accessed one, in which case
+// SeqCost applies.
 func (d *Device) ReadPage(id SpaceID, pageNo int64) ([]byte, error) {
-	pages, err := d.ReadRun(id, pageNo, 1)
+	return d.def.ReadPage(id, pageNo)
+}
+
+// ReadRun reads n consecutive pages through the device's default
+// channel (see Channel.ReadRun).
+func (d *Device) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
+	return d.def.ReadRun(id, start, n)
+}
+
+// ReadPage reads a single page on this channel; see Device.ReadPage.
+func (c *Channel) ReadPage(id SpaceID, pageNo int64) ([]byte, error) {
+	pages, err := c.ReadRun(id, pageNo, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -225,15 +297,16 @@ func (d *Device) ReadPage(id SpaceID, pageNo int64) ([]byte, error) {
 
 // ReadRun reads n consecutive pages starting at start as one I/O
 // request: the first page is classified random or sequential against
-// the current head position and the remaining n-1 pages are sequential.
-// This models the flattened, prefetcher-friendly access pattern of
-// Smooth Scan's Mode 2 and of Sort Scan.
+// the channel's head position and the remaining n-1 pages are
+// sequential. This models the flattened, prefetcher-friendly access
+// pattern of Smooth Scan's Mode 2 and of Sort Scan.
 //
 // The returned slices alias device memory and must not be modified.
-func (d *Device) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
+func (c *Channel) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("disk: ReadRun of %d pages", n)
 	}
+	d := c.dev
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	sp, err := d.space(id)
@@ -251,32 +324,35 @@ func (d *Device) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 		d.failAfter -= n
 	}
 
-	d.stats.Requests++
-	switch gap := start - (d.lastPage + 1); {
-	case d.hasPos && d.lastSpace == id && gap == 0:
+	var delta Stats
+	delta.Requests++
+	switch gap := start - (c.lastPage + 1); {
+	case c.hasPos && c.lastSpace == id && gap == 0:
 		// Head is already in position: pure sequential transfer.
-		d.stats.SeqAccesses++
-		d.stats.IOTime += d.profile.SeqCost
-	case d.hasPos && d.lastSpace == id && gap > 0 &&
+		delta.SeqAccesses++
+		delta.IOTime += d.profile.SeqCost
+	case c.hasPos && c.lastSpace == id && gap > 0 &&
 		float64(gap+1)*d.profile.SeqCost < d.profile.RandCost:
 		// Short forward skip: streaming through the gap is cheaper
 		// than seeking (shortest-positioning-time rule). The paper
 		// relies on this when calling page-ordered patterns "nearly
 		// sequential" (Sort Scan, Section II).
-		d.stats.SeqAccesses++
-		d.stats.SkippedPages += gap
-		d.stats.IOTime += float64(gap+1) * d.profile.SeqCost
+		delta.SeqAccesses++
+		delta.SkippedPages += gap
+		delta.IOTime += float64(gap+1) * d.profile.SeqCost
 	default:
-		d.stats.RandomAccesses++
-		d.stats.IOTime += d.profile.RandCost
+		delta.RandomAccesses++
+		delta.IOTime += d.profile.RandCost
 	}
 	if n > 1 {
-		d.stats.SeqAccesses += n - 1
-		d.stats.IOTime += float64(n-1) * d.profile.SeqCost
+		delta.SeqAccesses += n - 1
+		delta.IOTime += float64(n-1) * d.profile.SeqCost
 	}
-	d.stats.PagesRead += n
-	d.stats.BytesRead += n * int64(d.profile.PageSize)
-	d.lastSpace, d.lastPage, d.hasPos = id, start+n-1, true
+	delta.PagesRead += n
+	delta.BytesRead += n * int64(d.profile.PageSize)
+	c.lastSpace, c.lastPage, c.hasPos = id, start+n-1, true
+	d.stats.add(delta)
+	c.local.add(delta)
 
 	out := make([][]byte, n)
 	for i := int64(0); i < n; i++ {
@@ -285,23 +361,31 @@ func (d *Device) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 	return out, nil
 }
 
+// ChargeSpill models an external-sort (or other out-of-core) spill on
+// the device's default channel; see Channel.ChargeSpill.
+func (d *Device) ChargeSpill(pages int64) { d.def.ChargeSpill(pages) }
+
 // ChargeSpill models an external-sort (or other out-of-core) spill:
 // pages are written to scratch space and read back once, both
-// sequentially, as two requests. The head position is invalidated —
-// after a spill the next data access seeks.
-func (d *Device) ChargeSpill(pages int64) {
+// sequentially, as two requests. The channel's head position is
+// invalidated — after a spill the stream's next data access seeks.
+func (c *Channel) ChargeSpill(pages int64) {
 	if pages <= 0 {
 		return
 	}
+	d := c.dev
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats.Requests += 2
-	d.stats.SeqAccesses += 2 * pages
-	d.stats.PagesWritten += pages
-	d.stats.PagesRead += pages
-	d.stats.BytesRead += pages * int64(d.profile.PageSize)
-	d.stats.IOTime += 2 * float64(pages) * d.profile.SeqCost
-	d.hasPos = false
+	var delta Stats
+	delta.Requests += 2
+	delta.SeqAccesses += 2 * pages
+	delta.PagesWritten += pages
+	delta.PagesRead += pages
+	delta.BytesRead += pages * int64(d.profile.PageSize)
+	delta.IOTime += 2 * float64(pages) * d.profile.SeqCost
+	c.hasPos = false
+	d.stats.add(delta)
+	c.local.add(delta)
 }
 
 // ChargeCPU adds t cost units to the CPU clock. Operators use it to
@@ -329,20 +413,90 @@ func (d *Device) ChargeCPUN(t float64, n int64) {
 	d.mu.Unlock()
 }
 
-// Stats returns a snapshot of the device counters.
+// ChargeCPU adds t cost units to the CPU clock via this channel: on a
+// deferred (worker) channel it accumulates locally with no locking, on
+// the device's default channel it charges immediately.
+func (c *Channel) ChargeCPU(t float64) {
+	if !c.deferred {
+		c.dev.ChargeCPU(t)
+		return
+	}
+	c.pendingCPU += t
+}
+
+// ChargeCPUN adds t cost units n times via this channel; like
+// Device.ChargeCPUN it performs n individual additions, so the
+// accumulated total is independent of batching granularity within the
+// channel.
+func (c *Channel) ChargeCPUN(t float64, n int64) {
+	if !c.deferred {
+		c.dev.ChargeCPUN(t, n)
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		c.pendingCPU += t
+	}
+}
+
+// FlushCPU folds the channel's pending deferred CPU charges into the
+// device counters. A parallel scan calls it once per worker when the
+// worker finishes; it is a no-op on non-deferred channels.
+func (c *Channel) FlushCPU() {
+	if c.pendingCPU == 0 {
+		return
+	}
+	d := c.dev
+	d.mu.Lock()
+	d.stats.CPUTime += c.pendingCPU
+	c.local.CPUTime += c.pendingCPU
+	d.mu.Unlock()
+	c.pendingCPU = 0
+}
+
+// Stats returns this channel's contribution to the device counters,
+// including any not-yet-flushed deferred CPU. Reading it while the
+// owning worker is still running requires external synchronization for
+// the pending-CPU part.
+func (c *Channel) Stats() Stats {
+	c.dev.mu.Lock()
+	st := c.local
+	c.dev.mu.Unlock()
+	st.CPUTime += c.pendingCPU
+	return st
+}
+
+// add accumulates t into s field by field.
+func (s *Stats) add(t Stats) {
+	s.Requests += t.Requests
+	s.RandomAccesses += t.RandomAccesses
+	s.SeqAccesses += t.SeqAccesses
+	s.SkippedPages += t.SkippedPages
+	s.PagesRead += t.PagesRead
+	s.PagesWritten += t.PagesWritten
+	s.BytesRead += t.BytesRead
+	s.IOTime += t.IOTime
+	s.CPUTime += t.CPUTime
+}
+
+// Stats returns a snapshot of the device counters, taken under the
+// device mutex so concurrent readers always observe a consistent state
+// (no torn Requests-vs-IOTime pairs).
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
 }
 
-// ResetStats zeroes the counters and forgets the head position, so the
-// next access is classified random. The paper reports cold runs; the
-// harness calls this (together with buffer-pool reset) between queries.
+// ResetStats zeroes the counters and forgets the default channel's
+// head position, so the next access is classified random. The paper
+// reports cold runs; the harness calls this (together with buffer-pool
+// reset) between queries. Worker channels opened with NewChannel keep
+// their positions — they are per-query-ephemeral and start cold anyway.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	d.stats = Stats{}
-	d.hasPos = false
+	d.def.hasPos = false
+	d.def.local = Stats{}
 	d.mu.Unlock()
 }
 

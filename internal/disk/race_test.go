@@ -1,0 +1,169 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentSnapshot hammers a device with concurrent readers,
+// CPU chargers and Stats snapshotters. Under -race it proves the
+// counters are data-race free; in any mode it checks that the final
+// totals are consistent (no lost updates) and that every snapshot is
+// internally consistent (IOTime never behind what the observed request
+// count implies is impossible, i.e. non-negative and monotone).
+func TestStatsConcurrentSnapshot(t *testing.T) {
+	dev := NewDevice(HDD)
+	sp := dev.CreateSpace()
+	page := make([]byte, dev.PageSize())
+	const numPages = 64
+	for i := 0; i < numPages; i++ {
+		if _, err := dev.AppendPage(sp, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.ResetStats()
+
+	const (
+		workers   = 8
+		perWorker = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ch := dev.NewChannel()
+			for i := 0; i < perWorker; i++ {
+				if _, err := ch.ReadRun(sp, int64((w*7+i)%numPages), 1); err != nil {
+					t.Error(err)
+					return
+				}
+				ch.ChargeCPUN(0.001, 3)
+			}
+			ch.FlushCPU()
+		}(w)
+	}
+	// Concurrent snapshotters: every observed snapshot must be
+	// internally consistent.
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			var lastPages int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := dev.Stats()
+				if st.PagesRead < lastPages {
+					t.Errorf("PagesRead went backwards: %d -> %d", lastPages, st.PagesRead)
+					return
+				}
+				lastPages = st.PagesRead
+				if st.RandomAccesses+st.SeqAccesses > st.PagesRead+st.SkippedPages {
+					t.Errorf("torn snapshot: rand=%d seq=%d pages=%d skipped=%d",
+						st.RandomAccesses, st.SeqAccesses, st.PagesRead, st.SkippedPages)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	st := dev.Stats()
+	if want := int64(workers * perWorker); st.PagesRead != want {
+		t.Errorf("PagesRead = %d, want %d (lost updates)", st.PagesRead, want)
+	}
+	wantCPU := float64(workers*perWorker) * 3 * 0.001
+	if diff := st.CPUTime - wantCPU; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("CPUTime = %v, want %v", st.CPUTime, wantCPU)
+	}
+}
+
+// TestChannelClassificationIndependence verifies that two interleaved
+// sequential streams on separate channels are both classified
+// sequential — the property that makes the random/sequential split
+// meaningful under parallel scans — while the same interleaving on a
+// single head would seek on every request.
+func TestChannelClassificationIndependence(t *testing.T) {
+	dev := NewDevice(HDD)
+	sp := dev.CreateSpace()
+	page := make([]byte, dev.PageSize())
+	const numPages = 128
+	for i := 0; i < numPages; i++ {
+		if _, err := dev.AppendPage(sp, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.ResetStats()
+
+	a, b := dev.NewChannel(), dev.NewChannel()
+	// Stream a walks pages [0,32), stream b walks [64,96), interleaved.
+	for i := int64(0); i < 32; i++ {
+		if _, err := a.ReadRun(sp, i, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.ReadRun(sp, 64+i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := dev.Stats()
+	if st.RandomAccesses != 2 {
+		t.Errorf("RandomAccesses = %d, want 2 (one cold seek per stream)", st.RandomAccesses)
+	}
+	if st.SeqAccesses != 62 {
+		t.Errorf("SeqAccesses = %d, want 62", st.SeqAccesses)
+	}
+	// Per-channel contributions sum to the device totals.
+	sa, sb := a.Stats(), b.Stats()
+	if sa.PagesRead+sb.PagesRead != st.PagesRead {
+		t.Errorf("channel contributions %d+%d != device %d", sa.PagesRead, sb.PagesRead, st.PagesRead)
+	}
+	if sa.RandomAccesses != 1 || sb.RandomAccesses != 1 {
+		t.Errorf("per-channel rand = %d/%d, want 1/1", sa.RandomAccesses, sb.RandomAccesses)
+	}
+
+	// The same interleaving through the single default head: every
+	// request is a seek.
+	dev.ResetStats()
+	for i := int64(0); i < 32; i++ {
+		if _, err := dev.ReadPage(sp, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.ReadPage(sp, 64+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := dev.Stats(); st.RandomAccesses != 64 {
+		t.Errorf("single-head interleaving: RandomAccesses = %d, want 64", st.RandomAccesses)
+	}
+}
+
+// TestDeferredCPUFlush checks deferred channels charge nothing until
+// FlushCPU and exactly their pending total at flush.
+func TestDeferredCPUFlush(t *testing.T) {
+	dev := NewDevice(HDD)
+	ch := dev.NewChannel()
+	ch.ChargeCPU(0.5)
+	ch.ChargeCPUN(0.25, 2)
+	if got := dev.Stats().CPUTime; got != 0 {
+		t.Errorf("device CPUTime before flush = %v, want 0", got)
+	}
+	if got := ch.Stats().CPUTime; got != 1.0 {
+		t.Errorf("channel pending CPUTime = %v, want 1.0", got)
+	}
+	ch.FlushCPU()
+	if got := dev.Stats().CPUTime; got != 1.0 {
+		t.Errorf("device CPUTime after flush = %v, want 1.0", got)
+	}
+	ch.FlushCPU() // idempotent
+	if got := dev.Stats().CPUTime; got != 1.0 {
+		t.Errorf("double flush changed CPUTime: %v", got)
+	}
+}

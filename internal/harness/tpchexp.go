@@ -295,7 +295,7 @@ func (r *Runner) All() ([]*Table, error) {
 		r.Fig1, r.Fig1Q12, r.Fig4, r.Table2,
 		r.Fig5a, r.Fig5b, r.Fig6, r.Fig7a, r.Fig7b,
 		r.Fig8, r.Fig9, r.Fig10, r.Fig11,
-		r.CompetitiveRatios, r.ModelAccuracy,
+		r.CompetitiveRatios, r.ModelAccuracy, r.Concurrent,
 	}
 	out := make([]*Table, 0, len(fns))
 	for _, fn := range fns {
@@ -311,21 +311,22 @@ func (r *Runner) All() ([]*Table, error) {
 // ByID runs one experiment by identifier.
 func (r *Runner) ByID(id string) (*Table, error) {
 	m := map[string]func() (*Table, error){
-		"fig1":     r.Fig1,
-		"fig1-q12": r.Fig1Q12,
-		"fig4":     r.Fig4,
-		"tab2":     r.Table2,
-		"fig5a":    r.Fig5a,
-		"fig5b":    r.Fig5b,
-		"fig6":     r.Fig6,
-		"fig7a":    r.Fig7a,
-		"fig7b":    r.Fig7b,
-		"fig8":     r.Fig8,
-		"fig9":     r.Fig9,
-		"fig10":    r.Fig10,
-		"fig11":    r.Fig11,
-		"tab-cr":   r.CompetitiveRatios,
-		"model":    r.ModelAccuracy,
+		"fig1":       r.Fig1,
+		"fig1-q12":   r.Fig1Q12,
+		"fig4":       r.Fig4,
+		"tab2":       r.Table2,
+		"fig5a":      r.Fig5a,
+		"fig5b":      r.Fig5b,
+		"fig6":       r.Fig6,
+		"fig7a":      r.Fig7a,
+		"fig7b":      r.Fig7b,
+		"fig8":       r.Fig8,
+		"fig9":       r.Fig9,
+		"fig10":      r.Fig10,
+		"fig11":      r.Fig11,
+		"tab-cr":     r.CompetitiveRatios,
+		"model":      r.ModelAccuracy,
+		"concurrent": r.Concurrent,
 	}
 	fn, ok := m[id]
 	if !ok {
@@ -336,5 +337,5 @@ func (r *Runner) ByID(id string) (*Table, error) {
 
 // IDs lists the experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model"}
+	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model", "concurrent"}
 }

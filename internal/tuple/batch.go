@@ -178,6 +178,24 @@ func (b *Batch) Append(r Row) bool {
 	return true
 }
 
+// TrySwap moves o's rows into b (and b's backing array into o) by
+// exchanging the flat arrays — an O(1) alternative to AppendRows for
+// exchange pipelines handing full batches across goroutines. It
+// requires equal widths and succeeds only when b is empty and can hold
+// o's rows within its capacity and fill limit; it reports whether the
+// swap happened (callers fall back to copying when it did not).
+func (b *Batch) TrySwap(o *Batch) bool {
+	if b.width != o.width || b.n != 0 {
+		return false
+	}
+	if fc := b.FillCap(); fc > 0 && o.n > fc {
+		return false
+	}
+	b.data, o.data = o.data, b.data[:0]
+	b.n, o.n = o.n, 0
+	return true
+}
+
 // Truncate drops rows beyond the first n. It panics if n exceeds Len.
 func (b *Batch) Truncate(n int) {
 	if n > b.n {

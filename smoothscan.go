@@ -26,6 +26,8 @@ package smoothscan
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"smoothscan/internal/access"
 	"smoothscan/internal/btree"
@@ -36,6 +38,7 @@ import (
 	"smoothscan/internal/exec"
 	"smoothscan/internal/heap"
 	"smoothscan/internal/optimizer"
+	"smoothscan/internal/parallel"
 	"smoothscan/internal/tuple"
 )
 
@@ -137,10 +140,24 @@ type Options struct {
 
 // DB is an embedded, read-optimised database: bulk-load tables, build
 // secondary indexes, scan with any access path.
+//
+// Concurrency: a DB is safe to share across goroutines for reads —
+// any number of Scans (serial or parallel) may run concurrently, each
+// returning its own Rows. A Rows is NOT safe to share: exactly one
+// goroutine may drive it. Mutating operations (CreateTable,
+// CreateIndex, Analyze, Insert, Compact) are mutually serialized but
+// must not run while scans are open; so ColdCache and ResetStats,
+// which would corrupt in-flight iterators, return ErrScansOpen while
+// any Rows is open.
 type DB struct {
 	dev    *disk.Device
 	pool   *bufferpool.Pool
+	mu     sync.RWMutex // guards tables
 	tables map[string]*table
+
+	// openScans counts Rows handed out and not yet closed; it gates
+	// the cache/stats reset entry points.
+	openScans atomic.Int64
 }
 
 type table struct {
@@ -176,6 +193,12 @@ var ErrNoTable = errors.New("smoothscan: no such table")
 // exist.
 var ErrNoIndex = errors.New("smoothscan: no index on column")
 
+// ErrScansOpen is returned by ColdCache and ResetStats while Rows are
+// open: resetting the buffer pool or the device counters under an
+// in-flight iterator would silently corrupt its results, so the
+// operation is refused instead. Close every Rows first.
+var ErrScansOpen = errors.New("smoothscan: operation unsafe while scans are open")
+
 // TableBuilder loads rows into a new table. All columns are int64.
 type TableBuilder struct {
 	tab  *table
@@ -185,6 +208,8 @@ type TableBuilder struct {
 // CreateTable creates a table with the named int64 columns and returns
 // its loader. Call Finish before querying or indexing.
 func (db *DB) CreateTable(name string, columns ...string) (*TableBuilder, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("smoothscan: table %q exists", name)
 	}
@@ -227,7 +252,15 @@ func (b *TableBuilder) Finish() error {
 	return err
 }
 
+// table looks a finished table up under the read lock.
 func (db *DB) table(name string) (*table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableLocked(name)
+}
+
+// tableLocked is table for callers already holding db.mu.
+func (db *DB) tableLocked(name string) (*table, error) {
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -240,7 +273,9 @@ func (db *DB) table(name string) (*table, error) {
 
 // CreateIndex builds a non-clustered B+-tree index on the column.
 func (db *DB) CreateIndex(tableName, column string) error {
-	t, err := db.table(tableName)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(tableName)
 	if err != nil {
 		return err
 	}
@@ -261,7 +296,9 @@ func (db *DB) CreateIndex(tableName, column string) error {
 // them; without Analyze the optimizer falls back to uniformity
 // assumptions, the paper's recipe for misestimation.
 func (db *DB) Analyze(tableName string, columns ...string) error {
-	t, err := db.table(tableName)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(tableName)
 	if err != nil {
 		return err
 	}
@@ -288,7 +325,9 @@ func (db *DB) Analyze(tableName string, columns ...string) error {
 // collected by Analyze become stale; re-run Analyze after bulk
 // ingestion.
 func (db *DB) Insert(tableName string, vals ...int64) error {
-	t, err := db.table(tableName)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(tableName)
 	if err != nil {
 		return err
 	}
@@ -312,7 +351,9 @@ func (db *DB) Insert(tableName string, vals ...int64) error {
 // restoring the contiguous-leaf layout that makes index traversals
 // sequential. A maintenance operation, like the original index build.
 func (db *DB) Compact(tableName string) error {
-	t, err := db.table(tableName)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(tableName)
 	if err != nil {
 		return err
 	}
@@ -345,12 +386,36 @@ func (db *DB) NumPages(tableName string) (int64, error) {
 // Stats returns the device counters accumulated so far.
 func (db *DB) Stats() IOStats { return db.dev.Stats() }
 
-// ResetStats zeroes the device counters.
-func (db *DB) ResetStats() { db.dev.ResetStats() }
+// ResetStats zeroes the device counters. It is refused with
+// ErrScansOpen while any Rows is open: in-flight scans are still
+// charging the counters, and zeroing them mid-query would corrupt
+// both the query's and the device's accounting. The check excludes
+// concurrent Scan calls (both hold db.mu), so a scan is either fully
+// registered and refused here, or starts after the reset.
+func (db *DB) ResetStats() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := db.openScans.Load(); n > 0 {
+		return fmt.Errorf("%w: ResetStats with %d open", ErrScansOpen, n)
+	}
+	db.dev.ResetStats()
+	return nil
+}
 
 // ColdCache empties the buffer pool (and resets its counters), putting
-// the system in the cold state the paper measures.
-func (db *DB) ColdCache() { db.pool.Reset() }
+// the system in the cold state the paper measures. It is refused with
+// ErrScansOpen while any Rows is open: evicting every frame under an
+// in-flight iterator would silently change what that scan reads and
+// pays for. Like ResetStats, it excludes concurrent Scan calls.
+func (db *DB) ColdCache() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := db.openScans.Load(); n > 0 {
+		return fmt.Errorf("%w: ColdCache with %d open", ErrScansOpen, n)
+	}
+	db.pool.Reset()
+	return nil
+}
 
 // ScanOptions configures a Scan.
 type ScanOptions struct {
@@ -379,24 +444,44 @@ type ScanOptions struct {
 	// ResultCacheBudget bounds the ordered Smooth Scan's Result Cache
 	// resident memory in bytes; beyond it, far partitions spill to
 	// overflow files (charged as sequential I/O). Zero = unlimited.
+	// A parallel scan splits the budget evenly across its workers.
 	ResultCacheBudget int64
+	// Parallelism is the number of scan workers. Values <= 1 select
+	// the classic serial operator. For PathSmooth and PathFull the
+	// table's heap pages are partitioned into that many disjoint
+	// shards, one independently-morphing worker each, merged through
+	// an unordered fan-in (or a key-ordered merge when Ordered is
+	// set); the result rows are exactly those of the serial scan. The
+	// other access paths ignore the knob and run serially. The value
+	// is clamped to the table's page count and to MaxParallelism.
+	Parallelism int
 }
+
+// MaxParallelism caps ScanOptions.Parallelism.
+const MaxParallelism = 64
 
 // Rows iterates a scan result. Internally it drains the operator tree
 // through the batched (vectorized) protocol: Next refills a private
 // row batch once per exec.DefaultBatchSize rows and then serves views
 // into it, so the per-row cost of the public iterator is a bounds
 // check and a slice header.
+//
+// A Rows is owned by a single goroutine — share the DB, not the Rows.
+// Always Close a Rows when done with it; open Rows block ColdCache
+// and ResetStats.
 type Rows struct {
-	op     exec.Operator
-	schema *tuple.Schema
-	batch  *tuple.Batch
-	pos    int
-	cur    tuple.Row
-	err    error
-	smooth *core.SmoothScan
-	choice *optimizer.Choice
-	done   bool
+	db        *DB
+	op        exec.Operator
+	schema    *tuple.Schema
+	batch     *tuple.Batch
+	pos       int
+	cur       tuple.Row
+	err       error
+	smooth    *core.SmoothScan
+	smoothAll []*core.SmoothScan // parallel workers (PathSmooth)
+	choice    *optimizer.Choice
+	done      bool
+	closed    bool
 }
 
 // Next advances to the next row; it returns false at the end of the
@@ -449,16 +534,36 @@ func (r *Rows) Col(name string) (int64, bool) {
 // Err returns the first error encountered.
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the scan.
-func (r *Rows) Close() error { return r.op.Close() }
+// Close releases the scan (stopping any parallel workers still
+// running). Closing an already-closed Rows is a no-op.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.op.Close()
+	if r.db != nil {
+		r.db.openScans.Add(-1)
+	}
+	return err
+}
 
 // SmoothStats returns the Smooth Scan operator counters when the scan
-// used PathSmooth.
+// used PathSmooth. For a parallel scan it returns the per-worker
+// counters aggregated into query totals (core.AggregateStats); read it
+// after draining or closing the scan, when the workers have quiesced.
 func (r *Rows) SmoothStats() (SmoothStats, bool) {
-	if r.smooth == nil {
-		return SmoothStats{}, false
+	if r.smooth != nil {
+		return r.smooth.Stats(), true
 	}
-	return r.smooth.Stats(), true
+	if len(r.smoothAll) > 0 {
+		parts := make([]core.Stats, len(r.smoothAll))
+		for i, ss := range r.smoothAll {
+			parts[i] = ss.Stats()
+		}
+		return core.AggregateStats(parts), true
+	}
+	return SmoothStats{}, false
 }
 
 // Choice returns the optimizer's decision when the scan used PathAuto.
@@ -473,7 +578,13 @@ func (r *Rows) Choice() (path string, estimatedRows int64, ok bool) {
 // lo <= v < hi, using the configured access path. All paths except
 // PathFull require an index on the column (CreateIndex).
 func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*Rows, error) {
-	t, err := db.table(tableName)
+	// The read lock is held until the scan is registered in openScans,
+	// so ColdCache/ResetStats (which take the write lock) can never
+	// observe a zero count while a scan is being opened — either they
+	// run first, or they see the scan and refuse.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.tableLocked(tableName)
 	if err != nil {
 		return nil, err
 	}
@@ -513,12 +624,28 @@ func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*R
 		estimate = choice.EstimatedCard
 	}
 
+	par := opts.Parallelism
+	if par > MaxParallelism {
+		par = MaxParallelism
+	}
+	if int64(par) > t.file.NumPages() {
+		par = int(t.file.NumPages())
+	}
+
 	switch path {
 	case PathFull:
 		if opts.Ordered {
 			return nil, fmt.Errorf("smoothscan: full scan cannot deliver ordered output; add an explicit sort")
 		}
-		rows.op = access.NewFullScan(t.file, db.pool, pred)
+		if par > 1 {
+			op, err := db.parallelFullScan(t, pred, par)
+			if err != nil {
+				return nil, err
+			}
+			rows.op = op
+		} else {
+			rows.op = access.NewFullScan(t.file, db.pool, pred)
+		}
 	case PathIndex:
 		if !hasIndex {
 			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
@@ -541,6 +668,9 @@ func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*R
 		if !hasIndex {
 			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
 		}
+		// The one place a ScanOptions becomes a core.Config; the
+		// parallel path derives every shard's config from this same
+		// value, so new knobs apply to both automatically.
 		cfg := core.Config{
 			Policy:            opts.Policy,
 			Trigger:           opts.Trigger,
@@ -551,19 +681,95 @@ func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*R
 			CostParams:        params,
 			ResultCacheBudget: opts.ResultCacheBudget,
 		}
-		ss, err := core.NewSmoothScan(t.file, db.pool, tree, pred, cfg)
-		if err != nil {
-			return nil, err
+		if par > 1 {
+			op, smooths, err := db.parallelSmoothScan(t, tree, pred, cfg, par)
+			if err != nil {
+				return nil, err
+			}
+			rows.smoothAll = smooths
+			rows.op = op
+		} else {
+			ss, err := core.NewSmoothScan(t.file, db.pool, tree, pred, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows.smooth = ss
+			rows.op = ss
 		}
-		rows.smooth = ss
-		rows.op = ss
 	default:
 		return nil, fmt.Errorf("smoothscan: unknown access path %d", opts.Path)
 	}
 	if err := rows.op.Open(); err != nil {
 		return nil, err
 	}
+	rows.db = db
+	db.openScans.Add(1)
 	return rows, nil
+}
+
+// parallelSmoothScan builds one independently-morphing Smooth Scan per
+// disjoint heap page shard and merges them: an unordered fan-in, or —
+// when base.Ordered — a k-way merge reproducing the serial (key, TID)
+// output order. Each shard runs the query's base config with its page
+// bounds set and the whole-query knobs (cardinality estimate, SLA
+// bound, Result Cache budget) split evenly across the shards.
+func (db *DB) parallelSmoothScan(t *table, tree *btree.Tree, pred tuple.RangePred, base core.Config, par int) (*parallel.Scan, []*core.SmoothScan, error) {
+	shards := parallel.PartitionPages(t.file.NumPages(), par)
+	n := int64(len(shards))
+	workers := make([]parallel.Worker, len(shards))
+	smooths := make([]*core.SmoothScan, len(shards))
+	for i, sh := range shards {
+		view := db.pool.View()
+		cfg := base
+		cfg.EstimatedCard = (base.EstimatedCard + n - 1) / n
+		cfg.SLABound = base.SLABound / float64(n)
+		cfg.ResultCacheBudget = splitBudget(base.ResultCacheBudget, n)
+		cfg.PageLo = sh.PageLo
+		cfg.PageHi = sh.PageHi
+		ss, err := core.NewSmoothScan(t.file, view, tree, pred, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		smooths[i] = ss
+		workers[i] = parallel.Worker{Op: ss, Flush: view.FlushCPU}
+	}
+	op, err := parallel.NewScan(workers, parallel.Options{
+		Schema:  t.file.Schema(),
+		Ordered: base.Ordered,
+		KeyCol:  pred.Col,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, smooths, nil
+}
+
+// parallelFullScan builds one full-scan worker per disjoint heap page
+// shard, merged through an unordered fan-in.
+func (db *DB) parallelFullScan(t *table, pred tuple.RangePred, par int) (*parallel.Scan, error) {
+	shards := parallel.PartitionPages(t.file.NumPages(), par)
+	workers := make([]parallel.Worker, len(shards))
+	for i, sh := range shards {
+		view := db.pool.View()
+		workers[i] = parallel.Worker{
+			Op:    access.NewFullScanRange(t.file, view, pred, sh.PageLo, sh.PageHi),
+			Flush: view.FlushCPU,
+		}
+	}
+	return parallel.NewScan(workers, parallel.Options{Schema: t.file.Schema()})
+}
+
+// splitBudget divides a byte budget across n workers, keeping a
+// non-zero per-worker slice whenever the whole budget was non-zero.
+func splitBudget(budget, n int64) int64 {
+	if budget <= 0 {
+		return 0
+	}
+	per := budget / n
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // costParams derives Section V cost-model parameters for a table.
