@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-parallel
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel cover equiv
 
-## check: everything CI runs — format, vet, build, tests (incl. -race), bench smoke.
-check: fmt vet build test race bench-smoke
+## check: everything CI runs — format, vet, build, tests (incl. -race),
+## bench smoke, the facade-equivalence golden diff, and the coverage floor.
+check: fmt vet build test race bench-smoke equiv cover
+
+## COVER_FLOOR: minimum total statement coverage (percent) make cover accepts.
+COVER_FLOOR ?= 70.0
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,3 +39,14 @@ bench:
 ## machine-readable trajectory file BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/ssload -bench parallel -json BENCH_parallel.json
+
+## cover: the test suite with coverage, enforcing COVER_FLOOR on the total.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+## equiv: diff the deterministic ssbench experiments against the
+## committed golden — proves facade/plan refactors left the simulated
+## I/O and CPU accounting byte-identical.
+equiv:
+	./scripts/equivcheck.sh

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,8 +49,16 @@ func main() {
 		pool        = flag.Int("pool", 2048, "buffer pool pages")
 		bench       = flag.String("bench", "", "run a fixed benchmark instead: 'parallel' (P=1/2/4/8 sweep)")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file")
+		timeout     = flag.Duration("timeout", 0, "deadline for the whole load; in-flight queries are cancelled through their context")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	db, err := buildDB(*rows, *domain, *seed, *pool)
 	if err != nil {
@@ -70,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := runLoad(db, loadConfig{
+	res, err := runLoad(ctx, db, loadConfig{
 		clients:     *clients,
 		queries:     *queries,
 		selectivity: *selectivity,
@@ -190,8 +199,11 @@ func (r loadResult) print(w *os.File) {
 }
 
 // runLoad fires cfg.queries queries across cfg.clients goroutines
-// sharing db and aggregates wall-clock throughput and latency.
-func runLoad(db *smoothscan.DB, cfg loadConfig) (loadResult, error) {
+// sharing db and aggregates wall-clock throughput and latency. Every
+// query goes through the composable Query builder — the same surface
+// the library's users compose — with ctx cancelling in-flight queries
+// (and their parallel scan workers) when the -timeout deadline hits.
+func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult, error) {
 	if cfg.clients < 1 || cfg.queries < 1 {
 		return loadResult{}, fmt.Errorf("need at least one client and one query")
 	}
@@ -232,7 +244,10 @@ func runLoad(db *smoothscan.DB, cfg loadConfig) (loadResult, error) {
 					lo = rng.Int63n(cfg.domain - width)
 				}
 				qStart := time.Now()
-				rows, err := db.Scan("t", "val", lo, lo+width, cfg.opts)
+				rows, err := db.Query("t").
+					Where("val", smoothscan.Between(lo, lo+width)).
+					WithOptions(cfg.opts).
+					Run(ctx)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -1,6 +1,7 @@
 package smoothscan_test
 
 import (
+	"context"
 	"fmt"
 
 	"smoothscan"
@@ -125,4 +126,66 @@ func ExampleDB_FullScanCost() {
 	}
 	fmt.Println("rows:", n, "within SLA:", db.Stats().IOTime <= 2*fs)
 	// Output: rows: 50000 within SLA: true
+}
+
+// ExampleDB_Query composes a multi-predicate aggregation with the
+// builder: the optimizer drives the scan by the indexed predicate and
+// pushes the other conjunct into the page decode as a residual.
+func ExampleDB_Query() {
+	db, _ := smoothscan.Open(smoothscan.Options{})
+	tb, _ := db.CreateTable("orders", "id", "amount", "items")
+	for i := int64(0); i < 10_000; i++ {
+		tb.Append(i, i%500, i%7)
+	}
+	tb.Finish()
+	db.CreateIndex("orders", "amount")
+
+	rows, err := db.Query("orders").
+		Where("amount", smoothscan.Between(100, 104)).
+		Where("items", smoothscan.Lt(3)).
+		GroupBy("amount", smoothscan.Count(), smoothscan.Sum("items")).
+		OrderBy("amount").
+		Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		amount, _ := rows.Col("amount")
+		n, _ := rows.Col("count")
+		fmt.Printf("amount %d: %d orders\n", amount, n)
+	}
+	// Output:
+	// amount 100: 9 orders
+	// amount 101: 8 orders
+	// amount 102: 8 orders
+	// amount 103: 8 orders
+}
+
+// ExampleQuery_Explain prints the compiled plan without executing the
+// query (no simulated I/O is charged).
+func ExampleQuery_Explain() {
+	db, _ := smoothscan.Open(smoothscan.Options{})
+	tb, _ := db.CreateTable("t", "id", "val", "tag")
+	for i := int64(0); i < 5_000; i++ {
+		tb.Append(i, i%100, i%9)
+	}
+	tb.Finish()
+	db.CreateIndex("t", "val")
+
+	plan, err := db.Query("t").
+		Where("val", smoothscan.Between(10, 20)).
+		Where("tag", smoothscan.Eq(3)).
+		Select("id", "val").
+		Limit(5).
+		Explain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan)
+	// Output:
+	// Query(t) via smooth
+	// └─ limit(5)                                       est≈5 rows
+	//    └─ project(id, val)                            est≈556 rows
+	//       └─ smooth-scan(t: 10<=val<20, policy=elastic, trigger=eager, residual: tag=3) est≈556 rows
 }

@@ -1,8 +1,9 @@
-// Quickstart: load a table, build a secondary index, and run range
+// Quickstart: load a table, build a secondary index, and run composable
 // queries with the Smooth Scan access path — no statistics required.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -25,14 +26,14 @@ func run() error {
 		return err
 	}
 
-	// Orders: (id, amount_cents). 50,000 rows, amounts uniform.
-	tb, err := db.CreateTable("orders", "id", "amount")
+	// Orders: (id, amount_cents, items). 50,000 rows, amounts uniform.
+	tb, err := db.CreateTable("orders", "id", "amount", "items")
 	if err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(2024))
 	for i := int64(0); i < 50_000; i++ {
-		if err := tb.Append(i, rng.Int63n(10_000_00)); err != nil {
+		if err := tb.Append(i, rng.Int63n(10_000_00), 1+rng.Int63n(8)); err != nil {
 			return err
 		}
 	}
@@ -43,18 +44,29 @@ func run() error {
 		return err
 	}
 
-	// Query: orders between 100.00 and 150.00 — the kind of range
+	// Query: orders between 100.00 and 150.00 with few items — ranges
 	// whose cardinality an optimizer must guess. Smooth Scan does not
-	// care: it adapts while running.
-	db.ResetStats()
-	rows, err := db.Scan("orders", "amount", 100_00, 150_00, smoothscan.ScanOptions{
-		// Defaults: PathSmooth, Elastic policy, Eager trigger.
-	})
+	// care: it adapts while running. The builder composes the pipeline;
+	// the second predicate rides along as a residual evaluated inside
+	// the page decode.
+	q := db.Query("orders").
+		Where("amount", smoothscan.Between(100_00, 150_00)).
+		Where("items", smoothscan.Lt(4)).
+		Select("id", "amount")
+
+	// Explain compiles the query without touching the device.
+	plan, err := q.Explain()
 	if err != nil {
 		return err
 	}
-	var count int64
-	var total int64
+	fmt.Print(plan)
+
+	rows, err := q.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	var count, total int64
 	for rows.Next() {
 		amount, _ := rows.Col("amount")
 		total += amount
@@ -63,17 +75,23 @@ func run() error {
 	if rows.Err() != nil {
 		return rows.Err()
 	}
-	defer rows.Close()
+	if err := rows.Close(); err != nil {
+		return err
+	}
 
 	fmt.Printf("matched %d orders, total %d.%02d\n", count, total/100, total%100)
 
-	st := db.Stats()
+	// ExecStats unifies the query's observability: device I/O delta,
+	// Smooth Scan morphing counters, per-operator row counts.
+	st := rows.ExecStats()
 	fmt.Printf("simulated cost: %.1f units (%.1f I/O + %.1f CPU), %d pages read\n",
-		st.Time(), st.IOTime, st.CPUTime, st.PagesRead)
-
-	if ss, ok := rows.SmoothStats(); ok {
+		st.IO.Time(), st.IO.IOTime, st.IO.CPUTime, st.IO.PagesRead)
+	if st.HasSmooth {
 		fmt.Printf("smooth scan: fetched %d heap pages, morphing accuracy %.0f%%, peak region %d pages\n",
-			ss.PagesFetched, 100*ss.MorphingAccuracy(), ss.PeakRegionPages)
+			st.Smooth.PagesFetched, 100*st.Smooth.MorphingAccuracy(), st.Smooth.PeakRegionPages)
+	}
+	for _, op := range st.Operators {
+		fmt.Printf("operator %-12s %6d rows in %d batches\n", op.Name, op.Rows, op.Batches)
 	}
 	return nil
 }

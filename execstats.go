@@ -1,0 +1,179 @@
+package smoothscan
+
+import (
+	"context"
+	"fmt"
+
+	"smoothscan/internal/core"
+	"smoothscan/internal/exec"
+	"smoothscan/internal/tuple"
+)
+
+// OperatorStats counts one plan operator's output.
+type OperatorStats struct {
+	// Name identifies the operator ("smooth", "filter", "hash-agg", ...).
+	Name string
+	// Rows is the number of rows the operator produced.
+	Rows int64
+	// Batches is the number of non-empty batches it produced.
+	Batches int64
+}
+
+// ExecStats unifies a query's observability in one place: the device
+// I/O delta, the Smooth Scan morphing counters (aggregated across
+// parallel workers and individually per worker), and per-operator
+// row/batch counts. Retrieve it from a Rows — the numbers are complete
+// once the Rows is closed (parallel workers have quiesced and flushed
+// their deferred CPU charges by then).
+type ExecStats struct {
+	// IO is the device-counter delta between the query's start and the
+	// moment the stats were taken (Close time, for a closed Rows). On
+	// a DB running concurrent scans the delta includes their traffic
+	// too — the device is shared; single-query accounting is exact
+	// when the query runs alone, the way the harness measures.
+	IO IOStats
+	// HasSmooth reports whether the query's access path was a Smooth
+	// Scan, i.e. whether Smooth (and, when parallel, Workers) is set.
+	HasSmooth bool
+	// Smooth holds the morphing counters: the operator's own for a
+	// serial scan, the core.AggregateStats roll-up for a parallel one.
+	// For a parallel scan still running, the roll-up is zero — worker
+	// counters are only read once the workers have quiesced (the scan
+	// drained to end-of-stream or closed), because reading them while
+	// worker goroutines still mutate them would race.
+	Smooth SmoothStats
+	// Workers holds per-worker morphing counters for a parallel Smooth
+	// Scan, in shard (heap page) order; nil otherwise (including while
+	// a parallel scan is still running, see Smooth).
+	Workers []SmoothStats
+	// Operators counts rows and batches per plan operator, leaf first.
+	Operators []OperatorStats
+	// RowsReturned is the number of rows the root operator delivered
+	// to the caller so far.
+	RowsReturned int64
+}
+
+// ExecStats returns the query's unified execution statistics. It may
+// be called while the scan is still running (counters are then
+// partial); after Close the snapshot is final, including the I/O
+// delta frozen at Close time.
+func (r *Rows) ExecStats() ExecStats {
+	st := ExecStats{}
+	if r.closed {
+		st.IO = r.ioDelta
+	} else if r.db != nil {
+		st.IO = r.db.dev.Stats().Sub(r.ioStart)
+	}
+	switch {
+	case r.smooth != nil:
+		// Serial: the operator runs on the caller's goroutine, so a
+		// live snapshot is safe.
+		st.HasSmooth = true
+		st.Smooth = r.smooth.Stats()
+	case len(r.smoothAll) > 0:
+		st.HasSmooth = true
+		if r.closed || r.done {
+			// Workers have quiesced; their counters are stable.
+			st.Smooth = aggregateWorkers(r.smoothAll)
+			st.Workers = make([]SmoothStats, len(r.smoothAll))
+			for i, w := range r.smoothAll {
+				st.Workers[i] = w.Stats()
+			}
+		}
+	}
+	for _, c := range r.counters {
+		st.Operators = append(st.Operators, OperatorStats{Name: c.name, Rows: c.rows, Batches: c.batches})
+	}
+	if n := len(r.counters); n > 0 {
+		st.RowsReturned = r.counters[n-1].rows
+	}
+	return st
+}
+
+// Column returns the current row's value for the named column,
+// distinguishing the two miss reasons that Col folds into one false:
+// a column the table never had (ErrUnknownColumn) and a column the
+// query projected away via Select or GroupBy (ErrNotSelected).
+func (r *Rows) Column(name string) (int64, error) {
+	if i := r.schema.ColIndex(name); i >= 0 {
+		return r.cur.Int(i), nil
+	}
+	if r.baseSchema != nil && r.baseSchema.ColIndex(name) >= 0 {
+		return 0, fmt.Errorf("%w: %q (use Select/GroupBy to include it)", ErrNotSelected, name)
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownColumn, name)
+}
+
+// opCounter accumulates one operator's output counts. It is written
+// only by the goroutine driving the Rows, so no synchronisation is
+// needed.
+type opCounter struct {
+	name    string
+	rows    int64
+	batches int64
+}
+
+// countedOp decorates an operator with row/batch counting. It adds no
+// simulated cost — the counters are host-side observability — and
+// forwards the batched protocol, so decoration never changes the
+// operator tree's I/O schedule or CPU charge sequence.
+type countedOp struct {
+	inner exec.Operator
+	c     *opCounter
+}
+
+func (o *countedOp) Schema() *tuple.Schema { return o.inner.Schema() }
+func (o *countedOp) Open() error           { return o.inner.Open() }
+func (o *countedOp) Close() error          { return o.inner.Close() }
+
+func (o *countedOp) Next() (tuple.Row, bool, error) {
+	row, ok, err := o.inner.Next()
+	if ok {
+		o.c.rows++
+	}
+	return row, ok, err
+}
+
+func (o *countedOp) NextBatch(b *tuple.Batch) (int, error) {
+	n, err := exec.NextBatch(o.inner, b)
+	if n > 0 {
+		o.c.rows += int64(n)
+		o.c.batches++
+	}
+	return n, err
+}
+
+// ctxGuard checks context cancellation once per batch (never per
+// tuple) on behalf of whatever drains it — the Rows iterator or a
+// blocking operator (sort, aggregation) consuming the scan.
+type ctxGuard struct {
+	inner exec.Operator
+	ctx   context.Context
+}
+
+func (g *ctxGuard) Schema() *tuple.Schema { return g.inner.Schema() }
+func (g *ctxGuard) Open() error           { return g.inner.Open() }
+func (g *ctxGuard) Close() error          { return g.inner.Close() }
+
+func (g *ctxGuard) Next() (tuple.Row, bool, error) {
+	if err := g.ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return g.inner.Next()
+}
+
+func (g *ctxGuard) NextBatch(b *tuple.Batch) (int, error) {
+	if err := g.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return exec.NextBatch(g.inner, b)
+}
+
+// aggregateWorkers folds per-worker smooth stats into query totals.
+func aggregateWorkers(workers []*core.SmoothScan) SmoothStats {
+	parts := make([]core.Stats, len(workers))
+	for i, ss := range workers {
+		parts[i] = ss.Stats()
+	}
+	return core.AggregateStats(parts)
+}

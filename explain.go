@@ -1,0 +1,195 @@
+package smoothscan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"smoothscan/internal/tuple"
+)
+
+// PlanNode is one operator of an explained plan.
+type PlanNode struct {
+	// Name is the operator ("smooth-scan", "filter", "hash-agg", ...).
+	Name string
+	// Detail describes the node's configuration in one line.
+	Detail string
+	// EstRows is the optimizer's output-cardinality estimate for the
+	// node; -1 when the optimizer cannot estimate it (aggregates).
+	EstRows int64
+	// Children are the node's inputs (at most one in this engine).
+	Children []*PlanNode
+}
+
+// Plan is the compiled form of a Query, as returned by Query.Explain
+// (and retrievable from a running query via Rows.Plan). String renders
+// it as an indented tree, one operator per line, leaf last.
+type Plan struct {
+	// Table is the scanned table.
+	Table string
+	// AccessPath is the chosen driving access path.
+	AccessPath AccessPath
+	// EstimatedRows is the estimated scan output cardinality after all
+	// pushed-down predicates.
+	EstimatedRows int64
+	// Parallelism is the scan worker count (1 = serial).
+	Parallelism int
+	// Root is the plan's root operator node.
+	Root *PlanNode
+}
+
+// String renders the plan tree, root first.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query(%s) via %s", p.Table, p.AccessPath)
+	if p.Parallelism > 1 {
+		fmt.Fprintf(&b, " x%d", p.Parallelism)
+	}
+	b.WriteByte('\n')
+	var walk func(n *PlanNode, depth int)
+	walk = func(n *PlanNode, depth int) {
+		indent := strings.Repeat("   ", depth)
+		est := "?"
+		if n.EstRows >= 0 {
+			est = fmt.Sprintf("%d", n.EstRows)
+		}
+		line := n.Name
+		if n.Detail != "" {
+			line += "(" + n.Detail + ")"
+		}
+		fmt.Fprintf(&b, "%s└─ %-*s est≈%s rows\n", indent, 46-3*depth, line, est)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return b.String()
+}
+
+// fmtPred renders a range predicate over a named column compactly,
+// eliding open bounds.
+func fmtPred(name string, p tuple.RangePred) string {
+	openLo := p.Lo == math.MinInt64
+	openHi := p.Hi == math.MaxInt64
+	switch {
+	case openLo && openHi:
+		return name + "=*"
+	case p.Hi == p.Lo+1:
+		return fmt.Sprintf("%s=%d", name, p.Lo)
+	case p.Hi <= p.Lo:
+		return name + "=∅"
+	case openLo:
+		return fmt.Sprintf("%s<%d", name, p.Hi)
+	case openHi:
+		return fmt.Sprintf("%s>=%d", name, p.Lo)
+	default:
+		return fmt.Sprintf("%d<=%s<%d", p.Lo, name, p.Hi)
+	}
+}
+
+// plan renders the compiled query as its Explain tree. It mirrors
+// build exactly — every operator build constructs gets one node here,
+// so the explained plan is the executed plan.
+func (cq *compiledQuery) plan() *Plan {
+	p := &Plan{
+		Table:         cq.table,
+		AccessPath:    cq.path,
+		EstimatedRows: cq.estScan,
+		Parallelism:   cq.par,
+	}
+	if cq.emptyWhy != "" {
+		p.Parallelism = 1
+		p.EstimatedRows = 0
+		p.Root = &PlanNode{Name: "empty", Detail: cq.emptyWhy + "; no device access", EstRows: 0}
+		return p
+	}
+
+	// Leaf: the table access.
+	var d []string
+	d = append(d, cq.table+": "+fmtPred(cq.driving.name, cq.driving.pred))
+	if cq.path == PathSmooth {
+		d = append(d, "policy="+cq.cfg.Policy.String(), "trigger="+cq.cfg.Trigger.String())
+	}
+	if cq.choice != nil {
+		d = append(d, "chosen-by=optimizer")
+	}
+	if cq.ordered {
+		d = append(d, "ordered")
+	}
+	if cq.pushed {
+		var rs []string
+		for _, r := range cq.residual {
+			rs = append(rs, fmtPred(r.name, r.pred))
+		}
+		d = append(d, "residual: "+strings.Join(rs, " and "))
+	}
+	scanEst := cq.estDriving
+	if cq.pushed {
+		scanEst = cq.estScan
+	}
+	node := &PlanNode{Name: cq.path.String() + "-scan", Detail: strings.Join(d, ", "), EstRows: scanEst}
+	if cq.par > 1 {
+		merge := "unordered fan-in"
+		if cq.ordered {
+			merge = "ordered merge"
+		}
+		node = &PlanNode{
+			Name:     "parallel",
+			Detail:   fmt.Sprintf("%d workers, %s", cq.par, merge),
+			EstRows:  scanEst,
+			Children: []*PlanNode{node},
+		}
+	}
+
+	cur := node
+	wrap := func(n *PlanNode) {
+		n.Children = []*PlanNode{cur}
+		cur = n
+	}
+	if len(cq.residual) > 0 && !cq.pushed {
+		var rs []string
+		for _, r := range cq.residual {
+			rs = append(rs, fmtPred(r.name, r.pred))
+		}
+		wrap(&PlanNode{Name: "filter", Detail: strings.Join(rs, " and "), EstRows: cq.estScan})
+	}
+	if cq.selIdx != nil {
+		names := make([]string, len(cq.selIdx))
+		for i, c := range cq.selIdx {
+			names[i] = cq.base.Col(c).Name
+		}
+		wrap(&PlanNode{Name: "project", Detail: strings.Join(names, ", "), EstRows: cur.EstRows})
+	}
+	if cq.groupIdx >= 0 {
+		var as []string
+		for _, sp := range cq.aggSpecs {
+			as = append(as, sp.Name)
+		}
+		wrap(&PlanNode{
+			Name:    "hash-agg",
+			Detail:  fmt.Sprintf("group by %s: %s", cq.out.Col(0).Name, strings.Join(as, ", ")),
+			EstRows: -1,
+		})
+	}
+	if cq.orderIdx >= 0 {
+		name := cq.out.Col(cq.orderIdx).Name
+		if cq.needSort {
+			wrap(&PlanNode{Name: "sort", Detail: "by " + name, EstRows: cur.EstRows})
+		} else {
+			via := "order-preserving scan"
+			if cq.orderVia == "group" {
+				via = "group-key order"
+			}
+			wrap(&PlanNode{Name: "ordered", Detail: "by " + name + " via " + via + ", no sort", EstRows: cur.EstRows})
+		}
+	}
+	if cq.hasLim {
+		est := cq.limit
+		if cur.EstRows >= 0 && cur.EstRows < est {
+			est = cur.EstRows
+		}
+		wrap(&PlanNode{Name: "limit", Detail: fmt.Sprintf("%d", cq.limit), EstRows: est})
+	}
+	p.Root = cur
+	return p
+}

@@ -34,6 +34,10 @@ type FullScan struct {
 	file *heap.File
 	pool *bufferpool.Pool
 	pred tuple.RangePred
+	// residual holds extra conjunctive predicates pushed into the page
+	// decode (heap.DecodeBatchMatching): slots failing any of them are
+	// examined but never materialised. Nil for single-predicate scans.
+	residual []tuple.RangePred
 	// pageLo/pageHi bound the scan to heap pages [pageLo, pageHi) — a
 	// parallel scan's shard; NewFullScan covers the whole file.
 	pageLo, pageHi int64
@@ -65,6 +69,11 @@ func NewFullScanRange(file *heap.File, pool *bufferpool.Pool, pred tuple.RangePr
 	}
 	return &FullScan{file: file, pool: pool, pred: pred, pageLo: pageLo, pageHi: pageHi}
 }
+
+// SetResidual attaches extra conjunctive predicates evaluated inside
+// the page decode, so rows failing them are never materialised. Call
+// before Open.
+func (s *FullScan) SetResidual(preds []tuple.RangePred) { s.residual = preds }
 
 // Schema returns the table schema.
 func (s *FullScan) Schema() *tuple.Schema { return s.file.Schema() }
@@ -117,7 +126,7 @@ func (s *FullScan) Next() (tuple.Row, bool, error) {
 			s.row = s.file.DecodeRow(page, s.slot, s.row)
 			s.slot++
 			s.pool.ChargeCPU(simcost.Tuple)
-			if s.pred.Matches(s.row) {
+			if s.pred.Matches(s.row) && tuple.MatchesAll(s.residual, s.row) {
 				return s.row.Clone(), true, nil
 			}
 		}
@@ -158,7 +167,7 @@ func (s *FullScan) fillBatch(out *tuple.Batch, keep func(pageNo int64, slot int)
 			pageNo := s.pageNo - int64(len(s.pages)) + int64(s.pageIdx)
 			slotKeep = func(slot int) bool { return keep(pageNo, slot) }
 		}
-		next, examined := s.file.DecodeBatchMatching(page, s.slot, count, s.pred, slotKeep, out)
+		next, examined := s.file.DecodeBatchMatching(page, s.slot, count, s.pred, s.residual, slotKeep, out)
 		s.pool.ChargeCPUN(simcost.Tuple, int64(examined))
 		s.slot = next
 		if next >= count {

@@ -150,6 +150,15 @@ type Config struct {
 	// from the current key range spill to simulated overflow files
 	// (Section IV-A). Zero means unlimited.
 	ResultCacheBudget int64
+	// Residual holds extra conjunctive predicates pushed into page
+	// analysis (heap.DecodeBatchMatching and the Mode 0 probes): tuples
+	// failing any of them are examined but never produced, so a
+	// multi-predicate plan materialises only its final matches.
+	// Residual conjuncts must not reference the indexed column (fold
+	// those into Pred instead) and are incompatible with Ordered — the
+	// ordered Result Cache's invariants assume every index entry in the
+	// key range is eventually produced.
+	Residual []tuple.RangePred
 	// PageLo/PageHi restrict the scan to the heap pages [PageLo,
 	// PageHi): index entries pointing outside the range are skipped and
 	// morphing regions never extend past PageHi. A parallel scan gives
@@ -308,6 +317,9 @@ func NewSmoothScan(file *heap.File, pool *bufferpool.Pool, tree *btree.Tree, pre
 			cfg.PageLo, cfg.PageHi, file.NumPages())
 	}
 	sharded := cfg.PageLo > 0 || cfg.PageHi < file.NumPages()
+	if cfg.Ordered && len(cfg.Residual) > 0 {
+		return nil, fmt.Errorf("core: residual predicates are incompatible with ordered delivery; filter above the scan instead")
+	}
 	if cfg.MaxMode == ModeIndex {
 		cfg.MaxMode = ModeFlattening
 	}
@@ -517,6 +529,9 @@ func (s *SmoothScan) advance() (tuple.Row, bool, error) {
 			}
 			s.pool.ChargeCPU(simcost.Tuple)
 			s.tupSeen.Set(s.tidBit(e.TID))
+			if !tuple.MatchesAll(s.cfg.Residual, row) {
+				continue
+			}
 			return row, true, nil
 		}
 
@@ -625,7 +640,7 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 	count := heap.PageTupleCount(page)
 	if !s.cfg.Ordered && s.tupSeen == nil {
 		before := s.queue.Len()
-		_, examined := s.file.DecodeBatchMatching(page, 0, count, s.pred, nil, s.queue)
+		_, examined := s.file.DecodeBatchMatching(page, 0, count, s.pred, s.cfg.Residual, nil, s.queue)
 		s.pool.ChargeCPUN(simcost.Tuple, int64(examined))
 		return s.queue.Len() > before
 	}
@@ -635,6 +650,9 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 		pendingTuples++
 		v := s.file.ColInt(page, slot, s.pred.Col)
 		if v < s.pred.Lo || v >= s.pred.Hi {
+			continue
+		}
+		if !s.slotMatchesResidual(page, slot) {
 			continue
 		}
 		found = true
@@ -659,6 +677,18 @@ func (s *SmoothScan) analysePage(page []byte, pageNo int64, probe btree.Entry, d
 	}
 	s.pool.ChargeCPUN(simcost.Tuple, pendingTuples)
 	return found
+}
+
+// slotMatchesResidual evaluates the residual conjunction against a
+// slot, reading only the referenced columns.
+func (s *SmoothScan) slotMatchesResidual(page []byte, slot int) bool {
+	for _, p := range s.cfg.Residual {
+		v := s.file.ColInt(page, slot, p.Col)
+		if v < p.Lo || v >= p.Hi {
+			return false
+		}
+	}
+	return true
 }
 
 // updatePolicy adjusts the morphing region after a region was

@@ -122,6 +122,34 @@ func (p *Project) NextBatch(out *tuple.Batch) (int, error) {
 	return out.Len(), nil
 }
 
+// NextBatch fills out with the next block of column-projected rows,
+// copying the selected columns batch-to-batch with no per-row
+// allocation.
+func (p *ColProject) NextBatch(out *tuple.Batch) (int, error) {
+	if !p.open {
+		return 0, ErrClosed
+	}
+	if p.scratch == nil {
+		p.scratch = newScratchFor(p.child)
+	}
+	// Pull no more child rows than out can take, so no projected row is
+	// ever dropped on the floor.
+	p.scratch.SetFillLimit(out.FillCap())
+	n, err := NextBatch(p.child, p.scratch)
+	if err != nil {
+		return 0, err
+	}
+	out.Reset()
+	for i := 0; i < n; i++ {
+		row := p.scratch.Row(i)
+		slot := out.AppendSlotRaw()
+		for j, c := range p.cols {
+			slot[j] = row[c]
+		}
+	}
+	return out.Len(), nil
+}
+
 // NextBatch fills out with the next rows while under the limit. The
 // batch's fill limit stops the child from producing (and paying for)
 // rows beyond the limit, exactly as the per-tuple protocol would.

@@ -211,6 +211,69 @@ func (p *Project) Next() (tuple.Row, bool, error) {
 // Close closes the child.
 func (p *Project) Close() error { p.open = false; return p.child.Close() }
 
+// ColProject projects its input onto a subset of columns, identified
+// by index. Unlike the general Project it needs no per-row closure and
+// its batched path copies column values straight between batches, so a
+// builder-generated SELECT list costs no per-tuple allocation.
+type ColProject struct {
+	child   Operator
+	cols    []int
+	schema  *tuple.Schema
+	scratch *tuple.Batch // lazily allocated by NextBatch
+	row     tuple.Row    // per-tuple protocol scratch
+	open    bool
+}
+
+// NewColProject wraps child with a projection onto the child-schema
+// column indices cols (in output order). Column indices must be valid
+// for the child schema.
+func NewColProject(child Operator, cols []int) (*ColProject, error) {
+	in := child.Schema()
+	out := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= in.NumCols() {
+			return nil, fmt.Errorf("exec: projected column %d outside schema %s", c, in)
+		}
+		out[i] = in.Col(c)
+	}
+	schema, err := tuple.NewSchema(out...)
+	if err != nil {
+		return nil, err
+	}
+	return &ColProject{child: child, cols: append([]int(nil), cols...), schema: schema}, nil
+}
+
+// Schema returns the projected schema.
+func (p *ColProject) Schema() *tuple.Schema { return p.schema }
+
+// Open opens the child.
+func (p *ColProject) Open() error {
+	if err := p.child.Open(); err != nil {
+		return err
+	}
+	p.open = true
+	return nil
+}
+
+// Next returns the next projected row.
+func (p *ColProject) Next() (tuple.Row, bool, error) {
+	if !p.open {
+		return nil, false, ErrClosed
+	}
+	row, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(tuple.Row, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = row[c]
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (p *ColProject) Close() error { p.open = false; return p.child.Close() }
+
 // Limit passes through at most n rows.
 type Limit struct {
 	child Operator
@@ -370,11 +433,19 @@ type HashAgg struct {
 }
 
 // NewHashAgg creates a grouped aggregation; groupCol < 0 means a
-// single global group.
+// single global group. The group key output column is named "group";
+// use NewHashAggNamed to control it.
 func NewHashAgg(child Operator, dev *disk.Device, groupCol int, specs []AggSpec) *HashAgg {
+	return NewHashAggNamed(child, dev, groupCol, "group", specs)
+}
+
+// NewHashAggNamed is NewHashAgg with an explicit name for the group
+// key output column, so builder-generated plans can keep the user's
+// column name addressable in the result schema.
+func NewHashAggNamed(child Operator, dev *disk.Device, groupCol int, groupName string, specs []AggSpec) *HashAgg {
 	cols := []tuple.Column{}
 	if groupCol >= 0 {
-		cols = append(cols, tuple.Column{Name: "group", Type: tuple.Int64})
+		cols = append(cols, tuple.Column{Name: groupName, Type: tuple.Int64})
 	}
 	for _, sp := range specs {
 		cols = append(cols, tuple.Column{Name: sp.Name, Type: tuple.Int64})

@@ -9,7 +9,7 @@ import (
 
 	"smoothscan/internal/core"
 	"smoothscan/internal/exec"
-	"smoothscan/internal/parallel"
+	"smoothscan/internal/plan"
 	"smoothscan/internal/tuple"
 )
 
@@ -100,28 +100,24 @@ func (r *Runner) Concurrent() (*Table, error) {
 	}
 
 	// Intra-query axis: one 100%-selectivity scan split across P
-	// page-sharded workers.
+	// page-sharded workers, built through the shared plan layer (the
+	// same constructor behind ScanOptions.Parallelism).
 	pred := tuple.RangePred{Col: tab.IndexCol, Lo: 0, Hi: tab.Domain}
 	for _, p := range []int{1, 2, 4, 8} {
-		shards := parallel.PartitionPages(tab.File.NumPages(), p)
-		workers := make([]parallel.Worker, len(shards))
-		for i, sh := range shards {
-			view := pool.View()
-			ss, err := core.NewSmoothScan(tab.File, view, tab.Index, pred, core.Config{
-				PageLo: sh.PageLo, PageHi: sh.PageHi,
-			})
-			if err != nil {
-				return nil, err
-			}
-			workers[i] = parallel.Worker{Op: ss, Flush: view.FlushCPU}
-		}
-		scan, err := parallel.NewScan(workers, parallel.Options{Schema: tab.File.Schema()})
+		built, err := plan.Build(plan.ScanSpec{
+			File:        tab.File,
+			Pool:        pool,
+			Tree:        tab.Index,
+			Pred:        pred,
+			Path:        plan.PathSmooth,
+			Parallelism: p,
+		})
 		if err != nil {
 			return nil, err
 		}
 		pool.Reset()
 		start := time.Now()
-		n, err := exec.Count(scan)
+		n, err := exec.Count(built.Op)
 		if err != nil {
 			return nil, err
 		}

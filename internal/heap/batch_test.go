@@ -99,7 +99,7 @@ func TestDecodeBatchMatching(t *testing.T) {
 	for pageNo := int64(0); pageNo < f.NumPages(); pageNo++ {
 		page := rawPage(t, f, pageNo)
 		count := PageTupleCount(page)
-		next, examined := f.DecodeBatchMatching(page, 0, count, pred, nil, got)
+		next, examined := f.DecodeBatchMatching(page, 0, count, pred, nil, nil, got)
 		if next != count || examined != count {
 			t.Fatalf("page %d: next=%d examined=%d, want %d", pageNo, next, examined, count)
 		}
@@ -126,7 +126,7 @@ func TestDecodeBatchMatching(t *testing.T) {
 	// Veto every even row number via keep.
 	got.Reset()
 	page := rawPage(t, f, 0)
-	f.DecodeBatchMatching(page, 0, PageTupleCount(page), tuple.All(0),
+	f.DecodeBatchMatching(page, 0, PageTupleCount(page), tuple.All(0), nil,
 		func(slot int) bool { return slot%2 == 1 }, got)
 	if got.Len() != 5 {
 		t.Fatalf("veto kept %d rows, want 5", got.Len())
@@ -145,13 +145,13 @@ func TestDecodeBatchMatchingStopsWhenFull(t *testing.T) {
 	f, _ := buildFile(t, 10)
 	page := rawPage(t, f, 0)
 	b := tuple.NewBatchFor(f.Schema(), 3)
-	next, examined := f.DecodeBatchMatching(page, 0, PageTupleCount(page), tuple.All(0), nil, b)
+	next, examined := f.DecodeBatchMatching(page, 0, PageTupleCount(page), tuple.All(0), nil, nil, b)
 	if b.Len() != 3 || next != 3 || examined != 3 {
 		t.Fatalf("len=%d next=%d examined=%d, want 3/3/3", b.Len(), next, examined)
 	}
 	// Resume from slot 3 with room for the rest.
 	big := tuple.NewBatchFor(f.Schema(), 100)
-	next, examined = f.DecodeBatchMatching(page, next, PageTupleCount(page), tuple.All(0), nil, big)
+	next, examined = f.DecodeBatchMatching(page, next, PageTupleCount(page), tuple.All(0), nil, nil, big)
 	if big.Len() != 7 || next != 10 || examined != 7 {
 		t.Fatalf("resume: len=%d next=%d examined=%d, want 7/10/7", big.Len(), next, examined)
 	}

@@ -231,16 +231,20 @@ func (f *File) DecodeBatch(page []byte, lo, hi int, dst *tuple.Batch) int {
 }
 
 // DecodeBatchMatching examines slots [lo, hi) of a raw page in order,
-// appending to dst the rows whose pred column satisfies pred, and stops
-// as soon as dst fills. The optional keep callback can veto a slot
-// whose predicate matched (used to suppress already-produced tuples).
-// Only the predicate column is read for non-qualifying slots, so the
-// scan path never materialises rows it will not return.
+// appending to dst the rows whose pred column satisfies pred (and, for
+// slots that pass pred, every residual predicate), and stops as soon as
+// dst fills. The optional keep callback can veto a slot whose
+// predicates matched (used to suppress already-produced tuples). Only
+// the predicate columns are read for non-qualifying slots, so the scan
+// path never materialises rows it will not return — this is where a
+// multi-predicate plan's residual conjuncts are pushed down.
 //
 // It returns the first slot not examined (hi when the page was
 // exhausted) and the number of slots examined, which is what operators
-// charge per-tuple CPU for.
-func (f *File) DecodeBatchMatching(page []byte, lo, hi int, pred tuple.RangePred, keep func(slot int) bool, dst *tuple.Batch) (next, examined int) {
+// charge per-tuple CPU for. Residual checks piggyback on the same
+// per-slot examination charge: evaluating an extra column of an
+// already-resident page costs no additional simulated I/O or CPU.
+func (f *File) DecodeBatchMatching(page []byte, lo, hi int, pred tuple.RangePred, residual []tuple.RangePred, keep func(slot int) bool, dst *tuple.Batch) (next, examined int) {
 	size := f.schema.TupleSize()
 	predOff := headerSize + lo*size + 8*pred.Col
 	s := lo
@@ -250,11 +254,26 @@ func (f *File) DecodeBatchMatching(page []byte, lo, hi int, pred tuple.RangePred
 		}
 		v := int64(binary.LittleEndian.Uint64(page[predOff:]))
 		predOff += size
-		if v >= pred.Lo && v < pred.Hi && (keep == nil || keep(s)) {
+		if v >= pred.Lo && v < pred.Hi &&
+			(residual == nil || f.slotMatchesAll(page, s, residual)) &&
+			(keep == nil || keep(s)) {
 			f.DecodeRow(page, s, dst.AppendSlotRaw())
 		}
 	}
 	return s, s - lo
+}
+
+// slotMatchesAll evaluates a conjunction of range predicates against
+// slot s, reading only the referenced columns.
+func (f *File) slotMatchesAll(page []byte, s int, preds []tuple.RangePred) bool {
+	base := headerSize + s*f.schema.TupleSize()
+	for _, p := range preds {
+		v := int64(binary.LittleEndian.Uint64(page[base+8*p.Col:]))
+		if v < p.Lo || v >= p.Hi {
+			return false
+		}
+	}
+	return true
 }
 
 // GetPage reads a heap page through the buffer pool.

@@ -40,6 +40,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -108,6 +109,11 @@ type Options struct {
 	// BatchSize is the per-batch row capacity exchanged between
 	// workers and the merger (default exec.DefaultBatchSize).
 	BatchSize int
+	// Ctx, when non-nil, cancels the scan: workers observe
+	// cancellation between batches (and while parked on an exchange
+	// channel, even with the consumer gone) and exit promptly, and
+	// NextBatch returns ctx.Err(). Nil means no cancellation.
+	Ctx context.Context
 }
 
 // Scan is the merged parallel scan operator. It implements the
@@ -124,6 +130,7 @@ type Scan struct {
 
 	open bool
 	quit chan struct{}
+	done <-chan struct{} // opts.Ctx.Done(), nil when no context
 	// wg is allocated fresh per Open: the fan-in closer goroutine of a
 	// previous generation may still be inside Wait when the scan is
 	// reopened, and a WaitGroup must not see a new Add concurrently
@@ -131,7 +138,7 @@ type Scan struct {
 	wg   *sync.WaitGroup
 	errs chan error
 	err  error
-	done bool
+	eos  bool
 
 	// Unordered fan-in.
 	results chan *tuple.Batch
@@ -195,10 +202,14 @@ func (s *Scan) Open() error {
 	}
 	p := len(s.workers)
 	s.quit = make(chan struct{})
+	s.done = nil
+	if s.opts.Ctx != nil {
+		s.done = s.opts.Ctx.Done()
+	}
 	s.wg = &sync.WaitGroup{}
 	s.errs = make(chan error, p)
 	s.err = nil
-	s.done = false
+	s.eos = false
 	s.cur = nil
 	s.curPos = 0
 	s.scratch = nil
@@ -247,6 +258,7 @@ func (s *Scan) Open() error {
 // is closed and reopened.
 func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, free <-chan *tuple.Batch, out chan<- *tuple.Batch, ownsOut bool) {
 	errs := s.errs
+	done := s.done
 	defer wg.Done()
 	if w.Flush != nil {
 		defer w.Flush()
@@ -267,10 +279,21 @@ func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, fre
 		}
 	}()
 	for {
+		// Cancellation is checked once per batch (never per tuple): a
+		// non-blocking poll here, plus the done arms below that unblock
+		// a worker parked on an exchange channel after the consumer has
+		// abandoned the scan.
+		select {
+		case <-done:
+			return
+		default:
+		}
 		var b *tuple.Batch
 		select {
 		case b = <-free:
 		case <-quit:
+			return
+		case <-done:
 			return
 		}
 		n, err := w.Op.NextBatch(b)
@@ -284,6 +307,8 @@ func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, fre
 		select {
 		case out <- b:
 		case <-quit:
+			return
+		case <-done:
 			return
 		}
 	}
@@ -308,7 +333,13 @@ func (s *Scan) NextBatch(out *tuple.Batch) (int, error) {
 	if s.err != nil {
 		return 0, s.err
 	}
-	if s.done {
+	if s.opts.Ctx != nil {
+		if err := s.opts.Ctx.Err(); err != nil {
+			s.err = err
+			return 0, err
+		}
+	}
+	if s.eos {
 		return 0, nil
 	}
 	if err := s.firstErr(); err != nil {
@@ -339,7 +370,7 @@ func (s *Scan) nextBatchUnordered(out *tuple.Batch) (int, error) {
 		}
 		b, ok := <-s.results
 		if !ok {
-			s.done = true
+			s.eos = true
 			if err := s.firstErr(); err != nil {
 				s.err = err
 				return 0, err
@@ -375,7 +406,7 @@ func (s *Scan) nextBatchOrdered(out *tuple.Batch) (int, error) {
 			}
 		}
 		if best < 0 {
-			s.done = true
+			s.eos = true
 			break
 		}
 		st := s.streams[best]

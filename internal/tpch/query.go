@@ -3,10 +3,10 @@ package tpch
 import (
 	"fmt"
 
-	"smoothscan/internal/access"
 	"smoothscan/internal/bufferpool"
 	"smoothscan/internal/core"
 	"smoothscan/internal/exec"
+	"smoothscan/internal/plan"
 	"smoothscan/internal/tuple"
 )
 
@@ -60,28 +60,54 @@ func DefaultSmooth() core.Config {
 	return core.Config{Policy: core.Elastic, Trigger: core.Eager}
 }
 
+// planPath maps the TPC-H path enum onto the shared plan layer's.
+func (p Path) planPath() (plan.Path, error) {
+	switch p {
+	case PathFull:
+		return plan.PathFull, nil
+	case PathIndex:
+		return plan.PathIndex, nil
+	case PathSort:
+		return plan.PathSort, nil
+	case PathSmooth:
+		return plan.PathSmooth, nil
+	case PathSwitch:
+		return plan.PathSwitch, nil
+	default:
+		return 0, fmt.Errorf("tpch: unknown path %d", int(p))
+	}
+}
+
 // ScanLineitem builds the LINEITEM access operator for a shipdate
-// range predicate.
+// range predicate through the shared plan-construction layer
+// (internal/plan) — the same constructor behind the public Query
+// builder — so the TPC-H plans differ from user queries only in their
+// declarative spec, exactly as the paper frames it ("the access path
+// operator choice is the only change compared to the original plan").
 func (db *DB) ScanLineitem(pool *bufferpool.Pool, pred tuple.RangePred, spec ScanSpec) (exec.Operator, error) {
 	if pred.Col != LShipdate {
 		return nil, fmt.Errorf("tpch: lineitem scans are driven by the l_shipdate index, got predicate on column %d", pred.Col)
 	}
-	switch spec.Path {
-	case PathFull:
-		return access.NewFullScan(db.Lineitem.File, pool, pred), nil
-	case PathIndex:
-		return access.NewIndexScan(db.Lineitem.File, pool, db.ShipIdx, pred), nil
-	case PathSort:
-		return access.NewSortScan(db.Lineitem.File, pool, db.ShipIdx, pred, spec.Ordered), nil
-	case PathSmooth:
-		cfg := spec.Smooth
-		cfg.Ordered = spec.Ordered
-		return core.NewSmoothScan(db.Lineitem.File, pool, db.ShipIdx, pred, cfg)
-	case PathSwitch:
-		return access.NewSwitchScan(db.Lineitem.File, pool, db.ShipIdx, pred, spec.SwitchThreshold), nil
-	default:
-		return nil, fmt.Errorf("tpch: unknown path %d", spec.Path)
+	pp, err := spec.Path.planPath()
+	if err != nil {
+		return nil, err
 	}
+	cfg := spec.Smooth
+	cfg.Ordered = spec.Ordered
+	built, err := plan.Build(plan.ScanSpec{
+		File:            db.Lineitem.File,
+		Pool:            pool,
+		Tree:            db.ShipIdx,
+		Pred:            pred,
+		Path:            pp,
+		Smooth:          cfg,
+		Ordered:         spec.Ordered,
+		SwitchThreshold: spec.SwitchThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return built.Op, nil
 }
 
 // QueryResult summarises one query execution.

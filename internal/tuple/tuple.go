@@ -204,6 +204,33 @@ func All(col int) RangePred {
 	return RangePred{Col: col, Lo: math.MinInt64, Hi: math.MaxInt64}
 }
 
+// Empty reports whether the predicate matches no value at all.
+func (p RangePred) Empty() bool { return p.Hi <= p.Lo }
+
+// Intersect returns the conjunction of two predicates on the same
+// column: the overlap of their ranges (possibly empty).
+func (p RangePred) Intersect(q RangePred) RangePred {
+	out := p
+	if q.Lo > out.Lo {
+		out.Lo = q.Lo
+	}
+	if q.Hi < out.Hi {
+		out.Hi = q.Hi
+	}
+	return out
+}
+
+// MatchesAll reports whether the row satisfies every predicate of the
+// conjunction.
+func MatchesAll(preds []RangePred, r Row) bool {
+	for _, p := range preds {
+		if !p.Matches(r) {
+			return false
+		}
+	}
+	return true
+}
+
 func (p RangePred) String() string {
 	return fmt.Sprintf("%d <= c[%d] < %d", p.Lo, p.Col, p.Hi)
 }

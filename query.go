@@ -1,0 +1,696 @@
+package smoothscan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"smoothscan/internal/core"
+	"smoothscan/internal/exec"
+	"smoothscan/internal/optimizer"
+	"smoothscan/internal/plan"
+	"smoothscan/internal/tuple"
+)
+
+// Pred is a predicate on one integer column: a half-open value range
+// [lo, hi). Predicates are combined conjunctively by Query.Where;
+// several predicates on the same column intersect into one range.
+//
+// Because ranges are half-open over int64, a predicate can never match
+// the value math.MaxInt64 itself; the engine's data generators and
+// workloads never store it.
+type Pred struct {
+	lo, hi int64
+}
+
+// Between matches lo <= v < hi.
+func Between(lo, hi int64) Pred { return Pred{lo: lo, hi: hi} }
+
+// Eq matches v == x.
+func Eq(x int64) Pred {
+	if x == math.MaxInt64 {
+		return Pred{lo: x, hi: x} // unrepresentable; matches nothing
+	}
+	return Pred{lo: x, hi: x + 1}
+}
+
+// Lt matches v < x.
+func Lt(x int64) Pred { return Pred{lo: math.MinInt64, hi: x} }
+
+// Le matches v <= x.
+func Le(x int64) Pred {
+	if x == math.MaxInt64 {
+		return Pred{lo: math.MinInt64, hi: x}
+	}
+	return Pred{lo: math.MinInt64, hi: x + 1}
+}
+
+// Gt matches v > x.
+func Gt(x int64) Pred {
+	if x == math.MaxInt64 {
+		return Pred{lo: x, hi: x} // matches nothing
+	}
+	return Pred{lo: x + 1, hi: math.MaxInt64}
+}
+
+// Ge matches v >= x.
+func Ge(x int64) Pred { return Pred{lo: x, hi: math.MaxInt64} }
+
+// Agg is an aggregate expression for Query.GroupBy. Build one with
+// Sum, Count, Min or Max, and rename its output column with As.
+type Agg struct {
+	name string
+	col  string
+	kind exec.AggKind
+}
+
+// Sum aggregates the sum of col per group; the output column is named
+// "sum_<col>".
+func Sum(col string) Agg { return Agg{name: "sum_" + col, col: col, kind: exec.AggSum} }
+
+// Count counts the rows of each group; the output column is named
+// "count".
+func Count() Agg { return Agg{name: "count", kind: exec.AggCount} }
+
+// Min aggregates the minimum of col per group; the output column is
+// named "min_<col>".
+func Min(col string) Agg { return Agg{name: "min_" + col, col: col, kind: exec.AggMin} }
+
+// Max aggregates the maximum of col per group; the output column is
+// named "max_<col>".
+func Max(col string) Agg { return Agg{name: "max_" + col, col: col, kind: exec.AggMax} }
+
+// As renames the aggregate's output column.
+func (a Agg) As(name string) Agg { a.name = name; return a }
+
+// ErrUnknownColumn is returned (wrapped) when a query references a
+// column the table does not have.
+var ErrUnknownColumn = errors.New("smoothscan: no such column")
+
+// ErrNotSelected is returned (wrapped) by Rows.Column when the column
+// exists on the scanned table but the query's Select/GroupBy projected
+// it away.
+var ErrNotSelected = errors.New("smoothscan: column not in query output")
+
+// cond is one Where clause before compilation.
+type cond struct {
+	col string
+	p   Pred
+}
+
+// Query is a composable query under construction. Build one with
+// DB.Query, chain Where / Select / GroupBy / OrderBy / Limit /
+// WithOptions, then call Run to execute it or Explain to inspect the
+// plan the optimizer would choose. Builder methods record the first
+// error and make Run/Explain return it, so call sites can chain
+// without per-call checks.
+//
+// A Query is a plain value owned by its builder chain; it is not safe
+// for concurrent use, but the Rows returned by Run is independent of
+// it. Compilation reads table statistics at Run/Explain time, so the
+// same Query re-run after Analyze may pick a different access path.
+type Query struct {
+	db     *DB
+	table  string
+	conds  []cond
+	sel    []string
+	hasSel bool
+	group  string
+	aggs   []Agg
+	hasAgg bool
+	order  string
+	hasOrd bool
+	limit  int64
+	hasLim bool
+	opts   ScanOptions
+	// compat is set by the DB.Scan wrapper: it preserves the exact
+	// pre-builder Scan semantics (no empty-range short-circuit, and a
+	// missing index is an error rather than a full-scan fallback).
+	compat bool
+	err    error
+}
+
+// Query starts a composable query over the named table. The zero
+// configuration scans every row with the default access path
+// (Smooth Scan when the driving column has an index, full scan
+// otherwise).
+func (db *DB) Query(table string) *Query {
+	return &Query{db: db, table: table}
+}
+
+// fail records the first builder error.
+func (q *Query) fail(err error) *Query {
+	if q.err == nil {
+		q.err = err
+	}
+	return q
+}
+
+// Where adds a conjunctive predicate on a column. Multiple Where calls
+// compose with AND; several predicates on the same column intersect
+// into one range. The optimizer picks the most selective indexed
+// predicate to drive the scan; the remaining conjuncts become residual
+// predicates evaluated inside the page decode wherever the chosen
+// access path supports it.
+func (q *Query) Where(col string, p Pred) *Query {
+	q.conds = append(q.conds, cond{col: col, p: p})
+	return q
+}
+
+// Select projects the output onto the named columns, in the given
+// order. Without Select every table column is returned. When GroupBy
+// is present, its group and aggregate columns are resolved against the
+// selected columns.
+func (q *Query) Select(cols ...string) *Query {
+	if q.hasSel {
+		return q.fail(fmt.Errorf("smoothscan: Select set twice"))
+	}
+	if len(cols) == 0 {
+		return q.fail(fmt.Errorf("smoothscan: Select requires at least one column"))
+	}
+	q.sel = append([]string(nil), cols...)
+	q.hasSel = true
+	return q
+}
+
+// GroupBy groups rows by a column and computes the aggregates per
+// group. The output schema is the group column followed by one column
+// per aggregate, ordered by ascending group key.
+func (q *Query) GroupBy(col string, aggs ...Agg) *Query {
+	if q.hasAgg {
+		return q.fail(fmt.Errorf("smoothscan: GroupBy set twice"))
+	}
+	if len(aggs) == 0 {
+		return q.fail(fmt.Errorf("smoothscan: GroupBy requires at least one aggregate"))
+	}
+	q.group = col
+	q.aggs = append([]Agg(nil), aggs...)
+	q.hasAgg = true
+	return q
+}
+
+// OrderBy orders the output by the named column, ascending. The
+// column must be part of the query output. When the order is already
+// delivered — by an order-preserving access path on the driving
+// column, or by GroupBy's key-ordered output — no sort operator is
+// added; otherwise a posterior (external) sort is.
+func (q *Query) OrderBy(col string) *Query {
+	if q.hasOrd {
+		return q.fail(fmt.Errorf("smoothscan: OrderBy set twice"))
+	}
+	q.order = col
+	q.hasOrd = true
+	return q
+}
+
+// Limit caps the number of output rows. Limit(0) yields an empty
+// result without touching the device.
+func (q *Query) Limit(n int64) *Query {
+	if n < 0 {
+		return q.fail(fmt.Errorf("smoothscan: negative limit %d", n))
+	}
+	q.limit = n
+	q.hasLim = true
+	return q
+}
+
+// WithOptions applies ScanOptions to the driving table access: access
+// path, morphing policy and trigger, parallelism, cardinality
+// estimate, SLA bound, Result Cache budget. The builder owns
+// everything above the scan, the options configure the scan itself.
+func (q *Query) WithOptions(opts ScanOptions) *Query {
+	q.opts = opts
+	return q
+}
+
+// resolvedPred is a compiled predicate with its column name kept for
+// plan rendering.
+type resolvedPred struct {
+	name string
+	pred tuple.RangePred
+}
+
+// compiledQuery is the outcome of planning: everything needed to build
+// the operator tree or render the Explain plan.
+type compiledQuery struct {
+	tab      *table
+	table    string
+	base     *tuple.Schema
+	emptyWhy string // non-empty: plan short-circuits to an empty result
+
+	driving    resolvedPred
+	hasDriving bool // false: no predicates at all (pure full scan)
+	residual   []resolvedPred
+	path       AccessPath
+	choice     *optimizer.Choice
+	cfg        core.Config
+	ordered    bool // scan-level ordered delivery
+	par        int
+	estDriving int64
+	estScan    int64 // after residual conjuncts
+	pushed     bool  // residual evaluated inside the scan
+
+	selIdx    []int
+	selSchema *tuple.Schema
+
+	groupIdx  int // in selSchema; -1 = no grouping
+	aggSpecs  []exec.AggSpec
+	aggSchema *tuple.Schema
+
+	orderIdx int // in the pre-sort schema; -1 = no ordering
+	needSort bool
+	orderVia string // "", "scan" (native order) or "group" (agg key order)
+
+	limit  int64
+	hasLim bool
+
+	out *tuple.Schema
+}
+
+// residualPreds extracts the bare predicates.
+func (cq *compiledQuery) residualPreds() []tuple.RangePred {
+	if len(cq.residual) == 0 {
+		return nil
+	}
+	out := make([]tuple.RangePred, len(cq.residual))
+	for i, r := range cq.residual {
+		out[i] = r.pred
+	}
+	return out
+}
+
+// compile plans the query. The caller holds db.mu (read).
+func (q *Query) compile() (*compiledQuery, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	db := q.db
+	t, err := db.tableLocked(q.table)
+	if err != nil {
+		return nil, err
+	}
+	cq := &compiledQuery{tab: t, table: q.table, base: t.file.Schema(), groupIdx: -1, orderIdx: -1}
+	opts := q.opts
+	if opts.MaxRegionPages == 0 {
+		opts.MaxRegionPages = core.DefaultMaxRegionPages
+	}
+
+	// Fold the Where clauses into one range per column, preserving
+	// first-mention order.
+	var merged []resolvedPred
+	byCol := map[string]int{}
+	for _, c := range q.conds {
+		col := cq.base.ColIndex(c.col)
+		if col < 0 {
+			return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, c.col)
+		}
+		rp := tuple.RangePred{Col: col, Lo: c.p.lo, Hi: c.p.hi}
+		if i, ok := byCol[c.col]; ok {
+			merged[i].pred = merged[i].pred.Intersect(rp)
+		} else {
+			byCol[c.col] = len(merged)
+			merged = append(merged, resolvedPred{name: c.col, pred: rp})
+		}
+	}
+	if !q.compat {
+		for _, m := range merged {
+			if m.pred.Empty() {
+				cq.emptyWhy = fmt.Sprintf("predicates on %q are contradictory", m.name)
+			}
+		}
+		if q.hasLim && q.limit == 0 {
+			cq.emptyWhy = "LIMIT 0"
+		}
+	}
+
+	params := db.costParams(t)
+	stats := t.stats
+	if stats == nil {
+		stats = optimizer.DefaultStats(t.file.NumTuples(), t.file.NumPages(), nil)
+	}
+
+	// Driving-predicate selection: the most selective indexed conjunct
+	// (by the optimizer's cardinality estimate) drives the access path;
+	// everything else is residual.
+	drivingAt := -1
+	if q.compat {
+		drivingAt = 0 // exactly one predicate by construction
+	} else {
+		bestCard := int64(math.MaxInt64)
+		for i, m := range merged {
+			if _, ok := t.indexes[m.name]; !ok {
+				continue
+			}
+			if card := stats.EstimateCard(m.pred); card < bestCard {
+				bestCard, drivingAt = card, i
+			}
+		}
+		if drivingAt < 0 && len(merged) > 0 {
+			drivingAt = 0 // no indexed conjunct: full scan driven by the first
+		}
+	}
+	if drivingAt >= 0 {
+		cq.driving = merged[drivingAt]
+		cq.hasDriving = true
+		for i, m := range merged {
+			if i != drivingAt {
+				cq.residual = append(cq.residual, m)
+			}
+		}
+	} else {
+		cq.driving = resolvedPred{name: cq.base.Col(0).Name, pred: tuple.All(0)}
+	}
+	_, hasIndex := t.indexes[cq.driving.name]
+
+	// Cardinality estimates (independence assumption across conjuncts).
+	cq.estDriving = opts.EstimatedRows
+	if cq.estDriving == 0 {
+		cq.estDriving = stats.EstimateCard(cq.driving.pred)
+	}
+	sel := 1.0
+	for _, r := range cq.residual {
+		sel *= stats.EstimateSelectivity(r.pred)
+	}
+	cq.estScan = int64(math.Round(float64(cq.estDriving) * sel))
+
+	// Does the query want its output in driving-key order, with no
+	// grouping in between? Then an order-preserving access path can
+	// satisfy the ORDER BY for free — the optimizer should weigh the
+	// posterior sort against that.
+	wantScanOrder := q.hasOrd && !q.hasAgg && cq.hasDriving && q.order == cq.driving.name
+	ordered := opts.Ordered || wantScanOrder
+
+	// Access-path resolution.
+	path := opts.Path
+	if path == PathAuto {
+		if !cq.hasDriving {
+			path = PathFull
+		} else {
+			choice := optimizer.ChooseAccessPath(params, stats, cq.driving.pred, hasIndex, opts.Ordered || wantScanOrder)
+			cq.choice = &choice
+			switch choice.Path {
+			case optimizer.PathFullScan:
+				path = PathFull
+			case optimizer.PathIndexScan:
+				path = PathIndex
+			case optimizer.PathSortScan:
+				path = PathSort
+			}
+			cq.estDriving = choice.EstimatedCard
+			cq.estScan = int64(math.Round(float64(cq.estDriving) * sel))
+		}
+	}
+	switch path {
+	case PathSmooth, PathIndex, PathSort, PathSwitch:
+		if !hasIndex {
+			if path == PathSmooth && !q.compat {
+				// The builder's default path is PathSmooth; without an
+				// index on the driving column it degrades gracefully to
+				// a full scan instead of failing, so predicate-less and
+				// unindexed queries still run. DB.Scan keeps the strict
+				// historical behaviour.
+				path = PathFull
+			} else {
+				return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, q.table, cq.driving.name)
+			}
+		}
+	case PathFull:
+	default:
+		return nil, fmt.Errorf("smoothscan: unknown access path %d", opts.Path)
+	}
+	if opts.Ordered {
+		// Explicit scan-level ordering keeps the historical contract:
+		// paths that cannot deliver it refuse, rather than silently
+		// sorting. Use OrderBy for a plan-level ordering that falls
+		// back to a posterior sort.
+		switch path {
+		case PathFull:
+			return nil, fmt.Errorf("smoothscan: full scan cannot deliver ordered output; add an explicit sort")
+		case PathSwitch:
+			return nil, fmt.Errorf("smoothscan: switch scan cannot guarantee ordered output")
+		}
+	}
+	nativeOrder := ordered && (path == PathSmooth || path == PathIndex || path == PathSort)
+	cq.ordered = nativeOrder
+	cq.path = path
+
+	par := opts.Parallelism
+	if par > MaxParallelism {
+		par = MaxParallelism
+	}
+	if int64(par) > t.file.NumPages() {
+		par = int(t.file.NumPages())
+	}
+	if par > 1 && (path == PathSmooth || path == PathFull) {
+		cq.par = par
+	} else {
+		cq.par = 1
+	}
+
+	cq.cfg = core.Config{
+		Policy:            opts.Policy,
+		Trigger:           opts.Trigger,
+		Ordered:           nativeOrder,
+		MaxRegionPages:    opts.MaxRegionPages,
+		EstimatedCard:     cq.estDriving,
+		SLABound:          opts.SLABound,
+		CostParams:        params,
+		ResultCacheBudget: opts.ResultCacheBudget,
+	}
+	cq.pushed = len(cq.residual) > 0 &&
+		(path == PathFull || (path == PathSmooth && !nativeOrder))
+
+	// SELECT list.
+	cq.selSchema = cq.base
+	if q.hasSel {
+		cols := make([]tuple.Column, len(q.sel))
+		cq.selIdx = make([]int, len(q.sel))
+		for i, name := range q.sel {
+			col := cq.base.ColIndex(name)
+			if col < 0 {
+				return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, name)
+			}
+			cq.selIdx[i] = col
+			cols[i] = cq.base.Col(col)
+		}
+		s, err := tuple.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("smoothscan: Select: %w", err)
+		}
+		cq.selSchema = s
+	}
+
+	// GROUP BY + aggregates.
+	stage := cq.selSchema
+	if q.hasAgg {
+		cq.groupIdx = cq.selSchema.ColIndex(q.group)
+		if cq.groupIdx < 0 {
+			return nil, q.stageColErr(q.group, "GroupBy")
+		}
+		names := map[string]bool{q.group: true}
+		outCols := []tuple.Column{{Name: q.group, Type: tuple.Int64}}
+		for _, a := range q.aggs {
+			spec := exec.AggSpec{Name: a.name, Kind: a.kind}
+			if a.kind != exec.AggCount {
+				spec.Col = cq.selSchema.ColIndex(a.col)
+				if spec.Col < 0 {
+					return nil, q.stageColErr(a.col, "aggregate")
+				}
+			}
+			if names[a.name] {
+				return nil, fmt.Errorf("smoothscan: duplicate output column %q in GroupBy", a.name)
+			}
+			names[a.name] = true
+			cq.aggSpecs = append(cq.aggSpecs, spec)
+			outCols = append(outCols, tuple.Column{Name: a.name, Type: tuple.Int64})
+		}
+		s, err := tuple.NewSchema(outCols...)
+		if err != nil {
+			return nil, fmt.Errorf("smoothscan: GroupBy: %w", err)
+		}
+		cq.aggSchema = s
+		stage = s
+	}
+
+	// ORDER BY.
+	if q.hasOrd {
+		cq.orderIdx = stage.ColIndex(q.order)
+		if cq.orderIdx < 0 {
+			return nil, fmt.Errorf("%w: %q is not in the query output; add it to Select or GroupBy", ErrUnknownColumn, q.order)
+		}
+		switch {
+		case q.hasAgg && q.order == q.group:
+			cq.orderVia = "group" // HashAgg emits ascending group keys
+		case nativeOrder && !q.hasAgg && q.order == cq.driving.name:
+			cq.orderVia = "scan"
+		default:
+			cq.needSort = true
+		}
+	}
+
+	cq.limit, cq.hasLim = q.limit, q.hasLim
+	cq.out = stage
+	return cq, nil
+}
+
+// stageColErr distinguishes "no such column" from "column projected
+// away" for GroupBy/aggregate resolution.
+func (q *Query) stageColErr(col, what string) error {
+	// The caller holds db.mu; tableLocked succeeded moments ago.
+	t, err := q.db.tableLocked(q.table)
+	if err == nil && t.file.Schema().ColIndex(col) >= 0 {
+		return fmt.Errorf("%w: %s column %q was projected away by Select", ErrNotSelected, what, col)
+	}
+	return fmt.Errorf("%w: table %q has no column %q (%s)", ErrUnknownColumn, q.table, col, what)
+}
+
+// build constructs the operator tree for a compiled query, wrapping
+// every stage in a row/batch counter for ExecStats. The caller holds
+// db.mu (read).
+func (cq *compiledQuery) build(db *DB, ctx context.Context) (exec.Operator, *plan.Scan, []*opCounter, error) {
+	var counters []*opCounter
+	count := func(name string, op exec.Operator) exec.Operator {
+		c := &opCounter{name: name}
+		counters = append(counters, c)
+		return &countedOp{inner: op, c: c}
+	}
+
+	if cq.emptyWhy != "" {
+		root := count("empty", exec.NewValues(cq.out, nil))
+		return root, nil, counters, nil
+	}
+
+	spec := plan.ScanSpec{
+		File:            cq.tab.file,
+		Pool:            db.pool,
+		Pred:            cq.driving.pred,
+		Residual:        cq.residualPreds(),
+		Smooth:          cq.cfg,
+		Ordered:         cq.ordered,
+		SwitchThreshold: cq.estDriving,
+		Parallelism:     cq.par,
+		Ctx:             ctx,
+	}
+	if tree, ok := cq.tab.indexes[cq.driving.name]; ok {
+		spec.Tree = tree
+	}
+	switch cq.path {
+	case PathSmooth:
+		spec.Path = plan.PathSmooth
+	case PathFull:
+		spec.Path = plan.PathFull
+	case PathIndex:
+		spec.Path = plan.PathIndex
+	case PathSort:
+		spec.Path = plan.PathSort
+	case PathSwitch:
+		spec.Path = plan.PathSwitch
+	}
+	built, err := plan.Build(spec)
+	if err != nil {
+		if errors.Is(err, plan.ErrNeedsIndex) {
+			return nil, nil, nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, cq.table, cq.driving.name)
+		}
+		return nil, nil, nil, err
+	}
+
+	scanName := cq.path.String()
+	if cq.par > 1 {
+		scanName = fmt.Sprintf("parallel[%d] %s", cq.par, scanName)
+	}
+	cur := count(scanName, built.Op)
+	if ctx != nil {
+		cur = &ctxGuard{inner: cur, ctx: ctx}
+	}
+
+	if len(cq.residual) > 0 && !built.ResidualPushed {
+		preds := cq.residualPreds()
+		cur = count("filter", exec.NewFilter(cur, db.dev, func(r tuple.Row) bool {
+			return tuple.MatchesAll(preds, r)
+		}))
+	}
+	if cq.selIdx != nil {
+		p, err := exec.NewColProject(cur, cq.selIdx)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cur = count("project", p)
+	}
+	if cq.groupIdx >= 0 {
+		cur = count("hash-agg", exec.NewHashAggNamed(cur, db.dev, cq.groupIdx, cq.out.Col(0).Name, cq.aggSpecs))
+	}
+	if cq.needSort {
+		cur = count("sort", exec.NewSort(cur, db.dev, cq.orderIdx))
+	}
+	if cq.hasLim {
+		cur = count("limit", exec.NewLimit(cur, cq.limit))
+	}
+	return cur, built, counters, nil
+}
+
+// Explain compiles the query — access-path choice, residual placement,
+// parallelism, per-node cardinality estimates — without executing it
+// or touching the simulated device, and returns the printable plan.
+func (q *Query) Explain() (*Plan, error) {
+	if q.db == nil {
+		return nil, fmt.Errorf("smoothscan: query has no database")
+	}
+	q.db.mu.RLock()
+	defer q.db.mu.RUnlock()
+	cq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	return cq.plan(), nil
+}
+
+// Run compiles and starts the query. The context cancels it: the
+// returned Rows checks ctx once per batch refill (never per tuple),
+// parallel scan workers observe it between batches and exit promptly,
+// and blocking operators (sort, aggregation) check it between the
+// batches they drain. After cancellation Rows.Err reports ctx.Err().
+//
+// As with Scan, always Close the returned Rows.
+func (q *Query) Run(ctx context.Context) (*Rows, error) {
+	if q.db == nil {
+		return nil, fmt.Errorf("smoothscan: query has no database")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db := q.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	root, built, counters, err := cq.build(db, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{
+		schema:     cq.out,
+		baseSchema: cq.base,
+		ctx:        ctx,
+		counters:   counters,
+		compiled:   cq,
+		choice:     cq.choice,
+		op:         root,
+	}
+	if built != nil {
+		rows.smooth = built.Smooth
+		rows.smoothAll = built.Workers
+	}
+	rows.ioStart = db.dev.Stats()
+	if err := root.Open(); err != nil {
+		return nil, err
+	}
+	rows.db = db
+	db.openScans.Add(1)
+	return rows, nil
+}

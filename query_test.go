@@ -1,0 +1,617 @@
+package smoothscan
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// buildWideDB loads n rows (id, val, cat, payload) with indexes on val
+// and cat: val uniform over valDomain, cat uniform over catDomain,
+// payload = i%1000.
+func buildWideDB(t testing.TB, n, valDomain, catDomain int64) *DB {
+	t.Helper()
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", "id", "val", "cat", "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := int64(0); i < n; i++ {
+		if err := tb.Append(i, rng.Int63n(valDomain), rng.Int63n(catDomain), i%1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"val", "cat"} {
+		if err := db.CreateIndex("t", col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.ResetStats()
+	return db
+}
+
+func mustRun(t testing.TB, q *Query) *Rows {
+	t.Helper()
+	rows, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestQueryMatchesScan proves the Scan wrapper and the builder are the
+// same path: identical rows and an identical device-stat delta for the
+// same single-predicate query on identically-built databases.
+func TestQueryMatchesScan(t *testing.T) {
+	gen := func(i int64) int64 { return (i * 7919) % 5000 }
+	dbA := buildDB(t, Options{}, 20_000, gen)
+	dbB := buildDB(t, Options{}, 20_000, gen)
+
+	rowsA, err := dbA.Scan("t", "val", 100, 900, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA := collect(t, rowsA)
+
+	rowsB := mustRun(t, dbB.Query("t").Where("val", Between(100, 900)))
+	gotB := collect(t, rowsB)
+
+	if len(gotA) != len(gotB) {
+		t.Fatalf("Scan returned %d rows, Query %d", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		for c := range gotA[i] {
+			if gotA[i][c] != gotB[i][c] {
+				t.Fatalf("row %d differs: %v vs %v", i, gotA[i], gotB[i])
+			}
+		}
+	}
+	if a, b := dbA.Stats(), dbB.Stats(); a != b {
+		t.Errorf("device stats differ:\nScan  %+v\nQuery %+v", a, b)
+	}
+	if a, b := rowsA.ExecStats().IO, rowsB.ExecStats().IO; a != b {
+		t.Errorf("per-query IO deltas differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestQueryResidualPushdown checks a multi-predicate conjunction: the
+// result equals filtering the single-predicate result by hand, and the
+// Explain plan shows the residual inside the scan.
+func TestQueryResidualPushdown(t *testing.T) {
+	db := buildWideDB(t, 30_000, 10_000, 50)
+
+	base := collect(t, mustRun(t, db.Query("t").Where("val", Between(1000, 4000))))
+	var want [][]int64
+	for _, r := range base {
+		if r[2] >= 5 && r[2] < 20 && r[3] < 500 {
+			want = append(want, r)
+		}
+	}
+
+	q := db.Query("t").
+		Where("val", Between(1000, 4000)).
+		Where("cat", Between(5, 20)).
+		Where("payload", Lt(500))
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AccessPath != PathSmooth {
+		t.Errorf("access path = %v, want smooth", plan.AccessPath)
+	}
+	got := collect(t, mustRun(t, q))
+	if len(got) != len(want) {
+		t.Fatalf("conjunction returned %d rows, want %d", len(got), len(want))
+	}
+	// Residual pushdown changes which pages count as "dense" for the
+	// morphing policy, so the unordered emission order may differ from
+	// the plain scan's; compare as sets.
+	sortRows(got)
+	sortRows(want)
+	if !rowsEqual(got, want) {
+		t.Fatal("conjunction rows differ from hand-filtered rows")
+	}
+}
+
+// TestQueryDrivingIndexChoice: with statistics, the optimizer drives
+// the scan by the more selective indexed conjunct.
+func TestQueryDrivingIndexChoice(t *testing.T) {
+	db := buildWideDB(t, 30_000, 10_000, 50)
+	if err := db.Analyze("t", "val", "cat"); err != nil {
+		t.Fatal(err)
+	}
+
+	// val window ~30%, cat equality ~2%: cat must drive.
+	plan, err := db.Query("t").
+		Where("val", Between(1000, 4000)).
+		Where("cat", Eq(7)).
+		Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := plan.Root
+	for len(leaf.Children) > 0 {
+		leaf = leaf.Children[0]
+	}
+	if want := "cat=7"; !containsStr(leaf.Detail, want) {
+		t.Errorf("leaf detail %q does not show driving pred %q", leaf.Detail, want)
+	}
+	if !containsStr(leaf.Detail, "residual") || !containsStr(leaf.Detail, "val") {
+		t.Errorf("leaf detail %q does not show val as residual", leaf.Detail)
+	}
+
+	// Flip the widths: now val must drive.
+	plan, err = db.Query("t").
+		Where("val", Between(1000, 1050)).
+		Where("cat", Between(5, 45)).
+		Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf = plan.Root
+	for len(leaf.Children) > 0 {
+		leaf = leaf.Children[0]
+	}
+	if want := "1000<=val<1050"; !containsStr(leaf.Detail, want) {
+		t.Errorf("leaf detail %q does not show driving pred %q", leaf.Detail, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestQueryEmptyPredicateSet: no Where at all compiles to a full scan
+// returning every row.
+func TestQueryEmptyPredicateSet(t *testing.T) {
+	db := buildDB(t, Options{}, 5_000, func(i int64) int64 { return i % 100 })
+	plan, err := db.Query("t").Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AccessPath != PathFull {
+		t.Errorf("empty predicate set chose %v, want full scan", plan.AccessPath)
+	}
+	got := collect(t, mustRun(t, db.Query("t")))
+	if int64(len(got)) != 5_000 {
+		t.Errorf("returned %d rows, want 5000", len(got))
+	}
+}
+
+// TestQueryContradiction: predicates that intersect to an empty range
+// short-circuit — empty result, not a single device read.
+func TestQueryContradiction(t *testing.T) {
+	db := buildDB(t, Options{}, 5_000, func(i int64) int64 { return i % 100 })
+	if err := db.ResetStats(); err != nil {
+		t.Fatal(err)
+	}
+	q := db.Query("t").Where("val", Gt(80)).Where("val", Lt(20))
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.Name != "empty" {
+		t.Errorf("plan root = %q, want empty", plan.Root.Name)
+	}
+	rows := mustRun(t, q)
+	if got := collect(t, rows); len(got) != 0 {
+		t.Errorf("contradictory query returned %d rows", len(got))
+	}
+	if st := db.Stats(); st.PagesRead != 0 || st.Requests != 0 {
+		t.Errorf("contradictory query touched the device: %+v", st)
+	}
+	if io := rows.ExecStats().IO; io.Time() != 0 {
+		t.Errorf("contradictory query charged %v cost units", io.Time())
+	}
+}
+
+// TestQueryDuplicateWhereIntersects: two Where calls on one column act
+// as their intersection.
+func TestQueryDuplicateWhereIntersects(t *testing.T) {
+	db := buildDB(t, Options{}, 10_000, func(i int64) int64 { return (i * 31) % 1000 })
+	want := collect(t, mustRun(t, db.Query("t").Where("val", Between(100, 300))))
+	got := collect(t, mustRun(t, db.Query("t").Where("val", Ge(100)).Where("val", Lt(300))))
+	if len(got) != len(want) {
+		t.Fatalf("intersection returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryLimit covers Limit(0) (no device reads) and a plain limit.
+func TestQueryLimit(t *testing.T) {
+	db := buildDB(t, Options{}, 10_000, func(i int64) int64 { return i % 500 })
+	if err := db.ResetStats(); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustRun(t, db.Query("t").Where("val", Between(0, 500)).Limit(0))
+	if got := collect(t, rows); len(got) != 0 {
+		t.Errorf("Limit(0) returned %d rows", len(got))
+	}
+	if st := db.Stats(); st.PagesRead != 0 {
+		t.Errorf("Limit(0) read %d pages", st.PagesRead)
+	}
+
+	got := collect(t, mustRun(t, db.Query("t").Where("val", Between(0, 500)).Limit(7)))
+	if len(got) != 7 {
+		t.Errorf("Limit(7) returned %d rows", len(got))
+	}
+	if _, err := db.Query("t").Limit(-1).Run(context.Background()); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+// TestQueryGroupByAggregates checks GroupBy with Sum/Count against a
+// hand computation, plus group-key ordering and Agg renaming.
+func TestQueryGroupByAggregates(t *testing.T) {
+	db := buildWideDB(t, 20_000, 1_000, 8)
+	base := collect(t, mustRun(t, db.Query("t").Where("val", Between(0, 400))))
+	wantSum := map[int64]int64{}
+	wantCount := map[int64]int64{}
+	for _, r := range base {
+		wantSum[r[2]] += r[3]
+		wantCount[r[2]]++
+	}
+
+	rows := mustRun(t, db.Query("t").
+		Where("val", Between(0, 400)).
+		Select("cat", "payload").
+		GroupBy("cat", Sum("payload"), Count().As("n")).
+		OrderBy("cat"))
+	var lastCat int64 = -1
+	groups := 0
+	for rows.Next() {
+		cat, err := rows.Column("cat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, _ := rows.Col("sum_payload")
+		n, _ := rows.Col("n")
+		if cat <= lastCat {
+			t.Errorf("group keys not ascending: %d after %d", cat, lastCat)
+		}
+		lastCat = cat
+		if sum != wantSum[cat] || n != wantCount[cat] {
+			t.Errorf("cat %d: sum=%d count=%d, want sum=%d count=%d", cat, sum, n, wantSum[cat], wantCount[cat])
+		}
+		groups++
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if groups != len(wantSum) {
+		t.Errorf("got %d groups, want %d", groups, len(wantSum))
+	}
+}
+
+// TestQueryOrderBy: ordering by the driving column uses the scan's
+// native order (no sort operator); ordering by another column sorts.
+func TestQueryOrderBy(t *testing.T) {
+	db := buildWideDB(t, 20_000, 1_000, 8)
+
+	q := db.Query("t").Where("val", Between(100, 300)).OrderBy("val")
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.Name == "sort" {
+		t.Errorf("ORDER BY driving column added a sort:\n%s", plan)
+	}
+	got := collect(t, mustRun(t, q))
+	for i := 1; i < len(got); i++ {
+		if got[i][1] < got[i-1][1] {
+			t.Fatalf("output not ordered by val at row %d", i)
+		}
+	}
+
+	q2 := db.Query("t").Where("val", Between(100, 300)).OrderBy("id")
+	plan2, err := q2.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Root.Name != "sort" {
+		t.Errorf("ORDER BY non-driving column did not sort:\n%s", plan2)
+	}
+	got2 := collect(t, mustRun(t, q2))
+	if len(got2) != len(got) {
+		t.Fatalf("sorted query returned %d rows, want %d", len(got2), len(got))
+	}
+	for i := 1; i < len(got2); i++ {
+		if got2[i][0] < got2[i-1][0] {
+			t.Fatalf("output not ordered by id at row %d", i)
+		}
+	}
+}
+
+// TestQuerySelectAndColumnMissReasons: Select narrows the output and
+// Rows.Column distinguishes "unknown" from "projected away".
+func TestQuerySelectAndColumnMissReasons(t *testing.T) {
+	db := buildWideDB(t, 5_000, 1_000, 8)
+	rows := mustRun(t, db.Query("t").Where("val", Between(0, 100)).Select("id", "val"))
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	if got := rows.Row(); len(got) != 2 {
+		t.Fatalf("projected row has %d columns, want 2", len(got))
+	}
+	if _, ok := rows.Col("cat"); ok {
+		t.Error("Col found a projected-away column")
+	}
+	if _, err := rows.Column("cat"); !errors.Is(err, ErrNotSelected) {
+		t.Errorf("Column(cat) = %v, want ErrNotSelected", err)
+	}
+	if _, err := rows.Column("nope"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("Column(nope) = %v, want ErrUnknownColumn", err)
+	}
+	if v, err := rows.Column("val"); err != nil || v < 0 || v >= 100 {
+		t.Errorf("Column(val) = %d, %v", v, err)
+	}
+}
+
+// TestQueryExplainTouchesNoDevice: Explain is pure planning.
+func TestQueryExplainTouchesNoDevice(t *testing.T) {
+	db := buildWideDB(t, 10_000, 1_000, 8)
+	if err := db.ResetStats(); err != nil {
+		t.Fatal(err)
+	}
+	q := db.Query("t").Where("val", Between(0, 100)).Where("cat", Eq(3)).
+		GroupBy("cat", Count()).OrderBy("cat").Limit(5)
+	if _, err := q.Explain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.PagesRead != 0 || st.Requests != 0 {
+		t.Errorf("Explain touched the device: %+v", st)
+	}
+}
+
+// TestQueryAutoPath: PathAuto still flows through the optimizer and
+// reports its choice.
+func TestQueryAutoPath(t *testing.T) {
+	db := buildDB(t, Options{}, 20_000, func(i int64) int64 { return i % 1000 })
+	if err := db.Analyze("t", "val"); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustRun(t, db.Query("t").Where("val", Between(0, 1000)).
+		WithOptions(ScanOptions{Path: PathAuto}))
+	path, est, ok := rows.Choice()
+	if !ok {
+		t.Fatal("no optimizer choice recorded")
+	}
+	if path != "full-scan" {
+		t.Errorf("100%% selectivity chose %s, want full-scan", path)
+	}
+	if est <= 0 {
+		t.Errorf("estimate = %d", est)
+	}
+	collect(t, rows)
+}
+
+// TestQueryExecStatsOperators: per-operator counters line up with the
+// plan stages and the returned row count.
+func TestQueryExecStatsOperators(t *testing.T) {
+	db := buildWideDB(t, 20_000, 1_000, 8)
+	rows := mustRun(t, db.Query("t").
+		Where("val", Between(0, 200)).
+		Where("cat", Lt(4)).
+		Select("id", "cat").
+		Limit(50))
+	got := collect(t, rows)
+	st := rows.ExecStats()
+	if st.RowsReturned != int64(len(got)) {
+		t.Errorf("RowsReturned = %d, want %d", st.RowsReturned, len(got))
+	}
+	if len(st.Operators) < 2 {
+		t.Fatalf("operators = %+v", st.Operators)
+	}
+	last := st.Operators[len(st.Operators)-1]
+	if last.Name != "limit" || last.Rows != int64(len(got)) {
+		t.Errorf("root operator %+v, want limit with %d rows", last, len(got))
+	}
+	if !st.HasSmooth {
+		t.Error("smooth stats missing")
+	}
+	if st.IO.PagesRead == 0 {
+		t.Error("IO delta empty")
+	}
+}
+
+// TestQueryUnindexedFallsBackToFullScan: the builder's default path
+// degrades to a full scan when the driving column has no index (the
+// Scan wrapper keeps the strict historical error).
+func TestQueryUnindexedFallsBackToFullScan(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := db.CreateTable("u", "a", "b")
+	for i := int64(0); i < 2_000; i++ {
+		tb.Append(i, i%10)
+	}
+	tb.Finish()
+
+	plan, err := db.Query("u").Where("b", Eq(3)).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AccessPath != PathFull {
+		t.Errorf("unindexed builder query chose %v, want full", plan.AccessPath)
+	}
+	got := collect(t, mustRun(t, db.Query("u").Where("b", Eq(3))))
+	if len(got) != 200 {
+		t.Errorf("returned %d rows, want 200", len(got))
+	}
+	if _, err := db.Scan("u", "b", 3, 4, ScanOptions{}); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("Scan without index = %v, want ErrNoIndex", err)
+	}
+}
+
+// TestQueryBuilderErrors: builder mistakes surface from Run/Explain.
+func TestQueryBuilderErrors(t *testing.T) {
+	db := buildWideDB(t, 1_000, 100, 8)
+	cases := map[string]*Query{
+		"unknown where column":  db.Query("t").Where("nope", Eq(1)),
+		"unknown select column": db.Query("t").Select("nope"),
+		"unknown table":         db.Query("missing").Where("val", Eq(1)),
+		"group col not selected": db.Query("t").Select("id").
+			GroupBy("cat", Count()),
+		"order col not in output": db.Query("t").Select("id").OrderBy("val"),
+		"select twice":            db.Query("t").Select("id").Select("val"),
+		"groupby no aggs":         db.Query("t").GroupBy("cat"),
+	}
+	for name, q := range cases {
+		if _, err := q.Explain(); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestScanContextPreCancelled: an already-cancelled context refuses to
+// start the scan.
+func TestScanContextPreCancelled(t *testing.T) {
+	db := buildDB(t, Options{}, 2_000, func(i int64) int64 { return i })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancel()
+	if _, err := db.ScanContext(ctx, "t", "val", 0, 100, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScanContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryCancellationSerial: cancelling mid-iteration stops a serial
+// scan at the next batch refill and surfaces ctx.Err().
+func TestQueryCancellationSerial(t *testing.T) {
+	db := buildDB(t, Options{}, 50_000, func(i int64) int64 { return i % 100 })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.Query("t").Where("val", Between(0, 100)).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 1 {
+			cancel()
+		}
+	}
+	if !errors.Is(rows.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", rows.Err())
+	}
+	if n >= 50_000 {
+		t.Errorf("cancelled scan still returned all %d rows", n)
+	}
+}
+
+// TestQueryCancellationParallelWorkersExit: cancelling a parallel scan
+// whose consumer has stopped pulling releases every worker goroutine
+// promptly — even the ones parked on a full exchange channel — without
+// waiting for Close.
+func TestQueryCancellationParallelWorkersExit(t *testing.T) {
+	db := buildParallelTestDB(t, 60_000, 10_000, 7)
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.Query("t").Where("val", Between(0, 10_000)).
+		WithOptions(ScanOptions{Parallelism: 4}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows before cancel: %v", rows.Err())
+	}
+	// Stop consuming entirely and cancel: workers must exit on their
+	// own (the consumer is not draining the exchange channels).
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Errorf("%d goroutines still alive after cancel (baseline %d)", got, base)
+	}
+	for rows.Next() {
+	}
+	if !errors.Is(rows.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", rows.Err())
+	}
+	if err := rows.Close(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("Close() = %v", err)
+	}
+}
+
+// TestQueryParallelAggregation: a parallel scan under a GroupBy
+// produces the serial answer.
+func TestQueryParallelAggregation(t *testing.T) {
+	db := buildParallelTestDB(t, 30_000, 1_000, 3)
+	want := collect(t, mustRun(t, db.Query("t").Where("val", Between(0, 500)).
+		GroupBy("val", Count())))
+	got := collect(t, mustRun(t, db.Query("t").Where("val", Between(0, 500)).
+		WithOptions(ScanOptions{Parallelism: 4}).
+		GroupBy("val", Count())))
+	if len(got) != len(want) {
+		t.Fatalf("parallel agg %d groups, serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("group %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryOrderedParallel: OrderBy on the driving column of a
+// parallel smooth scan uses the ordered merge, no sort operator.
+func TestQueryOrderedParallel(t *testing.T) {
+	db := buildParallelTestDB(t, 30_000, 5_000, 11)
+	q := db.Query("t").Where("val", Between(0, 5_000)).
+		WithOptions(ScanOptions{Parallelism: 4}).OrderBy("val")
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.Name == "sort" {
+		t.Errorf("ordered parallel scan added a sort:\n%s", plan)
+	}
+	got := collect(t, mustRun(t, q))
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i][1] < got[j][1] }) {
+		t.Error("parallel ordered output not sorted by val")
+	}
+	want := collect(t, mustRun(t, db.Query("t").Where("val", Between(0, 5_000)).OrderBy("val")))
+	if len(got) != len(want) {
+		t.Fatalf("parallel ordered %d rows, serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] {
+			t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

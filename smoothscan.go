@@ -24,12 +24,12 @@
 package smoothscan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
-	"smoothscan/internal/access"
 	"smoothscan/internal/btree"
 	"smoothscan/internal/bufferpool"
 	"smoothscan/internal/core"
@@ -38,7 +38,6 @@ import (
 	"smoothscan/internal/exec"
 	"smoothscan/internal/heap"
 	"smoothscan/internal/optimizer"
-	"smoothscan/internal/parallel"
 	"smoothscan/internal/tuple"
 )
 
@@ -470,18 +469,25 @@ const MaxParallelism = 64
 // Always Close a Rows when done with it; open Rows block ColdCache
 // and ResetStats.
 type Rows struct {
-	db        *DB
-	op        exec.Operator
-	schema    *tuple.Schema
-	batch     *tuple.Batch
-	pos       int
-	cur       tuple.Row
-	err       error
-	smooth    *core.SmoothScan
-	smoothAll []*core.SmoothScan // parallel workers (PathSmooth)
-	choice    *optimizer.Choice
-	done      bool
-	closed    bool
+	db         *DB
+	op         exec.Operator
+	schema     *tuple.Schema
+	baseSchema *tuple.Schema // scanned table's schema (Column miss reasons)
+	ctx        context.Context
+	batch      *tuple.Batch
+	pos        int
+	cur        tuple.Row
+	err        error
+	smooth     *core.SmoothScan
+	smoothAll  []*core.SmoothScan // parallel workers (PathSmooth)
+	choice     *optimizer.Choice
+	counters   []*opCounter
+	compiled   *compiledQuery // immutable after compile; renders Plan lazily
+	plan       *Plan          // cached Plan() result
+	ioStart    IOStats
+	ioDelta    IOStats // device delta frozen at Close
+	done       bool
+	closed     bool
 }
 
 // Next advances to the next row; it returns false at the end of the
@@ -494,6 +500,15 @@ func (r *Rows) Next() bool {
 		r.batch = tuple.NewBatchFor(r.schema, exec.DefaultBatchSize)
 	}
 	if r.pos >= r.batch.Len() {
+		// Cancellation is checked once per batch refill, never per
+		// tuple, to keep the hot path a bounds check.
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				r.done = true
+				return false
+			}
+		}
 		n, err := exec.NextBatch(r.op, r.batch)
 		if err != nil {
 			r.err = err
@@ -521,8 +536,11 @@ func (r *Rows) Row() []int64 {
 	return out
 }
 
-// Col returns the current row's value for the named column (-1, false
-// if unknown).
+// Col returns the current row's value for the named column, reporting
+// false when the name does not resolve in the row schema. The false
+// return folds two distinct situations together — a column the table
+// never had, and one the query projected away via Select or GroupBy;
+// use Column when the miss reason matters.
 func (r *Rows) Col(name string) (int64, bool) {
 	i := r.schema.ColIndex(name)
 	if i < 0 {
@@ -535,7 +553,8 @@ func (r *Rows) Col(name string) (int64, bool) {
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the scan (stopping any parallel workers still
-// running). Closing an already-closed Rows is a no-op.
+// running) and freezes the query's ExecStats. Closing an
+// already-closed Rows is a no-op.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
@@ -543,9 +562,22 @@ func (r *Rows) Close() error {
 	r.closed = true
 	err := r.op.Close()
 	if r.db != nil {
+		// Workers have quiesced and flushed their deferred CPU charges
+		// by the time op.Close returns, so the delta is complete.
+		r.ioDelta = r.db.dev.Stats().Sub(r.ioStart)
 		r.db.openScans.Add(-1)
 	}
 	return err
+}
+
+// Plan returns the compiled plan the query executed — the same tree
+// Query.Explain renders. The tree is rendered lazily on first call,
+// so queries that never ask for it pay nothing.
+func (r *Rows) Plan() *Plan {
+	if r.plan == nil && r.compiled != nil {
+		r.plan = r.compiled.plan()
+	}
+	return r.plan
 }
 
 // SmoothStats returns the Smooth Scan operator counters when the scan
@@ -557,11 +589,7 @@ func (r *Rows) SmoothStats() (SmoothStats, bool) {
 		return r.smooth.Stats(), true
 	}
 	if len(r.smoothAll) > 0 {
-		parts := make([]core.Stats, len(r.smoothAll))
-		for i, ss := range r.smoothAll {
-			parts[i] = ss.Stats()
-		}
-		return core.AggregateStats(parts), true
+		return aggregateWorkers(r.smoothAll), true
 	}
 	return SmoothStats{}, false
 }
@@ -577,199 +605,28 @@ func (r *Rows) Choice() (path string, estimatedRows int64, ok bool) {
 // Scan returns the rows of tableName whose column value v satisfies
 // lo <= v < hi, using the configured access path. All paths except
 // PathFull require an index on the column (CreateIndex).
+//
+// Scan is a thin wrapper over the Query builder —
+// db.Query(table).Where(column, Between(lo, hi)).WithOptions(opts) —
+// kept for compatibility: it compiles through the same
+// plan-construction step, produces byte-identical results and
+// simulated costs to the pre-builder implementation (the harness's
+// `ssbench -exp all` output is diffed against a committed golden in
+// CI), and preserves the historical strictness the builder relaxes
+// (a missing index is an error rather than a full-scan fallback, and
+// an empty range still walks the index).
 func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*Rows, error) {
-	// The read lock is held until the scan is registered in openScans,
-	// so ColdCache/ResetStats (which take the write lock) can never
-	// observe a zero count while a scan is being opened — either they
-	// run first, or they see the scan and refuse.
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.tableLocked(tableName)
-	if err != nil {
-		return nil, err
-	}
-	col := t.file.Schema().ColIndex(column)
-	if col < 0 {
-		return nil, fmt.Errorf("smoothscan: table %q has no column %q", tableName, column)
-	}
-	pred := tuple.RangePred{Col: col, Lo: lo, Hi: hi}
-	tree, hasIndex := t.indexes[column]
-	if opts.MaxRegionPages == 0 {
-		opts.MaxRegionPages = core.DefaultMaxRegionPages
-	}
-
-	params := db.costParams(t)
-	stats := t.stats
-	if stats == nil {
-		stats = optimizer.DefaultStats(t.file.NumTuples(), t.file.NumPages(), nil)
-	}
-	estimate := opts.EstimatedRows
-	if estimate == 0 {
-		estimate = stats.EstimateCard(pred)
-	}
-
-	rows := &Rows{schema: t.file.Schema()}
-	path := opts.Path
-	if path == PathAuto {
-		choice := optimizer.ChooseAccessPath(params, stats, pred, hasIndex, opts.Ordered)
-		rows.choice = &choice
-		switch choice.Path {
-		case optimizer.PathFullScan:
-			path = PathFull
-		case optimizer.PathIndexScan:
-			path = PathIndex
-		case optimizer.PathSortScan:
-			path = PathSort
-		}
-		estimate = choice.EstimatedCard
-	}
-
-	par := opts.Parallelism
-	if par > MaxParallelism {
-		par = MaxParallelism
-	}
-	if int64(par) > t.file.NumPages() {
-		par = int(t.file.NumPages())
-	}
-
-	switch path {
-	case PathFull:
-		if opts.Ordered {
-			return nil, fmt.Errorf("smoothscan: full scan cannot deliver ordered output; add an explicit sort")
-		}
-		if par > 1 {
-			op, err := db.parallelFullScan(t, pred, par)
-			if err != nil {
-				return nil, err
-			}
-			rows.op = op
-		} else {
-			rows.op = access.NewFullScan(t.file, db.pool, pred)
-		}
-	case PathIndex:
-		if !hasIndex {
-			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
-		}
-		rows.op = access.NewIndexScan(t.file, db.pool, tree, pred)
-	case PathSort:
-		if !hasIndex {
-			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
-		}
-		rows.op = access.NewSortScan(t.file, db.pool, tree, pred, opts.Ordered)
-	case PathSwitch:
-		if !hasIndex {
-			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
-		}
-		if opts.Ordered {
-			return nil, fmt.Errorf("smoothscan: switch scan cannot guarantee ordered output")
-		}
-		rows.op = access.NewSwitchScan(t.file, db.pool, tree, pred, estimate)
-	case PathSmooth:
-		if !hasIndex {
-			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, column)
-		}
-		// The one place a ScanOptions becomes a core.Config; the
-		// parallel path derives every shard's config from this same
-		// value, so new knobs apply to both automatically.
-		cfg := core.Config{
-			Policy:            opts.Policy,
-			Trigger:           opts.Trigger,
-			Ordered:           opts.Ordered,
-			MaxRegionPages:    opts.MaxRegionPages,
-			EstimatedCard:     estimate,
-			SLABound:          opts.SLABound,
-			CostParams:        params,
-			ResultCacheBudget: opts.ResultCacheBudget,
-		}
-		if par > 1 {
-			op, smooths, err := db.parallelSmoothScan(t, tree, pred, cfg, par)
-			if err != nil {
-				return nil, err
-			}
-			rows.smoothAll = smooths
-			rows.op = op
-		} else {
-			ss, err := core.NewSmoothScan(t.file, db.pool, tree, pred, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows.smooth = ss
-			rows.op = ss
-		}
-	default:
-		return nil, fmt.Errorf("smoothscan: unknown access path %d", opts.Path)
-	}
-	if err := rows.op.Open(); err != nil {
-		return nil, err
-	}
-	rows.db = db
-	db.openScans.Add(1)
-	return rows, nil
+	return db.ScanContext(context.Background(), tableName, column, lo, hi, opts)
 }
 
-// parallelSmoothScan builds one independently-morphing Smooth Scan per
-// disjoint heap page shard and merges them: an unordered fan-in, or —
-// when base.Ordered — a k-way merge reproducing the serial (key, TID)
-// output order. Each shard runs the query's base config with its page
-// bounds set and the whole-query knobs (cardinality estimate, SLA
-// bound, Result Cache budget) split evenly across the shards.
-func (db *DB) parallelSmoothScan(t *table, tree *btree.Tree, pred tuple.RangePred, base core.Config, par int) (*parallel.Scan, []*core.SmoothScan, error) {
-	shards := parallel.PartitionPages(t.file.NumPages(), par)
-	n := int64(len(shards))
-	workers := make([]parallel.Worker, len(shards))
-	smooths := make([]*core.SmoothScan, len(shards))
-	for i, sh := range shards {
-		view := db.pool.View()
-		cfg := base
-		cfg.EstimatedCard = (base.EstimatedCard + n - 1) / n
-		cfg.SLABound = base.SLABound / float64(n)
-		cfg.ResultCacheBudget = splitBudget(base.ResultCacheBudget, n)
-		cfg.PageLo = sh.PageLo
-		cfg.PageHi = sh.PageHi
-		ss, err := core.NewSmoothScan(t.file, view, tree, pred, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		smooths[i] = ss
-		workers[i] = parallel.Worker{Op: ss, Flush: view.FlushCPU}
-	}
-	op, err := parallel.NewScan(workers, parallel.Options{
-		Schema:  t.file.Schema(),
-		Ordered: base.Ordered,
-		KeyCol:  pred.Col,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return op, smooths, nil
-}
-
-// parallelFullScan builds one full-scan worker per disjoint heap page
-// shard, merged through an unordered fan-in.
-func (db *DB) parallelFullScan(t *table, pred tuple.RangePred, par int) (*parallel.Scan, error) {
-	shards := parallel.PartitionPages(t.file.NumPages(), par)
-	workers := make([]parallel.Worker, len(shards))
-	for i, sh := range shards {
-		view := db.pool.View()
-		workers[i] = parallel.Worker{
-			Op:    access.NewFullScanRange(t.file, view, pred, sh.PageLo, sh.PageHi),
-			Flush: view.FlushCPU,
-		}
-	}
-	return parallel.NewScan(workers, parallel.Options{Schema: t.file.Schema()})
-}
-
-// splitBudget divides a byte budget across n workers, keeping a
-// non-zero per-worker slice whenever the whole budget was non-zero.
-func splitBudget(budget, n int64) int64 {
-	if budget <= 0 {
-		return 0
-	}
-	per := budget / n
-	if per < 1 {
-		per = 1
-	}
-	return per
+// ScanContext is Scan with cancellation: ctx deadlines and cancels
+// propagate to the returned Rows (checked once per batch refill) and
+// to any parallel scan workers, which observe cancellation between
+// batches and exit promptly.
+func (db *DB) ScanContext(ctx context.Context, tableName, column string, lo, hi int64, opts ScanOptions) (*Rows, error) {
+	q := db.Query(tableName).Where(column, Between(lo, hi)).WithOptions(opts)
+	q.compat = true
+	return q.Run(ctx)
 }
 
 // costParams derives Section V cost-model parameters for a table.
