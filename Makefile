@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-parallel cover equiv
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv
 
 ## check: everything CI runs — format, vet, build, tests (incl. -race),
 ## bench smoke, the facade-equivalence golden diff, and the coverage floor.
@@ -39,6 +39,18 @@ bench:
 ## machine-readable trajectory file BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/ssload -bench parallel -json BENCH_parallel.json
+
+## bench-baseline: regenerate the committed throughput baseline the CI
+## perf gate compares against. Run after deliberate perf changes (or a
+## CI runner class change) and commit testdata/bench_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/benchgate -write
+
+## bench-gate: fail on a >25% tuples/s regression against the
+## committed baseline (best-of-3 runs; see cmd/benchgate for the
+## noise-tolerance rationale).
+bench-gate:
+	$(GO) run ./cmd/benchgate
 
 ## cover: the test suite with coverage, enforcing COVER_FLOOR on the total.
 cover:

@@ -1,0 +1,193 @@
+// Command benchgate is the CI throughput-regression gate: it runs a
+// fixed set of wall-clock benchmarks and compares their tuples/s
+// metric against a committed baseline, failing on a regression beyond
+// the tolerance.
+//
+//	benchgate -write              # (re)generate testdata/bench_baseline.json
+//	benchgate                     # gate against the committed baseline
+//
+// Design notes. The gated metric is the benchmarks' custom tuples/s
+// (not ns/op): it is what the engine's hot-path work is measured in,
+// and the per-benchmark best-of -count runs plus a generous default
+// tolerance (25%) absorb CI scheduling noise. Absolute throughput is
+// machine-dependent — regenerate the baseline (make bench-baseline)
+// when the CI runner class changes, and after deliberate performance
+// work. The deterministic simulated-cost metrics need no tolerance
+// and are pinned separately, byte-identical, by `make equiv`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed throughput reference.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// CPUs records the generating machine's GOMAXPROCS (context for
+	// humans comparing baselines, not used by the gate).
+	CPUs int `json:"cpus"`
+	// TuplesPerSec maps benchmark name (sans -N suffix) to the best
+	// observed throughput.
+	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline JSON path")
+		write        = flag.Bool("write", false, "regenerate the baseline instead of gating")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional throughput regression")
+		benchRe      = flag.String("bench", "SmoothScanThroughput$|BatchDecode$|HashJoinThroughput$", "benchmarks to run (go test -bench regexp)")
+		benchtime    = flag.String("benchtime", "300ms", "go test -benchtime (time-based for stable per-run averages)")
+		count        = flag.Int("count", 3, "runs per benchmark; the gate takes the best")
+		strict       = flag.Bool("strict", false, "fail on regression even when the baseline was generated on a different CPU class")
+		dir          = flag.String("dir", ".", "directory whose benchmarks to run (lets CI measure a base-ref worktree with this binary)")
+	)
+	flag.Parse()
+
+	if err := run(*baselinePath, *write, *tolerance, *benchRe, *benchtime, *count, *strict, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime string, count int, strict bool, dir string) error {
+	got, err := measure(dir, benchRe, benchtime, count)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmarks matched %q or none reported tuples/s", benchRe)
+	}
+
+	if write {
+		b := Baseline{
+			Note: "throughput baseline for `make bench-gate` (best tuples/s of -count runs); " +
+				"regenerate with `make bench-baseline` after deliberate perf changes or a CI runner change",
+			CPUs:         runtime.GOMAXPROCS(0),
+			TuplesPerSec: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", baselinePath, len(got))
+		return nil
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-baseline` to create it)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	// Absolute throughput only transfers within one machine class. On
+	// a different class the comparison is still printed, but it gates
+	// only with -strict: a foreign baseline would otherwise either
+	// hard-fail every run or silently never bind. Regenerate the
+	// baseline on the gating machine class to arm the gate there.
+	binding := true
+	if base.CPUs != 0 && base.CPUs != runtime.GOMAXPROCS(0) {
+		binding = strict
+		fmt.Printf("warning: baseline was generated on a %d-CPU machine, this one has %d — absolute throughput is machine-dependent\n", base.CPUs, runtime.GOMAXPROCS(0))
+		if !binding {
+			fmt.Println("warning: GATE NOT BINDING on this machine class; run `make bench-baseline` here and commit it to arm the gate (or pass -strict)")
+		}
+	}
+
+	names := make([]string, 0, len(base.TuplesPerSec))
+	for name := range base.TuplesPerSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed bool
+	for _, name := range names {
+		want := base.TuplesPerSec[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from run (baseline %.3g tuples/s)\n", name, want)
+			failed = true
+			continue
+		}
+		floor := want * (1 - tolerance)
+		status := "ok  "
+		if cur < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %10.3g tuples/s (baseline %.3g, floor %.3g, %+.1f%%)\n",
+			status, name, cur, want, floor, 100*(cur/want-1))
+	}
+	for name := range got {
+		if _, ok := base.TuplesPerSec[name]; !ok {
+			fmt.Printf("note %-40s not in baseline; run `make bench-baseline` to add it\n", name)
+		}
+	}
+	if failed && binding {
+		return fmt.Errorf("throughput regressed beyond %.0f%% of the committed baseline", 100*tolerance)
+	}
+	if failed {
+		fmt.Println("bench gate: regressions above were NOT enforced (baseline machine class mismatch; see warning)")
+		return nil
+	}
+	fmt.Println("bench gate passed")
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// measure runs the benchmarks in dir and returns the best tuples/s
+// per benchmark across the -count runs.
+func measure(dir, benchRe, benchtime string, count int) (map[string]float64, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", benchRe,
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		".",
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out)
+	}
+	best := map[string]float64{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "tuples/s" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if v > best[name] {
+				best[name] = v
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+// Multi-table joins through the Query builder: a fact table joined to
+// a dimension table, with per-table predicates pushed beneath the
+// join into each side's access path. The example prints the Explain
+// join tree (build/probe sides, per-input paths and estimates), runs
+// the query, and reads the join's build/probe counters and the
+// build-phase I/O split out of Rows.ExecStats.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"smoothscan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	db, err := smoothscan.Open(smoothscan.Options{})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	// Dimension: 10,000 orders with a date and a priority.
+	const numOrders = 10_000
+	ob, err := db.CreateTable("orders", "o_id", "o_date", "o_pri")
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < numOrders; i++ {
+		if err := ob.Append(i, rng.Int63n(2_000), rng.Int63n(5)); err != nil {
+			return err
+		}
+	}
+	if err := ob.Finish(); err != nil {
+		return err
+	}
+
+	// Fact: 200,000 line items, each referencing an order.
+	ib, err := db.CreateTable("items", "i_id", "i_order", "i_date", "i_qty")
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < 200_000; i++ {
+		if err := ib.Append(i, rng.Int63n(numOrders), rng.Int63n(2_000), 1+rng.Int63n(50)); err != nil {
+			return err
+		}
+	}
+	if err := ib.Finish(); err != nil {
+		return err
+	}
+	for _, ix := range [][2]string{{"items", "i_date"}, {"orders", "o_date"}, {"items", "i_order"}, {"orders", "o_id"}} {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			return err
+		}
+	}
+
+	// Recent items joined to early orders, quantities per priority.
+	// Each conjunct is pushed beneath the join into its own table's
+	// access path: i_date drives the items scan, o_date the orders
+	// scan feeding the hash build.
+	query := func() *smoothscan.Query {
+		return db.Query("items").
+			Join("orders", "i_order", "o_id").
+			Where("i_date", smoothscan.Lt(200)).
+			Where("o_date", smoothscan.Lt(1_000)).
+			Select("o_pri", "i_qty").
+			GroupBy("o_pri", smoothscan.Count(), smoothscan.Sum("i_qty"))
+	}
+
+	plan, err := query().Explain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan:\n%s\n", plan)
+
+	rows, err := query().Run(context.Background())
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	fmt.Println("o_pri  count  sum_qty")
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("%5d  %5d  %7d\n", r[0], r[1], r[2])
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if err := rows.Close(); err != nil {
+		return err
+	}
+
+	st := rows.ExecStats()
+	for _, j := range st.Joins {
+		buildRows, probeRows := j.RightRows, j.LeftRows
+		if j.BuildLeft {
+			buildRows, probeRows = j.LeftRows, j.RightRows
+		}
+		fmt.Printf("\n%s join: build %d rows (%d keys, %.0f cost units of I/O), probe %d rows, joined %d\n",
+			j.Algo, buildRows, j.BuildKeys, j.BuildIO.Time(), probeRows, j.OutputRows)
+	}
+	fmt.Printf("total simulated I/O+CPU: %.0f cost units over %d device reads\n",
+		st.IO.Time(), st.IO.PagesRead)
+	fmt.Println("\nconclusion: one builder chain plans both access paths, pushes each",
+		"\npredicate beneath the join, and the probe side still morphs adaptively.")
+	return nil
+}

@@ -9,6 +9,15 @@ import (
 	"smoothscan/internal/tuple"
 )
 
+// JoinStats exposes one batched join operator's counters: rows
+// consumed from each input, hash build size, output rows, and — for a
+// hash join — the device I/O delta accrued while the build input was
+// drained. For a single join, the probe side's I/O is the query's IO
+// total minus BuildIO; in a chain, a later stage building on the
+// accumulated left side measures a window that contains the earlier
+// stages' I/O, so per-stage deltas nest rather than sum.
+type JoinStats = exec.JoinStats
+
 // OperatorStats counts one plan operator's output.
 type OperatorStats struct {
 	// Name identifies the operator ("smooth", "filter", "hash-agg", ...).
@@ -32,8 +41,10 @@ type ExecStats struct {
 	// too — the device is shared; single-query accounting is exact
 	// when the query runs alone, the way the harness measures.
 	IO IOStats
-	// HasSmooth reports whether the query's access path was a Smooth
-	// Scan, i.e. whether Smooth (and, when parallel, Workers) is set.
+	// HasSmooth reports whether the driving table's access path was a
+	// Smooth Scan, i.e. whether Smooth (and, when parallel, Workers)
+	// is set. For a join query this covers the first (driving) input;
+	// the join inputs' row counts are in Joins and Operators.
 	HasSmooth bool
 	// Smooth holds the morphing counters: the operator's own for a
 	// serial scan, the core.AggregateStats roll-up for a parallel one.
@@ -46,6 +57,10 @@ type ExecStats struct {
 	// Scan, in shard (heap page) order; nil otherwise (including while
 	// a parallel scan is still running, see Smooth).
 	Workers []SmoothStats
+	// Joins holds the join operators' build/probe counters, in
+	// leaf-to-root order of the left-deep join tree; nil for
+	// single-table queries.
+	Joins []JoinStats
 	// Operators counts rows and batches per plan operator, leaf first.
 	Operators []OperatorStats
 	// RowsReturned is the number of rows the root operator delivered
@@ -80,6 +95,9 @@ func (r *Rows) ExecStats() ExecStats {
 				st.Workers[i] = w.Stats()
 			}
 		}
+	}
+	for _, j := range r.joins {
+		st.Joins = append(st.Joins, j.JoinStats())
 	}
 	for _, c := range r.counters {
 		st.Operators = append(st.Operators, OperatorStats{Name: c.name, Rows: c.rows, Batches: c.batches})

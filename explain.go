@@ -5,19 +5,23 @@ import (
 	"math"
 	"strings"
 
+	"smoothscan/internal/plan"
 	"smoothscan/internal/tuple"
 )
 
 // PlanNode is one operator of an explained plan.
 type PlanNode struct {
-	// Name is the operator ("smooth-scan", "filter", "hash-agg", ...).
+	// Name is the operator ("smooth-scan", "filter", "hash-join", ...).
 	Name string
 	// Detail describes the node's configuration in one line.
 	Detail string
 	// EstRows is the optimizer's output-cardinality estimate for the
 	// node; -1 when the optimizer cannot estimate it (aggregates).
 	EstRows int64
-	// Children are the node's inputs (at most one in this engine).
+	// Children are the node's inputs: one for the streaming stages,
+	// two for a join — the left (accumulated) input first, then the
+	// right table. Which of the two is the hash build side is in
+	// Detail, not the child order.
 	Children []*PlanNode
 }
 
@@ -25,14 +29,17 @@ type PlanNode struct {
 // (and retrievable from a running query via Rows.Plan). String renders
 // it as an indented tree, one operator per line, leaf last.
 type Plan struct {
-	// Table is the scanned table.
+	// Table is the driving (first) table.
 	Table string
-	// AccessPath is the chosen driving access path.
+	// Tables lists every input table of the plan in join order; it has
+	// one element for a single-table query.
+	Tables []string
+	// AccessPath is the driving table's chosen access path.
 	AccessPath AccessPath
-	// EstimatedRows is the estimated scan output cardinality after all
-	// pushed-down predicates.
+	// EstimatedRows is the estimated cardinality of the scan/join tree
+	// after all pushed-down predicates.
 	EstimatedRows int64
-	// Parallelism is the scan worker count (1 = serial).
+	// Parallelism is the driving table's scan worker count (1 = serial).
 	Parallelism int
 	// Root is the plan's root operator node.
 	Root *PlanNode
@@ -41,9 +48,13 @@ type Plan struct {
 // String renders the plan tree, root first.
 func (p *Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Query(%s) via %s", p.Table, p.AccessPath)
-	if p.Parallelism > 1 {
-		fmt.Fprintf(&b, " x%d", p.Parallelism)
+	if len(p.Tables) > 1 {
+		fmt.Fprintf(&b, "Query(%s)", strings.Join(p.Tables, " ⋈ "))
+	} else {
+		fmt.Fprintf(&b, "Query(%s) via %s", p.Table, p.AccessPath)
+		if p.Parallelism > 1 {
+			fmt.Fprintf(&b, " x%d", p.Parallelism)
+		}
 	}
 	b.WriteByte('\n')
 	var walk func(n *PlanNode, depth int)
@@ -57,7 +68,11 @@ func (p *Plan) String() string {
 		if n.Detail != "" {
 			line += "(" + n.Detail + ")"
 		}
-		fmt.Fprintf(&b, "%s└─ %-*s est≈%s rows\n", indent, 46-3*depth, line, est)
+		width := 46 - 3*depth
+		if width < 0 {
+			width = 0
+		}
+		fmt.Fprintf(&b, "%s└─ %-*s est≈%s rows\n", indent, width, line, est)
 		for _, c := range n.Children {
 			walk(c, depth+1)
 		}
@@ -87,15 +102,69 @@ func fmtPred(name string, p tuple.RangePred) string {
 	}
 }
 
+// inputNode renders one table access (scan leaf, parallel wrapper,
+// residual filter) as its Explain subtree — the same operators
+// buildInput constructs.
+func (cq *compiledQuery) inputNode(a *tableAccess) *PlanNode {
+	var d []string
+	d = append(d, a.name+": "+fmtPred(a.driving.name, a.driving.pred))
+	if a.path == PathSmooth {
+		d = append(d, "policy="+a.cfg.Policy.String(), "trigger="+a.cfg.Trigger.String())
+	}
+	if a.choice != nil {
+		d = append(d, "chosen-by=optimizer")
+	}
+	if a.ordered {
+		d = append(d, "ordered")
+	}
+	var rs []string
+	for _, r := range a.residual {
+		rs = append(rs, fmtPred(r.name, r.pred))
+	}
+	if a.pushed {
+		d = append(d, "residual: "+strings.Join(rs, " and "))
+	}
+	scanEst := a.estDriving
+	if a.pushed {
+		scanEst = a.estScan
+	}
+	node := &PlanNode{Name: a.path.String() + "-scan", Detail: strings.Join(d, ", "), EstRows: scanEst}
+	if a.par > 1 {
+		merge := "unordered fan-in"
+		if a.ordered {
+			merge = "ordered merge"
+		}
+		node = &PlanNode{
+			Name:     "parallel",
+			Detail:   fmt.Sprintf("%d workers, %s", a.par, merge),
+			EstRows:  scanEst,
+			Children: []*PlanNode{node},
+		}
+	}
+	if len(a.residual) > 0 && !a.pushed {
+		node = &PlanNode{
+			Name:     "filter",
+			Detail:   strings.Join(rs, " and "),
+			EstRows:  a.estScan,
+			Children: []*PlanNode{node},
+		}
+	}
+	return node
+}
+
 // plan renders the compiled query as its Explain tree. It mirrors
 // build exactly — every operator build constructs gets one node here,
 // so the explained plan is the executed plan.
 func (cq *compiledQuery) plan() *Plan {
+	drv := cq.driving()
 	p := &Plan{
-		Table:         cq.table,
-		AccessPath:    cq.path,
-		EstimatedRows: cq.estScan,
-		Parallelism:   cq.par,
+		Table:         drv.name,
+		AccessPath:    drv.path,
+		EstimatedRows: cq.estRoot(),
+		Parallelism:   drv.par,
+	}
+	for _, a := range cq.inputs {
+		p.Tables = append(p.Tables, a.name)
 	}
 	if cq.emptyWhy != "" {
 		p.Parallelism = 1
@@ -104,54 +173,35 @@ func (cq *compiledQuery) plan() *Plan {
 		return p
 	}
 
-	// Leaf: the table access.
-	var d []string
-	d = append(d, cq.table+": "+fmtPred(cq.driving.name, cq.driving.pred))
-	if cq.path == PathSmooth {
-		d = append(d, "policy="+cq.cfg.Policy.String(), "trigger="+cq.cfg.Trigger.String())
-	}
-	if cq.choice != nil {
-		d = append(d, "chosen-by=optimizer")
-	}
-	if cq.ordered {
-		d = append(d, "ordered")
-	}
-	if cq.pushed {
-		var rs []string
-		for _, r := range cq.residual {
-			rs = append(rs, fmtPred(r.name, r.pred))
+	// The scan/join tree: each input's access subtree, folded left to
+	// right through the join stages. leftLabel names the accumulated
+	// left side, so chained joins stay self-describing.
+	cur := cq.inputNode(drv)
+	leftLabel := drv.name
+	for k, st := range cq.joins {
+		right := cq.inputs[k+1]
+		d := fmt.Sprintf("%s = %s.%s", st.leftName, right.name, st.rightName)
+		if st.algo == plan.JoinMerge {
+			d += ", both inputs key-ordered"
+		} else {
+			build, probe := right.name, leftLabel
+			if st.buildLeft {
+				build, probe = probe, build
+			}
+			d += fmt.Sprintf(", build=%s, probe=%s", build, probe)
 		}
-		d = append(d, "residual: "+strings.Join(rs, " and "))
-	}
-	scanEst := cq.estDriving
-	if cq.pushed {
-		scanEst = cq.estScan
-	}
-	node := &PlanNode{Name: cq.path.String() + "-scan", Detail: strings.Join(d, ", "), EstRows: scanEst}
-	if cq.par > 1 {
-		merge := "unordered fan-in"
-		if cq.ordered {
-			merge = "ordered merge"
+		cur = &PlanNode{
+			Name:     st.algo.String() + "-join",
+			Detail:   d,
+			EstRows:  st.estRows,
+			Children: []*PlanNode{cur, cq.inputNode(right)},
 		}
-		node = &PlanNode{
-			Name:     "parallel",
-			Detail:   fmt.Sprintf("%d workers, %s", cq.par, merge),
-			EstRows:  scanEst,
-			Children: []*PlanNode{node},
-		}
+		leftLabel = "(" + leftLabel + " ⋈ " + right.name + ")"
 	}
 
-	cur := node
 	wrap := func(n *PlanNode) {
 		n.Children = []*PlanNode{cur}
 		cur = n
-	}
-	if len(cq.residual) > 0 && !cq.pushed {
-		var rs []string
-		for _, r := range cq.residual {
-			rs = append(rs, fmtPred(r.name, r.pred))
-		}
-		wrap(&PlanNode{Name: "filter", Detail: strings.Join(rs, " and "), EstRows: cq.estScan})
 	}
 	if cq.selIdx != nil {
 		names := make([]string, len(cq.selIdx))

@@ -70,7 +70,7 @@ func TestByIDUnknown(t *testing.T) {
 	if _, err := r.ByID("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if len(IDs()) != 16 {
+	if len(IDs()) != 17 {
 		t.Errorf("IDs() = %v", IDs())
 	}
 }

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+
+	"smoothscan/internal/tpch"
+)
+
+// JoinExp sweeps the TPC-H Q3-style hash join (LINEITEM probe x
+// ORDERS build, internal/tpch.Q3) over selectivity on *both* join
+// inputs and over the probe side's access path. This is the
+// join-workload counterpart of the Figure 5 sweeps: the worst
+// cardinality misestimates in real workloads come from join inputs,
+// and the experiment shows the same full/index crossover — and Smooth
+// Scan's robustness to it — when the scan feeds a join instead of an
+// aggregate. Simulated cost units, fully deterministic (pinned by the
+// ssbench golden).
+func (r *Runner) JoinExp() (*Table, error) {
+	db, err := r.tpchDB()
+	if err != nil {
+		return nil, err
+	}
+	pool := r.tpchPool(db)
+
+	lineGrid := []float64{0.01, 0.10, 0.50}
+	orderGrid := []float64{0.10, 0.50, 1.00}
+	paths := []tpch.Path{tpch.PathFull, tpch.PathIndex, tpch.PathSmooth}
+
+	var rows [][]string
+	for _, lsel := range lineGrid {
+		for _, osel := range orderGrid {
+			row := []string{
+				fmt.Sprintf("%.0f", lsel*100),
+				fmt.Sprintf("%.0f", osel*100),
+			}
+			var joined, build, probe int64
+			for i, p := range paths {
+				pool.Reset()
+				db.Dev.ResetStats()
+				_, js, err := db.Q3(pool, tpch.ScanSpec{Path: p, Smooth: tpch.DefaultSmooth()}, lsel, osel)
+				if err != nil {
+					return nil, err
+				}
+				if i == 0 {
+					joined, build, probe = js.OutputRows, js.RightRows, js.LeftRows
+				} else if js.OutputRows != joined || js.RightRows != build || js.LeftRows != probe {
+					// The paths may only differ in *how* LINEITEM is
+					// read; diverging join counters mean one of them
+					// produced wrong rows.
+					return nil, fmt.Errorf("join: %s counters (out=%d build=%d probe=%d) diverge from %s (out=%d build=%d probe=%d) at sel_l=%.2f sel_o=%.2f",
+						p, js.OutputRows, js.RightRows, js.LeftRows, paths[0], joined, build, probe, lsel, osel)
+				}
+				row = append(row, fmtTime(db.Dev.Stats().Time()))
+			}
+			row = append(row,
+				fmt.Sprintf("%d", build),
+				fmt.Sprintf("%d", probe),
+				fmt.Sprintf("%d", joined),
+			)
+			rows = append(rows, row)
+		}
+	}
+	return &Table{
+		ID:     "join",
+		Title:  "Q3-style hash join: LINEITEM probe path sweep over both input selectivities (simulated cost units)",
+		Header: []string{"sel_l(%)", "sel_o(%)", "full", "index", "smooth", "build", "probe", "joined"},
+		Rows:   rows,
+		Notes: []string{
+			"build/probe/joined are the hash join's input and output row counts (identical",
+			"across probe paths; the paths differ only in how LINEITEM is read). The",
+			"full/index crossover in the probe column mirrors Figure 5; smooth tracks the",
+			"winner on both sides of it without statistics.",
+		},
+	}, nil
+}

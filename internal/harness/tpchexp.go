@@ -295,7 +295,7 @@ func (r *Runner) All() ([]*Table, error) {
 		r.Fig1, r.Fig1Q12, r.Fig4, r.Table2,
 		r.Fig5a, r.Fig5b, r.Fig6, r.Fig7a, r.Fig7b,
 		r.Fig8, r.Fig9, r.Fig10, r.Fig11,
-		r.CompetitiveRatios, r.ModelAccuracy, r.Concurrent,
+		r.CompetitiveRatios, r.ModelAccuracy, r.JoinExp, r.Concurrent,
 	}
 	out := make([]*Table, 0, len(fns))
 	for _, fn := range fns {
@@ -326,6 +326,7 @@ func (r *Runner) ByID(id string) (*Table, error) {
 		"fig11":      r.Fig11,
 		"tab-cr":     r.CompetitiveRatios,
 		"model":      r.ModelAccuracy,
+		"join":       r.JoinExp,
 		"concurrent": r.Concurrent,
 	}
 	fn, ok := m[id]
@@ -337,5 +338,5 @@ func (r *Runner) ByID(id string) (*Table, error) {
 
 // IDs lists the experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model", "concurrent"}
+	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model", "join", "concurrent"}
 }

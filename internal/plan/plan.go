@@ -20,6 +20,7 @@ import (
 	"smoothscan/internal/btree"
 	"smoothscan/internal/bufferpool"
 	"smoothscan/internal/core"
+	"smoothscan/internal/disk"
 	"smoothscan/internal/exec"
 	"smoothscan/internal/heap"
 	"smoothscan/internal/parallel"
@@ -225,6 +226,73 @@ func parallelFull(spec ScanSpec, par int) (*parallel.Scan, error) {
 		workers[i] = parallel.Worker{Op: fs, Flush: view.FlushCPU}
 	}
 	return parallel.NewScan(workers, parallel.Options{Schema: spec.File.Schema(), Ctx: spec.Ctx})
+}
+
+// JoinAlgo selects the join operator family.
+type JoinAlgo int
+
+// Join algorithms a JoinSpec can request.
+const (
+	// JoinHash is the batched build/probe hash equi-join.
+	JoinHash JoinAlgo = iota
+	// JoinMerge is the batched merge equi-join; both inputs must
+	// arrive sorted ascending on their join columns.
+	JoinMerge
+)
+
+func (a JoinAlgo) String() string {
+	switch a {
+	case JoinHash:
+		return "hash"
+	case JoinMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("JoinAlgo(%d)", int(a))
+	}
+}
+
+// JoinSpec describes one equi-join over two built inputs. Like
+// ScanSpec it is declarative: the optimizer decides build side and
+// algorithm, BuildJoin owns how the spec becomes an operator.
+type JoinSpec struct {
+	// Left and Right are the join inputs (scans, or earlier joins of a
+	// left-deep tree). The output schema is always Left ++ Right.
+	Left, Right exec.Operator
+	// LeftCol / RightCol are the equi-join columns in each input's
+	// schema.
+	LeftCol, RightCol int
+	// Algo selects hash or merge.
+	Algo JoinAlgo
+	// BuildLeft drains the left input into the hash table instead of
+	// the right (JoinHash only; the planner puts the smaller estimated
+	// input on the build side).
+	BuildLeft bool
+	// Dev accounts the join's CPU charges; nil skips accounting.
+	Dev *disk.Device
+}
+
+// BuildJoin constructs the batched join operator for the spec. The
+// returned operator also implements exec.JoinStatser.
+func BuildJoin(spec JoinSpec) (exec.BatchOperator, error) {
+	if spec.Left == nil || spec.Right == nil {
+		return nil, fmt.Errorf("plan: join requires two inputs")
+	}
+	lw := spec.Left.Schema().NumCols()
+	rw := spec.Right.Schema().NumCols()
+	if spec.LeftCol < 0 || spec.LeftCol >= lw {
+		return nil, fmt.Errorf("plan: join left column %d outside schema %s", spec.LeftCol, spec.Left.Schema())
+	}
+	if spec.RightCol < 0 || spec.RightCol >= rw {
+		return nil, fmt.Errorf("plan: join right column %d outside schema %s", spec.RightCol, spec.Right.Schema())
+	}
+	switch spec.Algo {
+	case JoinHash:
+		return exec.NewHashJoinBatch(spec.Left, spec.Right, spec.Dev, spec.LeftCol, spec.RightCol, spec.BuildLeft), nil
+	case JoinMerge:
+		return exec.NewMergeJoinBatch(spec.Left, spec.Right, spec.Dev, spec.LeftCol, spec.RightCol), nil
+	default:
+		return nil, fmt.Errorf("plan: unknown join algorithm %d", int(spec.Algo))
+	}
 }
 
 // splitBudget divides a byte budget across n workers, keeping a

@@ -109,8 +109,24 @@ func (s *Schema) ColIndex(name string) int {
 func (s *Schema) TupleSize() int { return 8 * len(s.cols) }
 
 // Concat returns a schema holding s's columns followed by t's, with
-// t's names prefixed when they would collide. Used by joins.
+// t's names prefixed when they would collide. Used by joins. It
+// panics when the rename still collides; planners that must reject
+// such chains gracefully use ConcatChecked.
 func (s *Schema) Concat(t *Schema) *Schema {
+	out, err := s.ConcatChecked(t)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ConcatChecked is Concat with the rename collision reported as an
+// error instead of a panic: a right column whose "r."-prefixed name
+// still clashes (e.g. a three-way join over one column name) cannot
+// be represented. It is the single definition of the join output
+// schema — the plan layer and the join operators must agree on it
+// exactly, or column resolution would silently read wrong columns.
+func (s *Schema) ConcatChecked(t *Schema) (*Schema, error) {
 	cols := s.Columns()
 	for _, c := range t.cols {
 		name := c.Name
@@ -122,7 +138,7 @@ func (s *Schema) Concat(t *Schema) *Schema {
 		}
 		cols = append(cols, Column{Name: name, Type: c.Type})
 	}
-	return MustSchema(cols...)
+	return NewSchema(cols...)
 }
 
 func (s *Schema) String() string {

@@ -99,6 +99,14 @@ type cond struct {
 	p   Pred
 }
 
+// joinClause is one Join call before compilation.
+type joinClause struct {
+	table    string
+	leftCol  string
+	rightCol string
+	opts     ScanOptions
+}
+
 // Query is a composable query under construction. Build one with
 // DB.Query, chain Where / Select / GroupBy / OrderBy / Limit /
 // WithOptions, then call Run to execute it or Explain to inspect the
@@ -114,6 +122,7 @@ type Query struct {
 	db     *DB
 	table  string
 	conds  []cond
+	joins  []joinClause
 	sel    []string
 	hasSel bool
 	group  string
@@ -155,6 +164,39 @@ func (q *Query) fail(err error) *Query {
 // access path supports it.
 func (q *Query) Where(col string, p Pred) *Query {
 	q.conds = append(q.conds, cond{col: col, p: p})
+	return q
+}
+
+// Join adds an inner equi-join with another table:
+// left.leftCol = right.rightCol, where leftCol is a column of the
+// query's output so far (the driving table, or any previously joined
+// table) and rightCol is a column of the newly joined table. The
+// output schema is the left columns followed by the right table's
+// (colliding right column names get an "r." prefix).
+//
+// Where predicates may reference columns of any joined table — each
+// conjunct is pushed beneath the join into the access path of the one
+// table that has the column (ambiguous names are an error). Each
+// input's access path is planned independently from its own
+// predicates and ScanOptions — the adaptive Smooth Scan by default,
+// any forced path or the cost-based optimizer (PathAuto) via
+// JoinWithOptions — and the smaller estimated input lands on the hash
+// build side. The first join runs as a merge join instead when both
+// its base-table inputs already arrive ordered by their join columns
+// (index scans, or Ordered smooth/sort scans driven by the join
+// column); later stages of a chain always hash, since a join output's
+// ordering is not tracked. The joined table's scan uses default
+// ScanOptions; use JoinWithOptions to configure it.
+func (q *Query) Join(table, leftCol, rightCol string) *Query {
+	q.joins = append(q.joins, joinClause{table: table, leftCol: leftCol, rightCol: rightCol})
+	return q
+}
+
+// JoinWithOptions is Join with explicit ScanOptions for the joined
+// table's access path (the builder-level WithOptions only configures
+// the driving table).
+func (q *Query) JoinWithOptions(table, leftCol, rightCol string, opts ScanOptions) *Query {
+	q.joins = append(q.joins, joinClause{table: table, leftCol: leftCol, rightCol: rightCol, opts: opts})
 	return q
 }
 
@@ -231,14 +273,14 @@ type resolvedPred struct {
 	pred tuple.RangePred
 }
 
-// compiledQuery is the outcome of planning: everything needed to build
-// the operator tree or render the Explain plan.
-type compiledQuery struct {
-	tab      *table
-	table    string
-	base     *tuple.Schema
-	emptyWhy string // non-empty: plan short-circuits to an empty result
-
+// tableAccess is one base table's compiled access: its predicates,
+// the chosen access path, morphing configuration and parallelism —
+// the per-input slice of what used to be the whole compiled query
+// before joins made plans multi-input.
+type tableAccess struct {
+	tab        *table
+	name       string
+	base       *tuple.Schema
 	driving    resolvedPred
 	hasDriving bool // false: no predicates at all (pure full scan)
 	residual   []resolvedPred
@@ -250,6 +292,57 @@ type compiledQuery struct {
 	estDriving int64
 	estScan    int64 // after residual conjuncts
 	pushed     bool  // residual evaluated inside the scan
+	emptyWhy   string
+}
+
+// residualPreds extracts the bare predicates.
+func (a *tableAccess) residualPreds() []tuple.RangePred {
+	if len(a.residual) == 0 {
+		return nil
+	}
+	out := make([]tuple.RangePred, len(a.residual))
+	for i, r := range a.residual {
+		out[i] = r.pred
+	}
+	return out
+}
+
+// deliversOrderOn reports whether the access emits rows ordered by the
+// given base-schema column: the column must drive the scan and the
+// path must preserve index-key order (index scans always do; smooth
+// and sort scans do when their ordered variant was chosen).
+func (a *tableAccess) deliversOrderOn(col int) bool {
+	if a.driving.pred.Col != col {
+		return false
+	}
+	switch a.path {
+	case PathIndex:
+		return true
+	case PathSmooth, PathSort:
+		return a.ordered
+	}
+	return false
+}
+
+// joinStage is one compiled equi-join of the left-deep join tree:
+// stage k joins the output of everything before it with inputs[k+1].
+type joinStage struct {
+	leftCol   int // in the accumulated left schema
+	rightCol  int // in the right input's base schema
+	leftName  string
+	rightName string
+	algo      plan.JoinAlgo
+	buildLeft bool
+	estRows   int64
+}
+
+// compiledQuery is the outcome of planning: everything needed to build
+// the operator tree or render the Explain plan.
+type compiledQuery struct {
+	inputs   []*tableAccess // left-deep; inputs[0] is the driving table
+	joins    []*joinStage   // len(inputs)-1 stages
+	base     *tuple.Schema  // joined row schema (inputs[0].base when no joins)
+	emptyWhy string         // non-empty: plan short-circuits to an empty result
 
 	selIdx    []int
 	selSchema *tuple.Schema
@@ -268,30 +361,25 @@ type compiledQuery struct {
 	out *tuple.Schema
 }
 
-// residualPreds extracts the bare predicates.
-func (cq *compiledQuery) residualPreds() []tuple.RangePred {
-	if len(cq.residual) == 0 {
-		return nil
+// driving returns the first (driving-table) input.
+func (cq *compiledQuery) driving() *tableAccess { return cq.inputs[0] }
+
+// estRoot is the cardinality estimate of the scan/join tree before
+// projection and aggregation.
+func (cq *compiledQuery) estRoot() int64 {
+	if n := len(cq.joins); n > 0 {
+		return cq.joins[n-1].estRows
 	}
-	out := make([]tuple.RangePred, len(cq.residual))
-	for i, r := range cq.residual {
-		out[i] = r.pred
-	}
-	return out
+	return cq.driving().estScan
 }
 
-// compile plans the query. The caller holds db.mu (read).
-func (q *Query) compile() (*compiledQuery, error) {
-	if q.err != nil {
-		return nil, q.err
-	}
-	db := q.db
-	t, err := db.tableLocked(q.table)
-	if err != nil {
-		return nil, err
-	}
-	cq := &compiledQuery{tab: t, table: q.table, base: t.file.Schema(), groupIdx: -1, orderIdx: -1}
-	opts := q.opts
+// compileAccess plans one base table's access from its Where
+// conjuncts and ScanOptions. orderCol, when non-empty, names a column
+// whose order the plan could use for free if it happens to drive an
+// order-preserving path (the free-ORDER-BY case); compat preserves the
+// historical DB.Scan strictness.
+func compileAccess(db *DB, name string, t *table, conds []cond, opts ScanOptions, orderCol string, compat bool) (*tableAccess, error) {
+	a := &tableAccess{tab: t, name: name, base: t.file.Schema()}
 	if opts.MaxRegionPages == 0 {
 		opts.MaxRegionPages = core.DefaultMaxRegionPages
 	}
@@ -300,10 +388,13 @@ func (q *Query) compile() (*compiledQuery, error) {
 	// first-mention order.
 	var merged []resolvedPred
 	byCol := map[string]int{}
-	for _, c := range q.conds {
-		col := cq.base.ColIndex(c.col)
+	for _, c := range conds {
+		col := a.base.ColIndex(c.col)
 		if col < 0 {
-			return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, c.col)
+			// compile routes each cond to the one table whose schema
+			// has the column, so a miss here is an internal invariant
+			// violation, not a user error.
+			return nil, fmt.Errorf("smoothscan: internal: cond on %q routed to table %q which lacks it", c.col, name)
 		}
 		rp := tuple.RangePred{Col: col, Lo: c.p.lo, Hi: c.p.hi}
 		if i, ok := byCol[c.col]; ok {
@@ -313,14 +404,11 @@ func (q *Query) compile() (*compiledQuery, error) {
 			merged = append(merged, resolvedPred{name: c.col, pred: rp})
 		}
 	}
-	if !q.compat {
+	if !compat {
 		for _, m := range merged {
 			if m.pred.Empty() {
-				cq.emptyWhy = fmt.Sprintf("predicates on %q are contradictory", m.name)
+				a.emptyWhy = fmt.Sprintf("predicates on %q are contradictory", m.name)
 			}
-		}
-		if q.hasLim && q.limit == 0 {
-			cq.emptyWhy = "LIMIT 0"
 		}
 	}
 
@@ -334,7 +422,7 @@ func (q *Query) compile() (*compiledQuery, error) {
 	// (by the optimizer's cardinality estimate) drives the access path;
 	// everything else is residual.
 	drivingAt := -1
-	if q.compat {
+	if compat {
 		drivingAt = 0 // exactly one predicate by construction
 	} else {
 		bestCard := int64(math.MaxInt64)
@@ -351,44 +439,43 @@ func (q *Query) compile() (*compiledQuery, error) {
 		}
 	}
 	if drivingAt >= 0 {
-		cq.driving = merged[drivingAt]
-		cq.hasDriving = true
+		a.driving = merged[drivingAt]
+		a.hasDriving = true
 		for i, m := range merged {
 			if i != drivingAt {
-				cq.residual = append(cq.residual, m)
+				a.residual = append(a.residual, m)
 			}
 		}
 	} else {
-		cq.driving = resolvedPred{name: cq.base.Col(0).Name, pred: tuple.All(0)}
+		a.driving = resolvedPred{name: a.base.Col(0).Name, pred: tuple.All(0)}
 	}
-	_, hasIndex := t.indexes[cq.driving.name]
+	_, hasIndex := t.indexes[a.driving.name]
 
 	// Cardinality estimates (independence assumption across conjuncts).
-	cq.estDriving = opts.EstimatedRows
-	if cq.estDriving == 0 {
-		cq.estDriving = stats.EstimateCard(cq.driving.pred)
+	a.estDriving = opts.EstimatedRows
+	if a.estDriving == 0 {
+		a.estDriving = stats.EstimateCard(a.driving.pred)
 	}
 	sel := 1.0
-	for _, r := range cq.residual {
+	for _, r := range a.residual {
 		sel *= stats.EstimateSelectivity(r.pred)
 	}
-	cq.estScan = int64(math.Round(float64(cq.estDriving) * sel))
+	a.estScan = int64(math.Round(float64(a.estDriving) * sel))
 
-	// Does the query want its output in driving-key order, with no
-	// grouping in between? Then an order-preserving access path can
-	// satisfy the ORDER BY for free — the optimizer should weigh the
-	// posterior sort against that.
-	wantScanOrder := q.hasOrd && !q.hasAgg && cq.hasDriving && q.order == cq.driving.name
+	// Does the caller want output in this column's order? Then an
+	// order-preserving access path driven by it satisfies the ORDER BY
+	// for free — the optimizer weighs the posterior sort against that.
+	wantScanOrder := orderCol != "" && a.hasDriving && orderCol == a.driving.name
 	ordered := opts.Ordered || wantScanOrder
 
 	// Access-path resolution.
 	path := opts.Path
 	if path == PathAuto {
-		if !cq.hasDriving {
+		if !a.hasDriving {
 			path = PathFull
 		} else {
-			choice := optimizer.ChooseAccessPath(params, stats, cq.driving.pred, hasIndex, opts.Ordered || wantScanOrder)
-			cq.choice = &choice
+			choice := optimizer.ChooseAccessPath(params, stats, a.driving.pred, hasIndex, opts.Ordered || wantScanOrder)
+			a.choice = &choice
 			switch choice.Path {
 			case optimizer.PathFullScan:
 				path = PathFull
@@ -397,14 +484,14 @@ func (q *Query) compile() (*compiledQuery, error) {
 			case optimizer.PathSortScan:
 				path = PathSort
 			}
-			cq.estDriving = choice.EstimatedCard
-			cq.estScan = int64(math.Round(float64(cq.estDriving) * sel))
+			a.estDriving = choice.EstimatedCard
+			a.estScan = int64(math.Round(float64(a.estDriving) * sel))
 		}
 	}
 	switch path {
 	case PathSmooth, PathIndex, PathSort, PathSwitch:
 		if !hasIndex {
-			if path == PathSmooth && !q.compat {
+			if path == PathSmooth && !compat {
 				// The builder's default path is PathSmooth; without an
 				// index on the driving column it degrades gracefully to
 				// a full scan instead of failing, so predicate-less and
@@ -412,7 +499,7 @@ func (q *Query) compile() (*compiledQuery, error) {
 				// historical behaviour.
 				path = PathFull
 			} else {
-				return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, q.table, cq.driving.name)
+				return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, name, a.driving.name)
 			}
 		}
 	case PathFull:
@@ -432,8 +519,8 @@ func (q *Query) compile() (*compiledQuery, error) {
 		}
 	}
 	nativeOrder := ordered && (path == PathSmooth || path == PathIndex || path == PathSort)
-	cq.ordered = nativeOrder
-	cq.path = path
+	a.ordered = nativeOrder
+	a.path = path
 
 	par := opts.Parallelism
 	if par > MaxParallelism {
@@ -443,23 +530,162 @@ func (q *Query) compile() (*compiledQuery, error) {
 		par = int(t.file.NumPages())
 	}
 	if par > 1 && (path == PathSmooth || path == PathFull) {
-		cq.par = par
+		a.par = par
 	} else {
-		cq.par = 1
+		a.par = 1
 	}
 
-	cq.cfg = core.Config{
+	a.cfg = core.Config{
 		Policy:            opts.Policy,
 		Trigger:           opts.Trigger,
 		Ordered:           nativeOrder,
 		MaxRegionPages:    opts.MaxRegionPages,
-		EstimatedCard:     cq.estDriving,
+		EstimatedCard:     a.estDriving,
 		SLABound:          opts.SLABound,
 		CostParams:        params,
 		ResultCacheBudget: opts.ResultCacheBudget,
 	}
-	cq.pushed = len(cq.residual) > 0 &&
+	a.pushed = len(a.residual) > 0 &&
 		(path == PathFull || (path == PathSmooth && !nativeOrder))
+	return a, nil
+}
+
+// joinOutputSchema computes the join's output schema — the same
+// tuple.Schema concatenation the join operators apply at run time
+// ("r." prefix on right columns shadowed by the left) — turning a
+// still-colliding name into a compile-time error instead of a panic.
+func joinOutputSchema(left, right *tuple.Schema) (*tuple.Schema, error) {
+	s, err := left.ConcatChecked(right)
+	if err != nil {
+		return nil, fmt.Errorf("smoothscan: join output schema: %w (rename columns or reorder joins)", err)
+	}
+	return s, nil
+}
+
+// estJoinRows estimates an equi-join's output cardinality assuming
+// the right join column is key-like: |L| x |R| / |right table|,
+// floored at one row when both inputs are non-empty.
+func estJoinRows(estL, estR, rightTableRows int64) int64 {
+	if estL <= 0 || estR <= 0 {
+		return 0
+	}
+	if rightTableRows <= 0 {
+		return estL
+	}
+	est := int64(math.Round(float64(estL) * float64(estR) / float64(rightTableRows)))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// compile plans the query. The caller holds db.mu (read).
+func (q *Query) compile() (*compiledQuery, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	db := q.db
+	cq := &compiledQuery{groupIdx: -1, orderIdx: -1}
+
+	// Resolve every input table and distribute the Where conjuncts:
+	// each predicate is pushed beneath the joins into the one input
+	// whose schema has the column.
+	names := []string{q.table}
+	optsPer := []ScanOptions{q.opts}
+	for _, j := range q.joins {
+		names = append(names, j.table)
+		optsPer = append(optsPer, j.opts)
+	}
+	tabs := make([]*table, len(names))
+	for i, name := range names {
+		t, err := db.tableLocked(name)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+	}
+	condsPer := make([][]cond, len(names))
+	for _, c := range q.conds {
+		at := -1
+		for i, t := range tabs {
+			if t.file.Schema().ColIndex(c.col) < 0 {
+				continue
+			}
+			if at >= 0 {
+				return nil, fmt.Errorf("smoothscan: Where column %q is ambiguous between tables %q and %q", c.col, names[at], names[i])
+			}
+			at = i
+		}
+		if at < 0 {
+			if len(names) == 1 {
+				return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, c.col)
+			}
+			return nil, fmt.Errorf("%w: no joined table has column %q", ErrUnknownColumn, c.col)
+		}
+		condsPer[at] = append(condsPer[at], c)
+	}
+
+	// Only the driving table of a join-free query can satisfy an ORDER
+	// BY through an order-preserving scan; joins and grouping reorder.
+	orderCol := func(i int) string {
+		if i != 0 || len(q.joins) > 0 || !q.hasOrd || q.hasAgg {
+			return ""
+		}
+		return q.order
+	}
+
+	cq.inputs = make([]*tableAccess, len(names))
+	for i := range names {
+		a, err := compileAccess(db, names[i], tabs[i], condsPer[i], optsPer[i], orderCol(i), q.compat)
+		if err != nil {
+			return nil, err
+		}
+		if a.emptyWhy != "" && cq.emptyWhy == "" {
+			cq.emptyWhy = a.emptyWhy
+		}
+		cq.inputs[i] = a
+	}
+	if !q.compat && q.hasLim && q.limit == 0 {
+		cq.emptyWhy = "LIMIT 0"
+	}
+
+	// Join stages: resolve the equi-join columns, pick the algorithm
+	// (merge when both inputs already arrive ordered by their join
+	// columns, hash otherwise) and the hash build side (the smaller
+	// estimated input).
+	cq.base = cq.inputs[0].base
+	estLeft := cq.inputs[0].estScan
+	for k, jc := range q.joins {
+		right := cq.inputs[k+1]
+		leftCol := cq.base.ColIndex(jc.leftCol)
+		if leftCol < 0 {
+			return nil, fmt.Errorf("%w: join %d: %q is not a column of the query output joined so far", ErrUnknownColumn, k+1, jc.leftCol)
+		}
+		rightCol := right.base.ColIndex(jc.rightCol)
+		if rightCol < 0 {
+			return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, right.name, jc.rightCol)
+		}
+		st := &joinStage{
+			leftCol:   leftCol,
+			rightCol:  rightCol,
+			leftName:  cq.base.Col(leftCol).Name,
+			rightName: right.base.Col(rightCol).Name,
+		}
+		if k == 0 && cq.inputs[0].deliversOrderOn(leftCol) && right.deliversOrderOn(rightCol) {
+			st.algo = plan.JoinMerge
+		} else {
+			st.algo = plan.JoinHash
+			st.buildLeft = estLeft < right.estScan
+		}
+		st.estRows = estJoinRows(estLeft, right.estScan, right.tab.file.NumTuples())
+		joined, err := joinOutputSchema(cq.base, right.base)
+		if err != nil {
+			return nil, err
+		}
+		cq.base = joined
+		estLeft = st.estRows
+		cq.joins = append(cq.joins, st)
+	}
 
 	// SELECT list.
 	cq.selSchema = cq.base
@@ -469,7 +695,10 @@ func (q *Query) compile() (*compiledQuery, error) {
 		for i, name := range q.sel {
 			col := cq.base.ColIndex(name)
 			if col < 0 {
-				return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, name)
+				if len(cq.inputs) == 1 {
+					return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, name)
+				}
+				return nil, fmt.Errorf("%w: join output has no column %q", ErrUnknownColumn, name)
 			}
 			cq.selIdx[i] = col
 			cols[i] = cq.base.Col(col)
@@ -486,7 +715,7 @@ func (q *Query) compile() (*compiledQuery, error) {
 	if q.hasAgg {
 		cq.groupIdx = cq.selSchema.ColIndex(q.group)
 		if cq.groupIdx < 0 {
-			return nil, q.stageColErr(q.group, "GroupBy")
+			return nil, cq.stageColErr(q.group, "GroupBy")
 		}
 		names := map[string]bool{q.group: true}
 		outCols := []tuple.Column{{Name: q.group, Type: tuple.Int64}}
@@ -495,7 +724,7 @@ func (q *Query) compile() (*compiledQuery, error) {
 			if a.kind != exec.AggCount {
 				spec.Col = cq.selSchema.ColIndex(a.col)
 				if spec.Col < 0 {
-					return nil, q.stageColErr(a.col, "aggregate")
+					return nil, cq.stageColErr(a.col, "aggregate")
 				}
 			}
 			if names[a.name] {
@@ -522,7 +751,7 @@ func (q *Query) compile() (*compiledQuery, error) {
 		switch {
 		case q.hasAgg && q.order == q.group:
 			cq.orderVia = "group" // HashAgg emits ascending group keys
-		case nativeOrder && !q.hasAgg && q.order == cq.driving.name:
+		case len(cq.joins) == 0 && cq.driving().ordered && !q.hasAgg && q.order == cq.driving().driving.name:
 			cq.orderVia = "scan"
 		default:
 			cq.needSort = true
@@ -536,46 +765,46 @@ func (q *Query) compile() (*compiledQuery, error) {
 
 // stageColErr distinguishes "no such column" from "column projected
 // away" for GroupBy/aggregate resolution.
-func (q *Query) stageColErr(col, what string) error {
-	// The caller holds db.mu; tableLocked succeeded moments ago.
-	t, err := q.db.tableLocked(q.table)
-	if err == nil && t.file.Schema().ColIndex(col) >= 0 {
+func (cq *compiledQuery) stageColErr(col, what string) error {
+	if cq.base.ColIndex(col) >= 0 {
 		return fmt.Errorf("%w: %s column %q was projected away by Select", ErrNotSelected, what, col)
 	}
-	return fmt.Errorf("%w: table %q has no column %q (%s)", ErrUnknownColumn, q.table, col, what)
+	if len(cq.inputs) == 1 {
+		return fmt.Errorf("%w: table %q has no column %q (%s)", ErrUnknownColumn, cq.driving().name, col, what)
+	}
+	return fmt.Errorf("%w: join output has no column %q (%s)", ErrUnknownColumn, col, what)
 }
 
-// build constructs the operator tree for a compiled query, wrapping
-// every stage in a row/batch counter for ExecStats. The caller holds
-// db.mu (read).
-func (cq *compiledQuery) build(db *DB, ctx context.Context) (exec.Operator, *plan.Scan, []*opCounter, error) {
-	var counters []*opCounter
-	count := func(name string, op exec.Operator) exec.Operator {
-		c := &opCounter{name: name}
-		counters = append(counters, c)
-		return &countedOp{inner: op, c: c}
-	}
+// builtQuery is the executable outcome of build: the root operator
+// plus the handles ExecStats reads (the driving table's Smooth Scan
+// operator(s), the join operators, the per-stage counters).
+type builtQuery struct {
+	root     exec.Operator
+	smooth   *core.SmoothScan
+	workers  []*core.SmoothScan
+	joins    []exec.JoinStatser
+	counters []*opCounter
+}
 
-	if cq.emptyWhy != "" {
-		root := count("empty", exec.NewValues(cq.out, nil))
-		return root, nil, counters, nil
-	}
-
+// buildInput constructs one table access through the plan layer,
+// wrapped in its counter, context guard and (when the access path
+// could not absorb the residual conjuncts) a filter operator.
+func (cq *compiledQuery) buildInput(db *DB, ctx context.Context, a *tableAccess, bq *builtQuery, count func(string, exec.Operator) exec.Operator) (exec.Operator, error) {
 	spec := plan.ScanSpec{
-		File:            cq.tab.file,
+		File:            a.tab.file,
 		Pool:            db.pool,
-		Pred:            cq.driving.pred,
-		Residual:        cq.residualPreds(),
-		Smooth:          cq.cfg,
-		Ordered:         cq.ordered,
-		SwitchThreshold: cq.estDriving,
-		Parallelism:     cq.par,
+		Pred:            a.driving.pred,
+		Residual:        a.residualPreds(),
+		Smooth:          a.cfg,
+		Ordered:         a.ordered,
+		SwitchThreshold: a.estDriving,
+		Parallelism:     a.par,
 		Ctx:             ctx,
 	}
-	if tree, ok := cq.tab.indexes[cq.driving.name]; ok {
+	if tree, ok := a.tab.indexes[a.driving.name]; ok {
 		spec.Tree = tree
 	}
-	switch cq.path {
+	switch a.path {
 	case PathSmooth:
 		spec.Path = plan.PathSmooth
 	case PathFull:
@@ -590,30 +819,91 @@ func (cq *compiledQuery) build(db *DB, ctx context.Context) (exec.Operator, *pla
 	built, err := plan.Build(spec)
 	if err != nil {
 		if errors.Is(err, plan.ErrNeedsIndex) {
-			return nil, nil, nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, cq.table, cq.driving.name)
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoIndex, a.name, a.driving.name)
 		}
-		return nil, nil, nil, err
+		return nil, err
+	}
+	if a == cq.driving() {
+		bq.smooth = built.Smooth
+		bq.workers = built.Workers
 	}
 
-	scanName := cq.path.String()
-	if cq.par > 1 {
-		scanName = fmt.Sprintf("parallel[%d] %s", cq.par, scanName)
+	// Counter names keep the historical single-table form ("smooth",
+	// "filter"); multi-input plans qualify them with the table.
+	multi := len(cq.inputs) > 1
+	scanName := a.path.String()
+	if multi {
+		scanName = fmt.Sprintf("%s(%s)", a.path, a.name)
+	}
+	if a.par > 1 {
+		scanName = fmt.Sprintf("parallel[%d] %s", a.par, scanName)
 	}
 	cur := count(scanName, built.Op)
 	if ctx != nil {
+		// Each input gets its own guard, so a blocking consumer (a
+		// hash-join build, a sort) observes cancellation per batch.
 		cur = &ctxGuard{inner: cur, ctx: ctx}
 	}
-
-	if len(cq.residual) > 0 && !built.ResidualPushed {
-		preds := cq.residualPreds()
-		cur = count("filter", exec.NewFilter(cur, db.dev, func(r tuple.Row) bool {
+	if len(a.residual) > 0 && !built.ResidualPushed {
+		preds := a.residualPreds()
+		name := "filter"
+		if multi {
+			name = fmt.Sprintf("filter(%s)", a.name)
+		}
+		cur = count(name, exec.NewFilter(cur, db.dev, func(r tuple.Row) bool {
 			return tuple.MatchesAll(preds, r)
 		}))
 	}
+	return cur, nil
+}
+
+// build constructs the operator tree for a compiled query, wrapping
+// every stage in a row/batch counter for ExecStats. The caller holds
+// db.mu (read).
+func (cq *compiledQuery) build(db *DB, ctx context.Context) (*builtQuery, error) {
+	bq := &builtQuery{}
+	count := func(name string, op exec.Operator) exec.Operator {
+		c := &opCounter{name: name}
+		bq.counters = append(bq.counters, c)
+		return &countedOp{inner: op, c: c}
+	}
+
+	if cq.emptyWhy != "" {
+		bq.root = count("empty", exec.NewValues(cq.out, nil))
+		return bq, nil
+	}
+
+	inOps := make([]exec.Operator, len(cq.inputs))
+	for i, a := range cq.inputs {
+		op, err := cq.buildInput(db, ctx, a, bq, count)
+		if err != nil {
+			return nil, err
+		}
+		inOps[i] = op
+	}
+
+	cur := inOps[0]
+	for k, st := range cq.joins {
+		op, err := plan.BuildJoin(plan.JoinSpec{
+			Left:      cur,
+			Right:     inOps[k+1],
+			LeftCol:   st.leftCol,
+			RightCol:  st.rightCol,
+			Algo:      st.algo,
+			BuildLeft: st.buildLeft,
+			Dev:       db.dev,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bq.joins = append(bq.joins, op.(exec.JoinStatser))
+		cur = count(st.algo.String()+"-join", op)
+	}
+
 	if cq.selIdx != nil {
 		p, err := exec.NewColProject(cur, cq.selIdx)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		cur = count("project", p)
 	}
@@ -626,7 +916,8 @@ func (cq *compiledQuery) build(db *DB, ctx context.Context) (exec.Operator, *pla
 	if cq.hasLim {
 		cur = count("limit", exec.NewLimit(cur, cq.limit))
 	}
-	return cur, built, counters, nil
+	bq.root = cur
+	return bq, nil
 }
 
 // Explain compiles the query — access-path choice, residual placement,
@@ -669,7 +960,7 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	root, built, counters, err := cq.build(db, ctx)
+	bq, err := cq.build(db, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -677,17 +968,16 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 		schema:     cq.out,
 		baseSchema: cq.base,
 		ctx:        ctx,
-		counters:   counters,
+		counters:   bq.counters,
 		compiled:   cq,
-		choice:     cq.choice,
-		op:         root,
-	}
-	if built != nil {
-		rows.smooth = built.Smooth
-		rows.smoothAll = built.Workers
+		choice:     cq.driving().choice,
+		op:         bq.root,
+		smooth:     bq.smooth,
+		smoothAll:  bq.workers,
+		joins:      bq.joins,
 	}
 	rows.ioStart = db.dev.Stats()
-	if err := root.Open(); err != nil {
+	if err := bq.root.Open(); err != nil {
 		return nil, err
 	}
 	rows.db = db

@@ -480,6 +480,7 @@ type Rows struct {
 	err        error
 	smooth     *core.SmoothScan
 	smoothAll  []*core.SmoothScan // parallel workers (PathSmooth)
+	joins      []exec.JoinStatser // batched join operators, leaf-most first
 	choice     *optimizer.Choice
 	counters   []*opCounter
 	compiled   *compiledQuery // immutable after compile; renders Plan lazily
