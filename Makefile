@@ -52,10 +52,15 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/benchgate
 
+## COVER_DIR: where coverage artifacts land — an ignored scratch dir,
+## so `make cover` never strands a cover.out in the working tree.
+COVER_DIR ?= tmp
+
 ## cover: the test suite with coverage, enforcing COVER_FLOOR on the total.
 cover:
-	$(GO) test -coverprofile=cover.out ./...
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+	@mkdir -p $(COVER_DIR)
+	$(GO) test -coverprofile=$(COVER_DIR)/cover.out ./...
+	@total=$$($(GO) tool cover -func=$(COVER_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
 
 ## equiv: diff the deterministic ssbench experiments against the
 ## committed golden — proves facade/plan refactors left the simulated

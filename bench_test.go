@@ -15,6 +15,7 @@ package smoothscan
 // varies with the host.
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -394,6 +395,111 @@ func BenchmarkHashJoinThroughput(b *testing.B) {
 		produced += n
 	}
 	b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkPreparedExec measures the prepare → bind → execute
+// lifecycle against ad-hoc compilation on a warm ~1%-selectivity
+// two-conjunct query: "adhoc-uncached" recompiles the structure every
+// query (plan cache disabled), "adhoc-cached" hits the DB-wide plan
+// cache, "prepared" binds a shared Stmt. The interesting metrics are
+// allocs/op (the bind phase allocates a fraction of a full compile —
+// see TestPreparedBindAllocs for the enforced 50% floor) and tuples/s,
+// which benchgate guards.
+func BenchmarkPreparedExec(b *testing.B) {
+	// build and drain take the sub-benchmark's own *testing.B: Fatal
+	// must run on the goroutine of the benchmark it fails.
+	build := func(b *testing.B, planCache int) *DB {
+		b.Helper()
+		db, err := Open(Options{PoolPages: 2048, PlanCache: planCache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb, err := db.CreateTable("t", "id", "val", "cat", "payload")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := int64(0); i < 50_000; i++ {
+			if err := tb.Append(i, (i*7919)%10_000, (i*104729)%50, i%1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tb.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		for _, col := range []string{"val", "cat"} {
+			if err := db.CreateIndex("t", col); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Analyze("t", "val", "cat"); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	drain := func(b *testing.B, rows *Rows, err error) int64 {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for rows.Next() {
+			n++
+		}
+		if rows.Err() != nil {
+			b.Fatal(rows.Err())
+		}
+		rows.Close()
+		return n
+	}
+	const lo, hi = 4_000, 4_100
+	ctx := context.Background()
+
+	b.Run("adhoc-uncached", func(b *testing.B) {
+		db := build(b, -1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var produced int64
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query("t").
+				Where("val", Between(lo, hi)).
+				Where("cat", Lt(25)).
+				Run(ctx)
+			produced += drain(b, rows, err)
+		}
+		b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+	})
+	b.Run("adhoc-cached", func(b *testing.B) {
+		db := build(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var produced int64
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query("t").
+				Where("val", Between(lo, hi)).
+				Where("cat", Lt(25)).
+				Run(ctx)
+			produced += drain(b, rows, err)
+		}
+		b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := build(b, 0)
+		stmt, err := db.Prepare(db.Query("t").
+			Where("val", Between(Param("lo"), Param("hi"))).
+			Where("cat", Lt(25)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bind := Bind{"lo": lo, "hi": hi}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var produced int64
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.Run(ctx, bind)
+			produced += drain(b, rows, err)
+		}
+		b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+	})
 }
 
 // BenchmarkPublicAPIScan exercises the full public stack end to end.

@@ -50,6 +50,8 @@ func main() {
 		bench       = flag.String("bench", "", "run a fixed benchmark instead: 'parallel' (P=1/2/4/8 sweep)")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file")
 		timeout     = flag.Duration("timeout", 0, "deadline for the whole load; in-flight queries are cancelled through their context")
+		prepare     = flag.Bool("prepare", false, "prepared-statement mode: all clients share one Stmt and bind per query; reports plan reuse and the latency delta vs an ad-hoc control run")
+		adhoc       = flag.Bool("adhoc", true, "with -prepare: run the ad-hoc control load first (disable to measure only the prepared run)")
 	)
 	flag.Parse()
 
@@ -79,14 +81,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := runLoad(ctx, db, loadConfig{
+	cfg := loadConfig{
 		clients:     *clients,
 		queries:     *queries,
 		selectivity: *selectivity,
 		domain:      *domain,
 		seed:        *seed,
 		opts:        opts,
-	})
+	}
+
+	if *prepare {
+		if err := runPrepared(ctx, db, cfg, *adhoc, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := runLoad(ctx, db, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +109,88 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// prepareReport is the -prepare JSON document: the prepared run, the
+// optional ad-hoc control, the p50/p99 latency deltas (prepared minus
+// ad-hoc; negative = prepared faster) and the plan-cache traffic
+// attributed per run (counter deltas around each run — Stmt.Run binds
+// its own template, so the prepared delta only shows the one Prepare
+// miss).
+type prepareReport struct {
+	AdHoc             *loadResult                `json:"adhoc,omitempty"`
+	Prepared          loadResult                 `json:"prepared"`
+	P50DeltaMS        float64                    `json:"p50_delta_ms"`
+	P99DeltaMS        float64                    `json:"p99_delta_ms"`
+	PlanCacheAdHoc    *smoothscan.PlanCacheStats `json:"plan_cache_adhoc,omitempty"`
+	PlanCachePrepared smoothscan.PlanCacheStats  `json:"plan_cache_prepared"`
+}
+
+// cacheDelta attributes plan-cache counter traffic to one run.
+func cacheDelta(before, after smoothscan.PlanCacheStats) smoothscan.PlanCacheStats {
+	return smoothscan.PlanCacheStats{
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Evictions: after.Evictions - before.Evictions,
+		Entries:   after.Entries,
+		Capacity:  after.Capacity,
+	}
+}
+
+// runPrepared runs the -prepare comparison: an ad-hoc control load
+// (every query compiled through the builder — transparently sharing
+// templates via the DB plan cache), then the same workload through one
+// shared prepared Stmt bound per query from every client.
+func runPrepared(ctx context.Context, db *smoothscan.DB, cfg loadConfig, control bool, jsonOut string) error {
+	report := prepareReport{}
+
+	if control {
+		before := db.PlanCacheStats()
+		res, err := runLoad(ctx, db, cfg)
+		if err != nil {
+			return err
+		}
+		report.AdHoc = &res
+		delta := cacheDelta(before, db.PlanCacheStats())
+		report.PlanCacheAdHoc = &delta
+		fmt.Printf("ssload -prepare: ad-hoc control (%d clients x %d queries, cpus=%d)\n",
+			cfg.clients, cfg.queries, runtime.NumCPU())
+		res.print(os.Stdout)
+		fmt.Printf("  plan cache %d hits / %d misses this run (%d entries)\n",
+			delta.Hits, delta.Misses, delta.Entries)
+	}
+
+	before := db.PlanCacheStats()
+	stmt, err := db.Prepare(db.Query("t").
+		Where("val", smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+		WithOptions(cfg.opts))
+	if err != nil {
+		return err
+	}
+	pcfg := cfg
+	pcfg.stmt = stmt
+	res, err := runLoad(ctx, db, pcfg)
+	if err != nil {
+		return err
+	}
+	report.Prepared = res
+	report.PlanCachePrepared = cacheDelta(before, db.PlanCacheStats())
+	fmt.Printf("ssload -prepare: shared Stmt (%d clients x %d queries)\n", cfg.clients, cfg.queries)
+	res.print(os.Stdout)
+	fmt.Printf("  plan cache %d hits / %d misses this run (Stmt binds its own template; expect just the Prepare miss)\n",
+		report.PlanCachePrepared.Hits, report.PlanCachePrepared.Misses)
+
+	if report.AdHoc != nil {
+		report.P50DeltaMS = res.P50MS - report.AdHoc.P50MS
+		report.P99DeltaMS = res.P99MS - report.AdHoc.P99MS
+		fmt.Printf("  delta      p50 %+.3f ms, p99 %+.3f ms vs ad-hoc (negative = prepared faster)\n",
+			report.P50DeltaMS, report.P99DeltaMS)
+	}
+
+	if jsonOut != "" {
+		return writeJSON(jsonOut, report)
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -172,6 +265,9 @@ type loadConfig struct {
 	domain      int64
 	seed        int64
 	opts        smoothscan.ScanOptions
+	// stmt, when set, routes every query through the shared prepared
+	// statement (bound per query) instead of the ad-hoc builder.
+	stmt *smoothscan.Stmt
 }
 
 // loadResult aggregates a load run; field names feed the JSON output.
@@ -188,6 +284,10 @@ type loadResult struct {
 	P99MS       float64 `json:"p99_ms"`
 	MaxMS       float64 `json:"max_ms"`
 	SimCost     float64 `json:"simcost"`
+	// PlanReuseRate is the fraction of queries that reused a compiled
+	// plan template (ExecStats.PlanCacheHit): the DB plan cache for
+	// ad-hoc loads, the shared Stmt's template for prepared loads.
+	PlanReuseRate float64 `json:"plan_reuse_rate"`
 }
 
 func (r loadResult) print(w *os.File) {
@@ -196,6 +296,7 @@ func (r loadResult) print(w *os.File) {
 	fmt.Fprintf(w, "  queries/s  %.1f\n", r.QueriesPerS)
 	fmt.Fprintf(w, "  latency    p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", r.P50MS, r.P99MS, r.MaxMS)
 	fmt.Fprintf(w, "  simcost    %.1f units (device total for the run)\n", r.SimCost)
+	fmt.Fprintf(w, "  plan reuse %.1f%% of queries\n", r.PlanReuseRate*100)
 }
 
 // runLoad fires cfg.queries queries across cfg.clients goroutines
@@ -223,6 +324,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		mu        sync.Mutex
 		latencies []time.Duration
 		tuples    int64
+		reused    int64
 		firstErr  error
 	)
 	start := time.Now()
@@ -237,17 +339,23 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 			}
 			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
 			var localLat []time.Duration
-			var localTuples int64
+			var localTuples, localReused int64
 			for q := 0; q < perClient; q++ {
 				lo := int64(0)
 				if cfg.domain > width {
 					lo = rng.Int63n(cfg.domain - width)
 				}
 				qStart := time.Now()
-				rows, err := db.Query("t").
-					Where("val", smoothscan.Between(lo, lo+width)).
-					WithOptions(cfg.opts).
-					Run(ctx)
+				var rows *smoothscan.Rows
+				var err error
+				if cfg.stmt != nil {
+					rows, err = cfg.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": lo + width})
+				} else {
+					rows, err = db.Query("t").
+						Where("val", smoothscan.Between(lo, lo+width)).
+						WithOptions(cfg.opts).
+						Run(ctx)
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -260,6 +368,9 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 					localTuples++
 				}
 				err = rows.Err()
+				if rows.ExecStats().PlanCacheHit {
+					localReused++
+				}
 				rows.Close()
 				if err != nil {
 					mu.Lock()
@@ -274,6 +385,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 			mu.Lock()
 			latencies = append(latencies, localLat...)
 			tuples += localTuples
+			reused += localReused
 			mu.Unlock()
 		}(c)
 	}
@@ -291,19 +403,24 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		idx := int(p * float64(len(latencies)-1))
 		return float64(latencies[idx]) / float64(time.Millisecond)
 	}
+	reuseRate := 0.0
+	if len(latencies) > 0 {
+		reuseRate = float64(reused) / float64(len(latencies))
+	}
 	return loadResult{
-		Clients:     cfg.clients,
-		Queries:     len(latencies),
-		Parallelism: cfg.opts.Parallelism,
-		CPUs:        runtime.NumCPU(),
-		WallMS:      float64(wall) / float64(time.Millisecond),
-		Tuples:      tuples,
-		TuplesPerS:  float64(tuples) / wall.Seconds(),
-		QueriesPerS: float64(len(latencies)) / wall.Seconds(),
-		P50MS:       pct(0.50),
-		P99MS:       pct(0.99),
-		MaxMS:       pct(1.0),
-		SimCost:     db.Stats().Time(),
+		Clients:       cfg.clients,
+		Queries:       len(latencies),
+		Parallelism:   cfg.opts.Parallelism,
+		CPUs:          runtime.NumCPU(),
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		Tuples:        tuples,
+		TuplesPerS:    float64(tuples) / wall.Seconds(),
+		QueriesPerS:   float64(len(latencies)) / wall.Seconds(),
+		P50MS:         pct(0.50),
+		P99MS:         pct(0.99),
+		MaxMS:         pct(1.0),
+		SimCost:       db.Stats().Time(),
+		PlanReuseRate: reuseRate,
 	}, nil
 }
 

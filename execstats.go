@@ -66,6 +66,11 @@ type ExecStats struct {
 	// RowsReturned is the number of rows the root operator delivered
 	// to the caller so far.
 	RowsReturned int64
+	// PlanCacheHit reports whether this execution reused a compiled
+	// plan template instead of compiling the query structure afresh:
+	// true for every Stmt.Run, and for an ad-hoc Query.Run whose
+	// canonical shape was in the DB-wide plan cache.
+	PlanCacheHit bool
 }
 
 // ExecStats returns the query's unified execution statistics. It may
@@ -105,6 +110,7 @@ func (r *Rows) ExecStats() ExecStats {
 	if n := len(r.counters); n > 0 {
 		st.RowsReturned = r.counters[n-1].rows
 	}
+	st.PlanCacheHit = r.planCached
 	return st
 }
 

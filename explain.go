@@ -41,11 +41,21 @@ type Plan struct {
 	EstimatedRows int64
 	// Parallelism is the driving table's scan worker count (1 = serial).
 	Parallelism int
+	// Binds lists a prepared execution's parameter bindings
+	// ("$lo=1000"), sorted by name; nil for ad-hoc queries.
+	Binds []string
+	// BindChoices lists the estimate-sensitive decisions the bind
+	// phase re-made for a prepared execution — driving conjunct,
+	// optimizer path pick, join algorithm and build side, parallelism;
+	// nil for ad-hoc queries.
+	BindChoices []string
 	// Root is the plan's root operator node.
 	Root *PlanNode
 }
 
-// String renders the plan tree, root first.
+// String renders the plan tree, root first. Prepared executions get
+// two extra header lines: the bound parameter values and the
+// re-planned-at-bind decisions.
 func (p *Plan) String() string {
 	var b strings.Builder
 	if len(p.Tables) > 1 {
@@ -57,6 +67,12 @@ func (p *Plan) String() string {
 		}
 	}
 	b.WriteByte('\n')
+	if len(p.Binds) > 0 {
+		fmt.Fprintf(&b, "   bind: %s\n", strings.Join(p.Binds, ", "))
+	}
+	if len(p.BindChoices) > 0 {
+		fmt.Fprintf(&b, "   re-planned at bind: %s\n", strings.Join(p.BindChoices, "; "))
+	}
 	var walk func(n *PlanNode, depth int)
 	walk = func(n *PlanNode, depth int) {
 		indent := strings.Repeat("   ", depth)
@@ -102,12 +118,42 @@ func fmtPred(name string, p tuple.RangePred) string {
 	}
 }
 
+// fmtPredMarked is fmtPred for predicates whose bounds came from
+// prepared-statement parameters: a parameter-fed bound renders as its
+// $name marker (the bound values appear on the plan's "bind:" header
+// line instead). loSrc/hiSrc name the parameters ("" = literal bound,
+// rendered as its value).
+func fmtPredMarked(name string, p tuple.RangePred, loSrc, hiSrc string) string {
+	bound := func(v int64, src string) string {
+		if src != "" {
+			return "$" + src
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	openLo := p.Lo == math.MinInt64 && loSrc == ""
+	openHi := p.Hi == math.MaxInt64 && hiSrc == ""
+	switch {
+	case openLo && openHi:
+		return name + "=*"
+	case p.Hi <= p.Lo:
+		return name + "=∅"
+	case p.Hi == p.Lo+1 && loSrc == hiSrc && loSrc != "":
+		return fmt.Sprintf("%s=$%s", name, loSrc)
+	case openLo:
+		return fmt.Sprintf("%s<%s", name, bound(p.Hi, hiSrc))
+	case openHi:
+		return fmt.Sprintf("%s>=%s", name, bound(p.Lo, loSrc))
+	default:
+		return fmt.Sprintf("%s<=%s<%s", bound(p.Lo, loSrc), name, bound(p.Hi, hiSrc))
+	}
+}
+
 // inputNode renders one table access (scan leaf, parallel wrapper,
 // residual filter) as its Explain subtree — the same operators
 // buildInput constructs.
 func (cq *compiledQuery) inputNode(a *tableAccess) *PlanNode {
 	var d []string
-	d = append(d, a.name+": "+fmtPred(a.driving.name, a.driving.pred))
+	d = append(d, a.name+": "+a.driving.render())
 	if a.path == PathSmooth {
 		d = append(d, "policy="+a.cfg.Policy.String(), "trigger="+a.cfg.Trigger.String())
 	}
@@ -119,7 +165,7 @@ func (cq *compiledQuery) inputNode(a *tableAccess) *PlanNode {
 	}
 	var rs []string
 	for _, r := range a.residual {
-		rs = append(rs, fmtPred(r.name, r.pred))
+		rs = append(rs, r.render())
 	}
 	if a.pushed {
 		d = append(d, "residual: "+strings.Join(rs, " and "))
@@ -162,6 +208,10 @@ func (cq *compiledQuery) plan() *Plan {
 		AccessPath:    drv.path,
 		EstimatedRows: cq.estRoot(),
 		Parallelism:   drv.par,
+	}
+	if cq.annotate {
+		p.Binds = renderBinds(cq.binds)
+		p.BindChoices = cq.renderBindNotes()
 	}
 	for _, a := range cq.inputs {
 		p.Tables = append(p.Tables, a.name)

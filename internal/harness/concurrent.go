@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"smoothscan/internal/core"
 	"smoothscan/internal/exec"
 	"smoothscan/internal/plan"
 	"smoothscan/internal/tuple"
@@ -33,9 +32,20 @@ func (r *Runner) Concurrent() (*Table, error) {
 	serialWant := int64(-1)
 
 	// Inter-query axis: C clients, each running Q serial 1% scans over
-	// shifted ranges.
+	// shifted ranges. All clients share ONE validated scan template —
+	// the plan layer's compile-once/bind-many lifecycle behind the
+	// public prepared-statement API — and bind their predicate per
+	// query through their own buffer-pool view.
 	const perClientQueries = 8
 	selWidth := tab.Domain / 100
+	tmpl, err := plan.NewScanTemplate(plan.ScanSpec{
+		File: tab.File,
+		Tree: tab.Index,
+		Path: plan.PathSmooth,
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, clients := range []int{1, 2, 4, 8} {
 		// Every configuration starts cold, so the rows compare
 		// concurrency scaling rather than cache warm-up.
@@ -59,11 +69,11 @@ func (r *Runner) Concurrent() (*Table, error) {
 				for q := 0; q < perClientQueries; q++ {
 					lo := (int64(c*perClientQueries+q) * 131) % (tab.Domain - selWidth)
 					pred := tuple.RangePred{Col: tab.IndexCol, Lo: lo, Hi: lo + selWidth}
-					ss, err := core.NewSmoothScan(tab.File, view, tab.Index, pred, core.Config{})
+					built, err := tmpl.BindOn(view, pred)
 					if err == nil {
 						qStart := time.Now()
 						var n int64
-						n, err = exec.Count(ss)
+						n, err = exec.Count(built.Op)
 						local = append(local, time.Since(qStart))
 						localTuples += n
 					}

@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of a Cache's accounting.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// pushed out by capacity pressure.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current population, Capacity the configured bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// Cache is a mutex-guarded LRU keyed by canonical shape strings. It
+// stores opaque values (the facade stores compiled plan templates) and
+// is safe for concurrent use; a Get refreshes recency, a Put on a full
+// cache evicts the least recently used entry.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache creates a cache bounded to capacity entries. Capacity must
+// be positive — a disabled cache is represented by no cache at all.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) a value, evicting the LRU entry when the
+// cache is full.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,67 @@
+package plan
+
+import (
+	"fmt"
+
+	"smoothscan/internal/bufferpool"
+	"smoothscan/internal/tuple"
+)
+
+// ScanTemplate is the plan layer's compile-once/bind-many surface for
+// a single table access: a ScanSpec whose structure (path, index,
+// residuals, parallelism) is validated up front, leaving only the
+// driving predicate to be bound per execution. Internal callers that
+// cannot reach the public prepared-statement facade (the TPC-H plans
+// and the concurrency harness live beneath it) share the lifecycle
+// through this type instead: validate once, then bind a fresh operator
+// tree per query with zero re-validation and zero device I/O.
+//
+// A ScanTemplate is immutable and safe for concurrent Bind calls; each
+// Bind constructs an independent operator tree (operators themselves
+// are single-use and stateful).
+type ScanTemplate struct {
+	spec ScanSpec
+}
+
+// NewScanTemplate validates the spec's structure — known access path,
+// index present for the paths that need one — and captures it. The
+// spec's Pred is ignored; it is supplied per Bind.
+func NewScanTemplate(spec ScanSpec) (*ScanTemplate, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	return &ScanTemplate{spec: spec}, nil
+}
+
+// validateSpec performs Build's structural checks without building.
+func validateSpec(spec ScanSpec) error {
+	switch spec.Path {
+	case PathFull:
+		return nil
+	case PathIndex, PathSort, PathSwitch, PathSmooth:
+		if spec.Tree == nil {
+			return fmt.Errorf("%w: %s", ErrNeedsIndex, spec.Path)
+		}
+		return nil
+	default:
+		return fmt.Errorf("plan: unknown access path %d", int(spec.Path))
+	}
+}
+
+// Bind constructs the operator tree for one execution of the template
+// with the given driving predicate.
+func (t *ScanTemplate) Bind(pred tuple.RangePred) (*Scan, error) {
+	spec := t.spec
+	spec.Pred = pred
+	return Build(spec)
+}
+
+// BindOn is Bind with a caller-supplied buffer pool (or pool view) —
+// concurrent clients sharing one template each bind through their own
+// view so CPU accounting stays per-client.
+func (t *ScanTemplate) BindOn(pool *bufferpool.Pool, pred tuple.RangePred) (*Scan, error) {
+	spec := t.spec
+	spec.Pool = pool
+	spec.Pred = pred
+	return Build(spec)
+}

@@ -1,0 +1,196 @@
+// Plan templates: the structural half of the prepare → bind → execute
+// query lifecycle.
+//
+// A Template captures everything about a query that does NOT depend on
+// the constant values of its predicates: which tables it reads, which
+// column each conjunct lands on, the join tree shape and its resolved
+// join columns, the projection/grouping/ordering schemas. Building one
+// does the expensive work — name resolution, schema construction,
+// conjunct routing — exactly once; it can then be cached DB-wide (see
+// Cache) and shared by any number of executions.
+//
+// The constants live outside the template as bind-time Values: each
+// predicate bound references either a positional literal slot (filled
+// from the query that produced the canonical shape) or a named
+// parameter (filled from an explicit bind set). FoldRange applies the
+// comparison semantics (Eq, Lt, …) to the resolved scalars at bind
+// time, reproducing exactly what the literal constructors compute
+// eagerly — so a bound execution is value-for-value identical to the
+// equivalent literal query.
+//
+// Everything estimate-sensitive — driving-conjunct choice, access-path
+// selection, hash-join build side, parallelism clamping — is
+// deliberately NOT in the template: the facade re-decides it at every
+// bind from the then-current statistics, which is what lets one
+// prepared statement flip its driving index between two bind sets.
+package plan
+
+import (
+	"math"
+
+	"smoothscan/internal/exec"
+	"smoothscan/internal/tuple"
+)
+
+// Value is a bind-time scalar source: a named parameter, or a
+// positional literal slot filled from the query that was canonicalised
+// into the template's shape key.
+type Value struct {
+	// Param is the parameter name; empty for a literal slot.
+	Param string
+	// Slot indexes the execution's literal vector when Param is empty.
+	Slot int
+}
+
+// PredKind selects the comparison semantics a predicate's bound
+// scalars fold into (mirroring the facade's Pred constructors).
+type PredKind int
+
+// Predicate kinds.
+const (
+	// KindBetween matches lo <= v < hi (two bound scalars).
+	KindBetween PredKind = iota
+	// KindEq matches v == x.
+	KindEq
+	// KindLt matches v < x.
+	KindLt
+	// KindLe matches v <= x.
+	KindLe
+	// KindGt matches v > x.
+	KindGt
+	// KindGe matches v >= x.
+	KindGe
+)
+
+// NumArgs returns how many bound scalars the kind folds (Between takes
+// two, the comparisons one).
+func (k PredKind) NumArgs() int {
+	if k == KindBetween {
+		return 2
+	}
+	return 1
+}
+
+// FoldRange folds the kind's bound scalars into a half-open [lo, hi)
+// range, with exactly the math.MaxInt64 edge handling of the eager
+// literal constructors (an Eq/Gt of MaxInt64 matches nothing, a Le of
+// it saturates). b is ignored except for KindBetween.
+func FoldRange(k PredKind, a, b int64) (lo, hi int64) {
+	switch k {
+	case KindBetween:
+		return a, b
+	case KindEq:
+		if a == math.MaxInt64 {
+			return a, a
+		}
+		return a, a + 1
+	case KindLt:
+		return math.MinInt64, a
+	case KindLe:
+		if a == math.MaxInt64 {
+			return math.MinInt64, a
+		}
+		return math.MinInt64, a + 1
+	case KindGt:
+		if a == math.MaxInt64 {
+			return a, a
+		}
+		return a + 1, math.MaxInt64
+	case KindGe:
+		return a, math.MaxInt64
+	default:
+		return 0, 0
+	}
+}
+
+// CondT is one conjunct routed to a table input, its column resolved
+// against that table's schema.
+type CondT struct {
+	// Col is the column index in the owning input's base schema.
+	Col int
+	// Name is the column name (plan rendering, driving-pick by index).
+	Name string
+	// Kind selects the fold semantics.
+	Kind PredKind
+	// A and B are the bound scalars (B only for KindBetween).
+	A, B Value
+}
+
+// AccessT is the structural slice of one table input: its schema and
+// the conjuncts routed to it, grouped per column. Which conjunct
+// drives the scan, the access path and the parallelism are bind-time
+// decisions and live outside the template.
+type AccessT struct {
+	// Table names the input's table.
+	Table string
+	// Schema is the table's row schema.
+	Schema *tuple.Schema
+	// Conds are the conjuncts routed to this input, in Where order.
+	Conds []CondT
+	// Merged groups Conds indices per column, groups in first-mention
+	// order — the ranges of one group intersect into one predicate at
+	// bind time.
+	Merged [][]int
+}
+
+// JoinT is one stage of the left-deep join tree with its equi-join
+// columns resolved. Algorithm and build side are bind-time decisions.
+type JoinT struct {
+	// LeftCol indexes the accumulated left schema, RightCol the right
+	// input's base schema.
+	LeftCol, RightCol int
+	// LeftName / RightName are the resolved column names.
+	LeftName, RightName string
+	// Joined is the stage's output schema (left ++ right with collision
+	// renaming), precomputed so bind never rebuilds schemas.
+	Joined *tuple.Schema
+}
+
+// Template is the compiled structure of a query: the outcome of the
+// prepare phase, immutable once built, safe to share across
+// goroutines and executions.
+type Template struct {
+	// Inputs are the base-table accesses, driving table first.
+	Inputs []AccessT
+	// Joins holds len(Inputs)-1 stages of the left-deep join tree.
+	Joins []JoinT
+	// Base is the scan/join output schema (Inputs[0].Schema when there
+	// are no joins, the last Joined otherwise).
+	Base *tuple.Schema
+	// SelIdx projects Base onto the Select list (nil = no projection);
+	// SelSchema is the projected schema (== Base when SelIdx is nil).
+	SelIdx    []int
+	SelSchema *tuple.Schema
+	// GroupIdx is the grouping column in SelSchema; -1 = no grouping.
+	GroupIdx  int
+	AggSpecs  []exec.AggSpec
+	AggSchema *tuple.Schema
+	// OrderIdx is the ORDER BY column in the pre-sort schema; -1 = no
+	// ordering. OrderName is its column name (the bind phase compares
+	// it against the bind-chosen driving column to elide the sort).
+	OrderIdx  int
+	OrderName string
+	// FreeOrderCol names the column whose native scan order would
+	// satisfy the ORDER BY for free on the driving input ("" = none).
+	FreeOrderCol string
+	// HasLim / Limit carry the LIMIT clause; the count is a bind-time
+	// Value like any other constant.
+	HasLim bool
+	Limit  Value
+	// Out is the final output schema.
+	Out *tuple.Schema
+	// Params lists the distinct named parameters in first-use order.
+	Params []string
+	// Slots is the length of the positional literal vector.
+	Slots int
+}
+
+// HasParam reports whether name is one of the template's parameters.
+func (t *Template) HasParam(name string) bool {
+	for _, p := range t.Params {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}

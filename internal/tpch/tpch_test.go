@@ -265,3 +265,54 @@ func TestSmoothLookupWorksAsInner(t *testing.T) {
 		t.Errorf("inner variants disagree: %d vs %d", nPlain, nSmooth)
 	}
 }
+
+// TestPreparedLineitemTemplate: one validated scan template bound over
+// a month sweep produces the same rows and simulated cost as fresh
+// per-query ScanLineitem builds — the compile-once/bind-many lifecycle
+// at the plan layer.
+func TestPreparedLineitemTemplate(t *testing.T) {
+	db := genDB(t, 2000)
+	pool := newPool(db)
+	spec := ScanSpec{Path: PathSmooth, Smooth: DefaultSmooth()}
+	tm, err := db.PrepareLineitem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, month := range []int64{0, 24, 60} {
+		pred := db.MonthPred(month)
+
+		pool.Reset()
+		db.Dev.ResetStats()
+		direct, err := db.ScanLineitem(pool, pred, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nDirect, err := exec.Count(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costDirect := db.Dev.Stats().Time()
+
+		pool.Reset()
+		db.Dev.ResetStats()
+		bound, err := tm.BindOn(pool, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nBound, err := exec.Count(bound.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nBound != nDirect {
+			t.Errorf("month %d: template bind produced %d rows, fresh build %d", month, nBound, nDirect)
+		}
+		if got := db.Dev.Stats().Time(); got != costDirect {
+			t.Errorf("month %d: template bind cost %.3f, fresh build %.3f", month, got, costDirect)
+		}
+	}
+	// Structural validation happens at prepare: an unknown path fails
+	// before any predicate exists.
+	if _, err := db.PrepareLineitem(ScanSpec{Path: Path(42)}); err == nil {
+		t.Error("unknown path accepted by PrepareLineitem")
+	}
+}

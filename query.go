@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"smoothscan/internal/core"
 	"smoothscan/internal/exec"
@@ -13,49 +15,113 @@ import (
 	"smoothscan/internal/tuple"
 )
 
-// Pred is a predicate on one integer column: a half-open value range
-// [lo, hi). Predicates are combined conjunctively by Query.Where;
-// several predicates on the same column intersect into one range.
+// Arg is one argument of a predicate constructor or Limit: an int64
+// literal, or a named parameter placeholder created by Param. Integer
+// literals convert implicitly (the constructors accept any integer
+// kind); parameters get their value at execution time from a Bind set,
+// which is what lets one prepared Stmt run many times with different
+// constants.
+type Arg struct {
+	param string
+	lit   int64
+	err   error
+}
+
+// Param is a named placeholder usable anywhere a literal goes: in the
+// Where predicate constructors (Between, Eq, Lt, Le, Gt, Ge) and in
+// Limit. A query containing parameters must be compiled with
+// DB.Prepare; running it directly returns ErrUnboundParam. Names
+// consist of letters, digits and underscores.
+func Param(name string) Arg {
+	if name == "" {
+		return Arg{err: fmt.Errorf("smoothscan: empty parameter name")}
+	}
+	for _, r := range name {
+		if !(r == '_' || r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return Arg{err: fmt.Errorf("smoothscan: parameter name %q: only letters, digits and underscores are allowed", name)}
+		}
+	}
+	return Arg{param: name}
+}
+
+// asArg converts a constructor argument: an Arg passes through, any
+// integer kind becomes a literal, everything else is ErrArgType.
+func asArg(v any) Arg {
+	switch x := v.(type) {
+	case Arg:
+		return x
+	case int:
+		return Arg{lit: int64(x)}
+	case int64:
+		return Arg{lit: x}
+	case int32:
+		return Arg{lit: int64(x)}
+	case int16:
+		return Arg{lit: int64(x)}
+	case int8:
+		return Arg{lit: int64(x)}
+	case uint8:
+		return Arg{lit: int64(x)}
+	case uint16:
+		return Arg{lit: int64(x)}
+	case uint32:
+		return Arg{lit: int64(x)}
+	case uint:
+		if uint64(x) > math.MaxInt64 {
+			return Arg{err: fmt.Errorf("%w: %d overflows int64", ErrArgType, x)}
+		}
+		return Arg{lit: int64(x)}
+	case uint64:
+		if x > math.MaxInt64 {
+			return Arg{err: fmt.Errorf("%w: %d overflows int64", ErrArgType, x)}
+		}
+		return Arg{lit: int64(x)}
+	default:
+		return Arg{err: fmt.Errorf("%w: %T (want an integer or Param)", ErrArgType, v)}
+	}
+}
+
+// Pred is a predicate on one integer column: a comparison whose
+// argument(s) fold into a half-open value range [lo, hi) when the
+// query is compiled (for parameters, when the Stmt binds them).
+// Predicates are combined conjunctively by Query.Where; several
+// predicates on the same column intersect into one range.
 //
 // Because ranges are half-open over int64, a predicate can never match
 // the value math.MaxInt64 itself; the engine's data generators and
 // workloads never store it.
 type Pred struct {
-	lo, hi int64
+	kind plan.PredKind
+	a, b Arg
+	err  error
+}
+
+// pred assembles a Pred, recording the first bad argument.
+func pred(kind plan.PredKind, a, b Arg) Pred {
+	err := a.err
+	if err == nil {
+		err = b.err
+	}
+	return Pred{kind: kind, a: a, b: b, err: err}
 }
 
 // Between matches lo <= v < hi.
-func Between(lo, hi int64) Pred { return Pred{lo: lo, hi: hi} }
+func Between(lo, hi any) Pred { return pred(plan.KindBetween, asArg(lo), asArg(hi)) }
 
 // Eq matches v == x.
-func Eq(x int64) Pred {
-	if x == math.MaxInt64 {
-		return Pred{lo: x, hi: x} // unrepresentable; matches nothing
-	}
-	return Pred{lo: x, hi: x + 1}
-}
+func Eq(x any) Pred { return pred(plan.KindEq, asArg(x), Arg{}) }
 
 // Lt matches v < x.
-func Lt(x int64) Pred { return Pred{lo: math.MinInt64, hi: x} }
+func Lt(x any) Pred { return pred(plan.KindLt, asArg(x), Arg{}) }
 
 // Le matches v <= x.
-func Le(x int64) Pred {
-	if x == math.MaxInt64 {
-		return Pred{lo: math.MinInt64, hi: x}
-	}
-	return Pred{lo: math.MinInt64, hi: x + 1}
-}
+func Le(x any) Pred { return pred(plan.KindLe, asArg(x), Arg{}) }
 
 // Gt matches v > x.
-func Gt(x int64) Pred {
-	if x == math.MaxInt64 {
-		return Pred{lo: x, hi: x} // matches nothing
-	}
-	return Pred{lo: x + 1, hi: math.MaxInt64}
-}
+func Gt(x any) Pred { return pred(plan.KindGt, asArg(x), Arg{}) }
 
 // Ge matches v >= x.
-func Ge(x int64) Pred { return Pred{lo: x, hi: math.MaxInt64} }
+func Ge(x any) Pred { return pred(plan.KindGe, asArg(x), Arg{}) }
 
 // Agg is an aggregate expression for Query.GroupBy. Build one with
 // Sum, Count, Min or Max, and rename its output column with As.
@@ -93,6 +159,10 @@ var ErrUnknownColumn = errors.New("smoothscan: no such column")
 // it away.
 var ErrNotSelected = errors.New("smoothscan: column not in query output")
 
+// ErrArgType is returned (wrapped) when a predicate constructor or
+// Limit receives an argument that is neither an integer nor a Param.
+var ErrArgType = errors.New("smoothscan: unsupported argument type")
+
 // cond is one Where clause before compilation.
 type cond struct {
 	col string
@@ -119,20 +189,20 @@ type joinClause struct {
 // it. Compilation reads table statistics at Run/Explain time, so the
 // same Query re-run after Analyze may pick a different access path.
 type Query struct {
-	db     *DB
-	table  string
-	conds  []cond
-	joins  []joinClause
-	sel    []string
-	hasSel bool
-	group  string
-	aggs   []Agg
-	hasAgg bool
-	order  string
-	hasOrd bool
-	limit  int64
-	hasLim bool
-	opts   ScanOptions
+	db       *DB
+	table    string
+	conds    []cond
+	joins    []joinClause
+	sel      []string
+	hasSel   bool
+	group    string
+	aggs     []Agg
+	hasAgg   bool
+	order    string
+	hasOrd   bool
+	limitArg Arg
+	hasLim   bool
+	opts     ScanOptions
 	// compat is set by the DB.Scan wrapper: it preserves the exact
 	// pre-builder Scan semantics (no empty-range short-circuit, and a
 	// missing index is an error rather than a full-scan fallback).
@@ -163,6 +233,9 @@ func (q *Query) fail(err error) *Query {
 // predicates evaluated inside the page decode wherever the chosen
 // access path supports it.
 func (q *Query) Where(col string, p Pred) *Query {
+	if p.err != nil {
+		return q.fail(fmt.Errorf("Where(%q): %w", col, p.err))
+	}
 	q.conds = append(q.conds, cond{col: col, p: p})
 	return q
 }
@@ -246,13 +319,18 @@ func (q *Query) OrderBy(col string) *Query {
 	return q
 }
 
-// Limit caps the number of output rows. Limit(0) yields an empty
-// result without touching the device.
-func (q *Query) Limit(n int64) *Query {
-	if n < 0 {
-		return q.fail(fmt.Errorf("smoothscan: negative limit %d", n))
+// Limit caps the number of output rows; it accepts an integer or a
+// Param placeholder. Limit(0) yields an empty result without touching
+// the device.
+func (q *Query) Limit(n any) *Query {
+	a := asArg(n)
+	if a.err != nil {
+		return q.fail(fmt.Errorf("Limit: %w", a.err))
 	}
-	q.limit = n
+	if a.param == "" && a.lit < 0 {
+		return q.fail(fmt.Errorf("smoothscan: negative limit %d", a.lit))
+	}
+	q.limitArg = a
 	q.hasLim = true
 	return q
 }
@@ -266,11 +344,23 @@ func (q *Query) WithOptions(opts ScanOptions) *Query {
 	return q
 }
 
-// resolvedPred is a compiled predicate with its column name kept for
-// plan rendering.
+// resolvedPred is a bound predicate with its column name kept for plan
+// rendering; loSrc/hiSrc name the parameters its bounds came from (""
+// for literals) so Explain can render $name bind markers.
 type resolvedPred struct {
-	name string
-	pred tuple.RangePred
+	name         string
+	pred         tuple.RangePred
+	loSrc, hiSrc string
+}
+
+// render formats the predicate for plan details: the plain literal
+// rendering when no bound came from a parameter, the $name-marked
+// variant otherwise.
+func (r resolvedPred) render() string {
+	if r.loSrc == "" && r.hiSrc == "" {
+		return fmtPred(r.name, r.pred)
+	}
+	return fmtPredMarked(r.name, r.pred, r.loSrc, r.hiSrc)
 }
 
 // tableAccess is one base table's compiled access: its predicates,
@@ -359,6 +449,27 @@ type compiledQuery struct {
 	hasLim bool
 
 	out *tuple.Schema
+
+	// planCached reports whether the structural template came from the
+	// DB-wide plan cache (or a prepared Stmt) instead of a fresh
+	// template compilation; surfaced via ExecStats.PlanCacheHit.
+	planCached bool
+	// annotate marks prepared-statement executions: plan() then renders
+	// the bound parameter values (binds) and the estimate-sensitive
+	// decisions re-made at bind time. The strings are built lazily in
+	// plan() — Run never pays Explain-only formatting — and stay empty
+	// for ad-hoc queries so their Explain output is byte-identical to
+	// the pre-prepared-statement engine.
+	annotate bool
+	binds    []bindPair
+}
+
+// bindPair is one bound parameter captured at bind time (the caller's
+// Bind map may be reused or mutated after Run returns; this snapshot
+// may not).
+type bindPair struct {
+	name string
+	val  int64
 }
 
 // driving returns the first (driving-table) input.
@@ -373,36 +484,19 @@ func (cq *compiledQuery) estRoot() int64 {
 	return cq.driving().estScan
 }
 
-// compileAccess plans one base table's access from its Where
-// conjuncts and ScanOptions. orderCol, when non-empty, names a column
-// whose order the plan could use for free if it happens to drive an
-// order-preserving path (the free-ORDER-BY case); compat preserves the
-// historical DB.Scan strictness.
-func compileAccess(db *DB, name string, t *table, conds []cond, opts ScanOptions, orderCol string, compat bool) (*tableAccess, error) {
+// bindAccess plans one base table's access at bind time, from its
+// already-folded per-column predicates and ScanOptions: it re-decides
+// everything estimate-sensitive — the driving conjunct among the
+// indexed ones, the access path (for PathAuto), the parallelism clamp
+// — from the table's current statistics, with zero device I/O.
+// orderCol, when non-empty, names a column whose order the plan could
+// use for free if it happens to drive an order-preserving path (the
+// free-ORDER-BY case); compat preserves the historical DB.Scan
+// strictness.
+func bindAccess(db *DB, name string, t *table, merged []resolvedPred, opts ScanOptions, orderCol string, compat bool) (*tableAccess, error) {
 	a := &tableAccess{tab: t, name: name, base: t.file.Schema()}
 	if opts.MaxRegionPages == 0 {
 		opts.MaxRegionPages = core.DefaultMaxRegionPages
-	}
-
-	// Fold the Where clauses into one range per column, preserving
-	// first-mention order.
-	var merged []resolvedPred
-	byCol := map[string]int{}
-	for _, c := range conds {
-		col := a.base.ColIndex(c.col)
-		if col < 0 {
-			// compile routes each cond to the one table whose schema
-			// has the column, so a miss here is an internal invariant
-			// violation, not a user error.
-			return nil, fmt.Errorf("smoothscan: internal: cond on %q routed to table %q which lacks it", c.col, name)
-		}
-		rp := tuple.RangePred{Col: col, Lo: c.p.lo, Hi: c.p.hi}
-		if i, ok := byCol[c.col]; ok {
-			merged[i].pred = merged[i].pred.Intersect(rp)
-		} else {
-			byCol[c.col] = len(merged)
-			merged = append(merged, resolvedPred{name: c.col, pred: rp})
-		}
 	}
 	if !compat {
 		for _, m := range merged {
@@ -579,17 +673,135 @@ func estJoinRows(estL, estR, rightTableRows int64) int64 {
 	return est
 }
 
-// compile plans the query. The caller holds db.mu (read).
-func (q *Query) compile() (*compiledQuery, error) {
+// qtemplate is a query's compiled template: the structural
+// plan.Template plus the facade-level configuration that rides along
+// with the shape (per-input ScanOptions, DB.Scan compat). It is
+// immutable once built and shared freely — by the DB-wide plan cache,
+// and by every execution of a prepared Stmt.
+type qtemplate struct {
+	pt      *plan.Template
+	optsPer []ScanOptions
+	compat  bool
+}
+
+// canonPred returns the predicate in canonical constant form: a
+// parameter-free predicate folds into its half-open Between range
+// right here, so Eq(5) and Between(5, 6) canonicalise to the same
+// shape and share one cached template; a parameterized predicate
+// keeps its comparison kind for bind-time folding.
+func canonPred(p Pred) (kind plan.PredKind, a, b Arg) {
+	if p.a.param == "" && (p.kind != plan.KindBetween || p.b.param == "") {
+		lo, hi := plan.FoldRange(p.kind, p.a.lit, p.b.lit)
+		return plan.KindBetween, Arg{lit: lo}, Arg{lit: hi}
+	}
+	return p.kind, p.a, p.b
+}
+
+// forEachArg visits every bind-time argument of the query in canonical
+// order: the Where conjuncts in call order (canonical form, lo then hi
+// for Between), then the Limit count. canonicalKey serialises
+// arguments in this order and buildTemplate assigns literal slots in
+// this order — the three walks must never diverge, or a cached
+// template would bind another query's literals to the wrong
+// predicates.
+func (q *Query) forEachArg(f func(a Arg)) {
+	for _, c := range q.conds {
+		kind, a, b := canonPred(c.p)
+		f(a)
+		if kind == plan.KindBetween {
+			f(b)
+		}
+	}
+	if q.hasLim {
+		f(q.limitArg)
+	}
+}
+
+// collectLits extracts the query's literal argument values, in slot
+// order.
+func (q *Query) collectLits() []int64 {
+	var lits []int64
+	q.forEachArg(func(a Arg) {
+		if a.param == "" {
+			lits = append(lits, a.lit)
+		}
+	})
+	return lits
+}
+
+// canonicalKey serialises the query's structure — tables, joins,
+// conjunct columns and comparison kinds, projection, grouping,
+// ordering, options — with every literal constant replaced by a
+// positional marker. Two queries with the same key compile to the
+// same template and differ only in the literal vector they bind, which
+// is exactly what makes the DB-wide plan cache safe.
+func (q *Query) canonicalKey() string {
+	var sb strings.Builder
+	arg := func(a Arg) {
+		if a.param != "" {
+			sb.WriteByte('$')
+			sb.WriteString(a.param)
+		} else {
+			sb.WriteByte('?')
+		}
+	}
+	sb.WriteString("v1|")
+	if q.compat {
+		sb.WriteString("compat|")
+	}
+	fmt.Fprintf(&sb, "%q", q.table)
+	for _, j := range q.joins {
+		fmt.Fprintf(&sb, "|J:%q,%q,%q,%+v", j.table, j.leftCol, j.rightCol, j.opts)
+	}
+	for _, c := range q.conds {
+		kind, a, b := canonPred(c.p)
+		fmt.Fprintf(&sb, "|W:%q,%d,", c.col, int(kind))
+		arg(a)
+		if kind == plan.KindBetween {
+			sb.WriteByte(',')
+			arg(b)
+		}
+	}
+	if q.hasSel {
+		sb.WriteString("|S:")
+		for i, s := range q.sel {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%q", s)
+		}
+	}
+	if q.hasAgg {
+		fmt.Fprintf(&sb, "|G:%q", q.group)
+		for _, a := range q.aggs {
+			fmt.Fprintf(&sb, ",%q:%q:%d", a.name, a.col, int(a.kind))
+		}
+	}
+	if q.hasOrd {
+		fmt.Fprintf(&sb, "|O:%q", q.order)
+	}
+	if q.hasLim {
+		sb.WriteString("|L:")
+		arg(q.limitArg)
+	}
+	fmt.Fprintf(&sb, "|opts:%+v", q.opts)
+	return sb.String()
+}
+
+// buildTemplate runs the structural (prepare) phase: table and column
+// resolution, conjunct routing, join tree shape, projection / grouping
+// / ordering schemas — everything about the query that does not depend
+// on its constant values. The caller holds db.mu (read). The result is
+// immutable; bindTemplate turns it into an executable compiledQuery
+// per execution.
+func (q *Query) buildTemplate() (*qtemplate, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
 	db := q.db
-	cq := &compiledQuery{groupIdx: -1, orderIdx: -1}
+	pt := &plan.Template{GroupIdx: -1, OrderIdx: -1}
 
-	// Resolve every input table and distribute the Where conjuncts:
-	// each predicate is pushed beneath the joins into the one input
-	// whose schema has the column.
+	// Resolve every input table.
 	names := []string{q.table}
 	optsPer := []ScanOptions{q.opts}
 	for _, j := range q.joins {
@@ -604,8 +816,46 @@ func (q *Query) compile() (*compiledQuery, error) {
 		}
 		tabs[i] = t
 	}
-	condsPer := make([][]cond, len(names))
-	for _, c := range q.conds {
+
+	// Assign bind-time Values in canonical argument order (see
+	// forEachArg): literals take positional slots, parameters are
+	// registered by name.
+	slots := 0
+	seen := map[string]bool{}
+	val := func(a Arg) plan.Value {
+		if a.param != "" {
+			if !seen[a.param] {
+				seen[a.param] = true
+				pt.Params = append(pt.Params, a.param)
+			}
+			return plan.Value{Param: a.param}
+		}
+		v := plan.Value{Slot: slots}
+		slots++
+		return v
+	}
+	condKinds := make([]plan.PredKind, len(q.conds))
+	condVals := make([][2]plan.Value, len(q.conds))
+	for ci, c := range q.conds {
+		kind, a, b := canonPred(c.p)
+		condKinds[ci] = kind
+		condVals[ci][0] = val(a)
+		if kind == plan.KindBetween {
+			condVals[ci][1] = val(b)
+		}
+	}
+
+	// Distribute the Where conjuncts: each predicate is pushed beneath
+	// the joins into the one input whose schema has the column, and
+	// grouped per column (first-mention order) for bind-time
+	// intersection.
+	pt.Inputs = make([]plan.AccessT, len(names))
+	byColPer := make([]map[string]int, len(names))
+	for i := range names {
+		pt.Inputs[i] = plan.AccessT{Table: names[i], Schema: tabs[i].file.Schema()}
+		byColPer[i] = map[string]int{}
+	}
+	for ci, c := range q.conds {
 		at := -1
 		for i, t := range tabs {
 			if t.file.Schema().ColIndex(c.col) < 0 {
@@ -622,21 +872,267 @@ func (q *Query) compile() (*compiledQuery, error) {
 			}
 			return nil, fmt.Errorf("%w: no joined table has column %q", ErrUnknownColumn, c.col)
 		}
-		condsPer[at] = append(condsPer[at], c)
+		in := &pt.Inputs[at]
+		ct := plan.CondT{
+			Col:  in.Schema.ColIndex(c.col),
+			Name: c.col,
+			Kind: condKinds[ci],
+			A:    condVals[ci][0],
+			B:    condVals[ci][1],
+		}
+		idx := len(in.Conds)
+		in.Conds = append(in.Conds, ct)
+		if g, ok := byColPer[at][c.col]; ok {
+			in.Merged[g] = append(in.Merged[g], idx)
+		} else {
+			byColPer[at][c.col] = len(in.Merged)
+			in.Merged = append(in.Merged, []int{idx})
+		}
 	}
 
 	// Only the driving table of a join-free query can satisfy an ORDER
 	// BY through an order-preserving scan; joins and grouping reorder.
-	orderCol := func(i int) string {
-		if i != 0 || len(q.joins) > 0 || !q.hasOrd || q.hasAgg {
-			return ""
-		}
-		return q.order
+	if len(q.joins) == 0 && q.hasOrd && !q.hasAgg {
+		pt.FreeOrderCol = q.order
 	}
 
-	cq.inputs = make([]*tableAccess, len(names))
-	for i := range names {
-		a, err := compileAccess(db, names[i], tabs[i], condsPer[i], optsPer[i], orderCol(i), q.compat)
+	// Join stages: resolve the equi-join columns and precompute each
+	// stage's output schema. Algorithm and build side are bind-time.
+	base := pt.Inputs[0].Schema
+	for k, jc := range q.joins {
+		right := &pt.Inputs[k+1]
+		leftCol := base.ColIndex(jc.leftCol)
+		if leftCol < 0 {
+			return nil, fmt.Errorf("%w: join %d: %q is not a column of the query output joined so far", ErrUnknownColumn, k+1, jc.leftCol)
+		}
+		rightCol := right.Schema.ColIndex(jc.rightCol)
+		if rightCol < 0 {
+			return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, right.Table, jc.rightCol)
+		}
+		joined, err := joinOutputSchema(base, right.Schema)
+		if err != nil {
+			return nil, err
+		}
+		pt.Joins = append(pt.Joins, plan.JoinT{
+			LeftCol:   leftCol,
+			RightCol:  rightCol,
+			LeftName:  base.Col(leftCol).Name,
+			RightName: right.Schema.Col(rightCol).Name,
+			Joined:    joined,
+		})
+		base = joined
+	}
+	pt.Base = base
+
+	// SELECT list.
+	pt.SelSchema = pt.Base
+	if q.hasSel {
+		cols := make([]tuple.Column, len(q.sel))
+		pt.SelIdx = make([]int, len(q.sel))
+		for i, name := range q.sel {
+			col := pt.Base.ColIndex(name)
+			if col < 0 {
+				if len(pt.Inputs) == 1 {
+					return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, name)
+				}
+				return nil, fmt.Errorf("%w: join output has no column %q", ErrUnknownColumn, name)
+			}
+			pt.SelIdx[i] = col
+			cols[i] = pt.Base.Col(col)
+		}
+		s, err := tuple.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("smoothscan: Select: %w", err)
+		}
+		pt.SelSchema = s
+	}
+
+	// GROUP BY + aggregates.
+	stage := pt.SelSchema
+	if q.hasAgg {
+		pt.GroupIdx = pt.SelSchema.ColIndex(q.group)
+		if pt.GroupIdx < 0 {
+			return nil, templColErr(pt, q.group, "GroupBy")
+		}
+		outNames := map[string]bool{q.group: true}
+		outCols := []tuple.Column{{Name: q.group, Type: tuple.Int64}}
+		for _, a := range q.aggs {
+			spec := exec.AggSpec{Name: a.name, Kind: a.kind}
+			if a.kind != exec.AggCount {
+				spec.Col = pt.SelSchema.ColIndex(a.col)
+				if spec.Col < 0 {
+					return nil, templColErr(pt, a.col, "aggregate")
+				}
+			}
+			if outNames[a.name] {
+				return nil, fmt.Errorf("smoothscan: duplicate output column %q in GroupBy", a.name)
+			}
+			outNames[a.name] = true
+			pt.AggSpecs = append(pt.AggSpecs, spec)
+			outCols = append(outCols, tuple.Column{Name: a.name, Type: tuple.Int64})
+		}
+		s, err := tuple.NewSchema(outCols...)
+		if err != nil {
+			return nil, fmt.Errorf("smoothscan: GroupBy: %w", err)
+		}
+		pt.AggSchema = s
+		stage = s
+	}
+
+	// ORDER BY resolution (sort-vs-free decisions are bind-time).
+	if q.hasOrd {
+		pt.OrderIdx = stage.ColIndex(q.order)
+		if pt.OrderIdx < 0 {
+			return nil, fmt.Errorf("%w: %q is not in the query output; add it to Select or GroupBy", ErrUnknownColumn, q.order)
+		}
+		pt.OrderName = q.order
+	}
+
+	pt.HasLim = q.hasLim
+	if q.hasLim {
+		pt.Limit = val(q.limitArg)
+	}
+	pt.Out = stage
+	pt.Slots = slots
+	return &qtemplate{pt: pt, optsPer: optsPer, compat: q.compat}, nil
+}
+
+// templateFor returns the query's compiled template together with its
+// literal vector, consulting the DB-wide plan cache: an ad-hoc query
+// whose canonical shape was compiled before reuses that template and
+// pays only the bind phase. The caller holds db.mu (read).
+func (db *DB) templateFor(q *Query) (qt *qtemplate, lits []int64, hit bool, err error) {
+	if q.err != nil {
+		return nil, nil, false, q.err
+	}
+	if db.planCache == nil {
+		qt, err = q.buildTemplate()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return qt, q.collectLits(), false, nil
+	}
+	key := q.canonicalKey()
+	if v, ok := db.planCache.Get(key); ok {
+		return v.(*qtemplate), q.collectLits(), true, nil
+	}
+	qt, err = q.buildTemplate()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	db.planCache.Put(key, qt)
+	return qt, q.collectLits(), false, nil
+}
+
+// templColErr distinguishes "no such column" from "column projected
+// away" for GroupBy/aggregate resolution against a template.
+func templColErr(pt *plan.Template, col, what string) error {
+	if pt.Base.ColIndex(col) >= 0 {
+		return fmt.Errorf("%w: %s column %q was projected away by Select", ErrNotSelected, what, col)
+	}
+	if len(pt.Inputs) == 1 {
+		return fmt.Errorf("%w: table %q has no column %q (%s)", ErrUnknownColumn, pt.Inputs[0].Table, col, what)
+	}
+	return fmt.Errorf("%w: join output has no column %q (%s)", ErrUnknownColumn, col, what)
+}
+
+// resolveValue turns a template Value into a scalar: a literal slot
+// reads the execution's literal vector, a parameter reads the bind
+// set. The second return names the parameter ("" for literals) for
+// Explain's bind markers.
+func resolveValue(v plan.Value, lits []int64, b Bind) (int64, string, error) {
+	if v.Param != "" {
+		x, ok := b[v.Param]
+		if !ok {
+			return 0, "", fmt.Errorf("%w: $%s", ErrUnboundParam, v.Param)
+		}
+		return x, v.Param, nil
+	}
+	return lits[v.Slot], "", nil
+}
+
+// foldGroup folds one column's conjuncts into a single range: each
+// conjunct's bound scalars fold through its comparison kind, and the
+// ranges intersect in Where order — exactly what the eager literal
+// constructors plus Intersect used to compute. The parameter sources
+// of the binding bounds survive for plan rendering.
+func foldGroup(at *plan.AccessT, group []int, lits []int64, b Bind) (resolvedPred, error) {
+	var out resolvedPred
+	for gi, ci := range group {
+		c := at.Conds[ci]
+		aVal, aSrc, err := resolveValue(c.A, lits, b)
+		if err != nil {
+			return out, err
+		}
+		var bVal int64
+		var bSrc string
+		if c.Kind == plan.KindBetween {
+			bVal, bSrc, err = resolveValue(c.B, lits, b)
+			if err != nil {
+				return out, err
+			}
+		}
+		lo, hi := plan.FoldRange(c.Kind, aVal, bVal)
+		var loSrc, hiSrc string
+		switch c.Kind {
+		case plan.KindBetween:
+			loSrc, hiSrc = aSrc, bSrc
+		case plan.KindEq:
+			loSrc, hiSrc = aSrc, aSrc
+		case plan.KindLt, plan.KindLe:
+			hiSrc = aSrc
+		case plan.KindGt, plan.KindGe:
+			loSrc = aSrc
+		}
+		rp := tuple.RangePred{Col: c.Col, Lo: lo, Hi: hi}
+		if gi == 0 {
+			out = resolvedPred{name: c.Name, pred: rp, loSrc: loSrc, hiSrc: hiSrc}
+			continue
+		}
+		if rp.Lo > out.pred.Lo {
+			out.loSrc = loSrc
+		}
+		if rp.Hi < out.pred.Hi {
+			out.hiSrc = hiSrc
+		}
+		out.pred = out.pred.Intersect(rp)
+	}
+	return out, nil
+}
+
+// bindTemplate runs the bind (execute-side) phase: substitute the
+// constants into the template and re-decide everything
+// estimate-sensitive — driving conjunct, access path, join algorithm
+// and build side, parallelism — from the tables' current statistics.
+// It allocates a fresh compiledQuery per call (templates are shared
+// across goroutines, bindings are not) and touches no device state.
+// annotate enables the prepared-statement Explain extras (bind markers
+// and re-planned-at-bind notes). The caller holds db.mu (read).
+func (db *DB) bindTemplate(qt *qtemplate, lits []int64, b Bind, annotate bool) (*compiledQuery, error) {
+	pt := qt.pt
+	if len(lits) != pt.Slots {
+		return nil, fmt.Errorf("smoothscan: internal: %d literals for a %d-slot template", len(lits), pt.Slots)
+	}
+	cq := &compiledQuery{groupIdx: -1, orderIdx: -1}
+
+	cq.inputs = make([]*tableAccess, len(pt.Inputs))
+	for i := range pt.Inputs {
+		at := &pt.Inputs[i]
+		t, err := db.tableLocked(at.Table)
+		if err != nil {
+			return nil, err
+		}
+		merged := make([]resolvedPred, len(at.Merged))
+		for g, group := range at.Merged {
+			if merged[g], err = foldGroup(at, group, lits, b); err != nil {
+				return nil, err
+			}
+		}
+		orderCol := ""
+		if i == 0 {
+			orderCol = pt.FreeOrderCol
+		}
+		a, err := bindAccess(db, at.Table, t, merged, qt.optsPer[i], orderCol, qt.compat)
 		if err != nil {
 			return nil, err
 		}
@@ -645,134 +1141,142 @@ func (q *Query) compile() (*compiledQuery, error) {
 		}
 		cq.inputs[i] = a
 	}
-	if !q.compat && q.hasLim && q.limit == 0 {
+
+	if pt.HasLim {
+		n, src, err := resolveValue(pt.Limit, lits, b)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("smoothscan: negative limit %d bound from $%s", n, src)
+		}
+		cq.limit, cq.hasLim = n, true
+	}
+	if !qt.compat && cq.hasLim && cq.limit == 0 {
 		cq.emptyWhy = "LIMIT 0"
 	}
 
-	// Join stages: resolve the equi-join columns, pick the algorithm
-	// (merge when both inputs already arrive ordered by their join
-	// columns, hash otherwise) and the hash build side (the smaller
-	// estimated input).
+	// Join stages: pick the algorithm (merge when both inputs already
+	// arrive ordered by their join columns, hash otherwise) and the
+	// hash build side (the smaller estimated input).
 	cq.base = cq.inputs[0].base
 	estLeft := cq.inputs[0].estScan
-	for k, jc := range q.joins {
+	for k := range pt.Joins {
+		jt := &pt.Joins[k]
 		right := cq.inputs[k+1]
-		leftCol := cq.base.ColIndex(jc.leftCol)
-		if leftCol < 0 {
-			return nil, fmt.Errorf("%w: join %d: %q is not a column of the query output joined so far", ErrUnknownColumn, k+1, jc.leftCol)
-		}
-		rightCol := right.base.ColIndex(jc.rightCol)
-		if rightCol < 0 {
-			return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, right.name, jc.rightCol)
-		}
 		st := &joinStage{
-			leftCol:   leftCol,
-			rightCol:  rightCol,
-			leftName:  cq.base.Col(leftCol).Name,
-			rightName: right.base.Col(rightCol).Name,
+			leftCol:   jt.LeftCol,
+			rightCol:  jt.RightCol,
+			leftName:  jt.LeftName,
+			rightName: jt.RightName,
 		}
-		if k == 0 && cq.inputs[0].deliversOrderOn(leftCol) && right.deliversOrderOn(rightCol) {
+		if k == 0 && cq.inputs[0].deliversOrderOn(jt.LeftCol) && right.deliversOrderOn(jt.RightCol) {
 			st.algo = plan.JoinMerge
 		} else {
 			st.algo = plan.JoinHash
 			st.buildLeft = estLeft < right.estScan
 		}
 		st.estRows = estJoinRows(estLeft, right.estScan, right.tab.file.NumTuples())
-		joined, err := joinOutputSchema(cq.base, right.base)
-		if err != nil {
-			return nil, err
-		}
-		cq.base = joined
+		cq.base = jt.Joined
 		estLeft = st.estRows
 		cq.joins = append(cq.joins, st)
 	}
 
-	// SELECT list.
-	cq.selSchema = cq.base
-	if q.hasSel {
-		cols := make([]tuple.Column, len(q.sel))
-		cq.selIdx = make([]int, len(q.sel))
-		for i, name := range q.sel {
-			col := cq.base.ColIndex(name)
-			if col < 0 {
-				if len(cq.inputs) == 1 {
-					return nil, fmt.Errorf("%w: table %q has no column %q", ErrUnknownColumn, q.table, name)
-				}
-				return nil, fmt.Errorf("%w: join output has no column %q", ErrUnknownColumn, name)
-			}
-			cq.selIdx[i] = col
-			cols[i] = cq.base.Col(col)
-		}
-		s, err := tuple.NewSchema(cols...)
-		if err != nil {
-			return nil, fmt.Errorf("smoothscan: Select: %w", err)
-		}
-		cq.selSchema = s
-	}
+	cq.selIdx = pt.SelIdx
+	cq.selSchema = pt.SelSchema
+	cq.groupIdx = pt.GroupIdx
+	cq.aggSpecs = pt.AggSpecs
+	cq.aggSchema = pt.AggSchema
+	cq.out = pt.Out
 
-	// GROUP BY + aggregates.
-	stage := cq.selSchema
-	if q.hasAgg {
-		cq.groupIdx = cq.selSchema.ColIndex(q.group)
-		if cq.groupIdx < 0 {
-			return nil, cq.stageColErr(q.group, "GroupBy")
-		}
-		names := map[string]bool{q.group: true}
-		outCols := []tuple.Column{{Name: q.group, Type: tuple.Int64}}
-		for _, a := range q.aggs {
-			spec := exec.AggSpec{Name: a.name, Kind: a.kind}
-			if a.kind != exec.AggCount {
-				spec.Col = cq.selSchema.ColIndex(a.col)
-				if spec.Col < 0 {
-					return nil, cq.stageColErr(a.col, "aggregate")
-				}
-			}
-			if names[a.name] {
-				return nil, fmt.Errorf("smoothscan: duplicate output column %q in GroupBy", a.name)
-			}
-			names[a.name] = true
-			cq.aggSpecs = append(cq.aggSpecs, spec)
-			outCols = append(outCols, tuple.Column{Name: a.name, Type: tuple.Int64})
-		}
-		s, err := tuple.NewSchema(outCols...)
-		if err != nil {
-			return nil, fmt.Errorf("smoothscan: GroupBy: %w", err)
-		}
-		cq.aggSchema = s
-		stage = s
-	}
-
-	// ORDER BY.
-	if q.hasOrd {
-		cq.orderIdx = stage.ColIndex(q.order)
-		if cq.orderIdx < 0 {
-			return nil, fmt.Errorf("%w: %q is not in the query output; add it to Select or GroupBy", ErrUnknownColumn, q.order)
-		}
+	// ORDER BY: decide whether the order comes for free (from the
+	// bind-chosen driving scan, or the aggregation's key order) or
+	// needs a posterior sort.
+	if pt.OrderIdx >= 0 {
+		cq.orderIdx = pt.OrderIdx
 		switch {
-		case q.hasAgg && q.order == q.group:
+		case pt.GroupIdx >= 0 && pt.OrderName == pt.AggSchema.Col(0).Name:
 			cq.orderVia = "group" // HashAgg emits ascending group keys
-		case len(cq.joins) == 0 && cq.driving().ordered && !q.hasAgg && q.order == cq.driving().driving.name:
+		case len(cq.joins) == 0 && cq.driving().ordered && pt.GroupIdx < 0 && pt.OrderName == cq.driving().driving.name:
 			cq.orderVia = "scan"
 		default:
 			cq.needSort = true
 		}
 	}
 
-	cq.limit, cq.hasLim = q.limit, q.hasLim
-	cq.out = stage
+	if annotate {
+		cq.annotate = true
+		if len(b) > 0 {
+			cq.binds = make([]bindPair, 0, len(b))
+			for name, val := range b {
+				cq.binds = append(cq.binds, bindPair{name: name, val: val})
+			}
+		}
+	}
 	return cq, nil
 }
 
-// stageColErr distinguishes "no such column" from "column projected
-// away" for GroupBy/aggregate resolution.
-func (cq *compiledQuery) stageColErr(col, what string) error {
-	if cq.base.ColIndex(col) >= 0 {
-		return fmt.Errorf("%w: %s column %q was projected away by Select", ErrNotSelected, what, col)
+// renderBinds formats the captured bind snapshot for plan headers,
+// sorted by name.
+func renderBinds(pairs []bindPair) []string {
+	if len(pairs) == 0 {
+		return nil
 	}
-	if len(cq.inputs) == 1 {
-		return fmt.Errorf("%w: table %q has no column %q (%s)", ErrUnknownColumn, cq.driving().name, col, what)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = fmt.Sprintf("$%s=%d", p.name, p.val)
 	}
-	return fmt.Errorf("%w: join output has no column %q (%s)", ErrUnknownColumn, col, what)
+	return out
+}
+
+// renderBindNotes lists the estimate-sensitive decisions the bind
+// phase just re-made: the driving conjunct wherever more than one was
+// in play, the optimizer's access-path pick, the parallelism clamp,
+// and each join's algorithm and build side.
+func (cq *compiledQuery) renderBindNotes() []string {
+	var notes []string
+	for _, a := range cq.inputs {
+		if a.hasDriving && len(a.residual) > 0 {
+			notes = append(notes, fmt.Sprintf("driving(%s)=%s", a.name, a.driving.name))
+		}
+		if a.choice != nil {
+			notes = append(notes, fmt.Sprintf("path(%s)=%s", a.name, a.path))
+		}
+		if a.par > 1 {
+			notes = append(notes, fmt.Sprintf("parallel(%s)=%d", a.name, a.par))
+		}
+	}
+	for k, st := range cq.joins {
+		if st.algo == plan.JoinMerge {
+			notes = append(notes, fmt.Sprintf("join#%d=merge", k+1))
+			continue
+		}
+		build := cq.inputs[k+1].name
+		if st.buildLeft {
+			build = "left"
+		}
+		notes = append(notes, fmt.Sprintf("join#%d=hash(build=%s)", k+1, build))
+	}
+	return notes
+}
+
+// compile plans an ad-hoc query: fetch or build the structural
+// template (via the DB-wide plan cache), then bind the query's own
+// literals — the same prepare → bind pipeline a Stmt uses, which is
+// what keeps ad-hoc and prepared execution value-for-value identical.
+// The caller holds db.mu (read).
+func (q *Query) compile() (*compiledQuery, error) {
+	qt, lits, hit, err := q.db.templateFor(q)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := q.db.bindTemplate(qt, lits, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	cq.planCached = hit
+	return cq, nil
 }
 
 // builtQuery is the executable outcome of build: the root operator
@@ -957,6 +1461,13 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.startRows(ctx, cq)
+}
+
+// startRows builds and opens the operator tree for a bound query and
+// hands out its Rows — the shared execute step behind Query.Run and
+// Stmt.Run. The caller holds db.mu (read).
+func (db *DB) startRows(ctx context.Context, cq *compiledQuery) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -975,6 +1486,7 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 		smooth:     bq.smooth,
 		smoothAll:  bq.workers,
 		joins:      bq.joins,
+		planCached: cq.planCached,
 	}
 	rows.ioStart = db.dev.Stats()
 	if err := bq.root.Open(); err != nil {

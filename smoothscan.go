@@ -38,6 +38,7 @@ import (
 	"smoothscan/internal/exec"
 	"smoothscan/internal/heap"
 	"smoothscan/internal/optimizer"
+	"smoothscan/internal/plan"
 	"smoothscan/internal/tuple"
 )
 
@@ -135,6 +136,12 @@ type Options struct {
 	Disk Profile
 	// PoolPages is the buffer pool capacity in pages (default 1024).
 	PoolPages int
+	// PlanCache bounds the DB-wide plan-template cache in entries
+	// (default 128). Ad-hoc queries whose canonical shape is cached
+	// skip the structural compile and pay only the bind phase, exactly
+	// like a prepared Stmt. Negative disables the cache; prepared
+	// statements still reuse their own template.
+	PlanCache int
 }
 
 // DB is an embedded, read-optimised database: bulk-load tables, build
@@ -153,6 +160,10 @@ type DB struct {
 	pool   *bufferpool.Pool
 	mu     sync.RWMutex // guards tables
 	tables map[string]*table
+
+	// planCache holds compiled plan templates keyed by canonical query
+	// shape; nil when Options.PlanCache is negative.
+	planCache *plan.Cache
 
 	// openScans counts Rows handed out and not yet closed; it gates
 	// the cache/stats reset entry points.
@@ -177,12 +188,34 @@ func Open(opts Options) (*DB, error) {
 	if opts.PoolPages < 1 {
 		return nil, fmt.Errorf("smoothscan: PoolPages %d", opts.PoolPages)
 	}
+	if opts.PlanCache == 0 {
+		opts.PlanCache = 128
+	}
 	dev := disk.NewDevice(opts.Disk)
-	return &DB{
+	db := &DB{
 		dev:    dev,
 		pool:   bufferpool.New(dev, opts.PoolPages),
 		tables: make(map[string]*table),
-	}, nil
+	}
+	if opts.PlanCache > 0 {
+		db.planCache = plan.NewCache(opts.PlanCache)
+	}
+	return db, nil
+}
+
+// PlanCacheStats is a snapshot of the DB-wide plan-template cache:
+// hit/miss/eviction counters and the current population. All zero
+// when the cache is disabled (Options.PlanCache < 0).
+type PlanCacheStats = plan.CacheStats
+
+// PlanCacheStats snapshots the plan-template cache counters. Every
+// ad-hoc Query.Run or Explain counts one hit or miss; Stmt executions
+// bind their own template and touch the cache only at Prepare.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	if db.planCache == nil {
+		return PlanCacheStats{}
+	}
+	return db.planCache.Stats()
 }
 
 // ErrNoTable is returned for operations on unknown tables.
@@ -487,6 +520,7 @@ type Rows struct {
 	plan       *Plan          // cached Plan() result
 	ioStart    IOStats
 	ioDelta    IOStats // device delta frozen at Close
+	planCached bool    // template reused (plan cache hit or prepared Stmt)
 	done       bool
 	closed     bool
 }
