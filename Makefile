@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv chaos
 
 ## check: everything CI runs — format, vet, build, tests (incl. -race),
-## bench smoke, the facade-equivalence golden diff, and the coverage floor.
-check: fmt vet build test race bench-smoke equiv cover
+## bench smoke, the facade-equivalence golden diff, the coverage floor,
+## and the chaos sweep.
+check: fmt vet build test race bench-smoke equiv cover chaos
 
 ## COVER_FLOOR: minimum total statement coverage (percent) make cover accepts.
 COVER_FLOOR ?= 70.0
@@ -67,3 +68,11 @@ cover:
 ## I/O and CPU accounting byte-identical.
 equiv:
 	./scripts/equivcheck.sh
+
+## chaos: the fault-injection matrix under the race detector plus the
+## ssload chaos sweep — recovered results must be byte-identical to
+## the fault-free oracle, unrecoverable faults must surface as typed
+## errors with no goroutine leaks.
+chaos:
+	$(GO) test -race -run 'TestFault' -count=1 . ./internal/disk/
+	$(GO) run ./cmd/ssload -chaos -rows 60000 -clients 4 -queries 32

@@ -10,6 +10,7 @@
 //	ssload -rows 200000 -clients 8 -queries 64 -selectivity 0.01
 //	ssload -clients 4 -parallelism 4 -ordered
 //	ssload -bench parallel -json BENCH_parallel.json
+//	ssload -chaos -clients 4 -queries 64
 //
 // The -bench parallel mode runs the fixed P=1/2/4/8 intra-query sweep
 // of BenchmarkParallelSmoothScan and writes machine-readable JSON, so
@@ -17,13 +18,27 @@
 // Wall-clock numbers depend on the host (see the reported cpus);
 // simulated cost is deterministic up to random/sequential
 // classification differences between worker interleavings.
+//
+// The -chaos mode runs the workload once fault-free to record an
+// order-independent result digest, then re-runs it under a sweep of
+// injected fault schedules (transient failures, corrupted pages,
+// latency spikes). Recovered runs must reproduce the oracle digest
+// exactly; the sweep exits non-zero if any run diverged or errored.
+//
+// A client goroutine never aborts the whole load on a query error: it
+// records the error (retrying transient faults a bounded number of
+// times first) and moves on, so one poisoned query cannot hide the
+// rest of the run. Per-client error and retry counts land in the JSON
+// output.
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"runtime"
@@ -52,6 +67,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "deadline for the whole load; in-flight queries are cancelled through their context")
 		prepare     = flag.Bool("prepare", false, "prepared-statement mode: all clients share one Stmt and bind per query; reports plan reuse and the latency delta vs an ad-hoc control run")
 		adhoc       = flag.Bool("adhoc", true, "with -prepare: run the ad-hoc control load first (disable to measure only the prepared run)")
+		chaos       = flag.Bool("chaos", false, "chaos mode: run a fault-free oracle load, then re-run under injected fault schedules and verify the result digests match")
 	)
 	flag.Parse()
 
@@ -88,6 +104,13 @@ func main() {
 		domain:      *domain,
 		seed:        *seed,
 		opts:        opts,
+	}
+
+	if *chaos {
+		if err := runChaos(ctx, db, cfg, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *prepare {
@@ -268,6 +291,26 @@ type loadConfig struct {
 	// stmt, when set, routes every query through the shared prepared
 	// statement (bound per query) instead of the ad-hoc builder.
 	stmt *smoothscan.Stmt
+	// retryFaults is the number of application-level re-runs a client
+	// gives a query that failed with a transient injected fault, on top
+	// of the engine's own bounded page retry. Chaos mode sets it so a
+	// recoverable schedule cannot strand a query.
+	retryFaults int
+}
+
+// clientStat is one client goroutine's tally, reported in the JSON
+// output so a sick client is visible instead of averaged away.
+type clientStat struct {
+	Client  int `json:"client"`
+	Queries int `json:"queries"`
+	Errors  int `json:"errors"`
+	// QueryRetries counts application-level query re-runs (see
+	// loadConfig.retryFaults); Retries counts the engine's page-level
+	// read retries inside this client's queries.
+	QueryRetries int    `json:"query_retries"`
+	Retries      int64  `json:"retries"`
+	FaultsSeen   int64  `json:"faults_seen"`
+	FirstError   string `json:"first_error,omitempty"`
 }
 
 // loadResult aggregates a load run; field names feed the JSON output.
@@ -288,6 +331,22 @@ type loadResult struct {
 	// plan template (ExecStats.PlanCacheHit): the DB plan cache for
 	// ad-hoc loads, the shared Stmt's template for prepared loads.
 	PlanReuseRate float64 `json:"plan_reuse_rate"`
+	// Errors counts queries that still failed after any application
+	// retries; failed queries are excluded from Queries, the latency
+	// percentiles, Tuples and Digest.
+	Errors int `json:"errors"`
+	// QueryRetries / Retries / FaultsSeen aggregate the per-client
+	// fault counters (see clientStat).
+	QueryRetries int   `json:"query_retries"`
+	Retries      int64 `json:"retries"`
+	FaultsSeen   int64 `json:"faults_seen"`
+	// Digest is an order-independent checksum of every result row of
+	// every successful query (sum of per-row FNV-1a hashes), stable
+	// across client scheduling and parallel-worker interleavings. Two
+	// runs of the same workload over the same data must agree on it.
+	Digest uint64 `json:"digest"`
+	// PerClient breaks the run down by client goroutine.
+	PerClient []clientStat `json:"per_client,omitempty"`
 }
 
 func (r loadResult) print(w *os.File) {
@@ -297,6 +356,25 @@ func (r loadResult) print(w *os.File) {
 	fmt.Fprintf(w, "  latency    p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", r.P50MS, r.P99MS, r.MaxMS)
 	fmt.Fprintf(w, "  simcost    %.1f units (device total for the run)\n", r.SimCost)
 	fmt.Fprintf(w, "  plan reuse %.1f%% of queries\n", r.PlanReuseRate*100)
+	if r.Errors > 0 {
+		fmt.Fprintf(w, "  errors     %d queries failed (excluded from digest and latency)\n", r.Errors)
+	}
+	if r.FaultsSeen > 0 || r.Retries > 0 || r.QueryRetries > 0 {
+		fmt.Fprintf(w, "  faults     %d seen, %d page retries, %d query re-runs\n",
+			r.FaultsSeen, r.Retries, r.QueryRetries)
+	}
+}
+
+// rowHash hashes one result row; per-query and per-run digests are
+// wrapping sums of row hashes, making them order-independent.
+func rowHash(vals []int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // runLoad fires cfg.queries queries across cfg.clients goroutines
@@ -319,13 +397,54 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		width = 1
 	}
 
+	// queryResult is one successful query execution; a failed attempt's
+	// partial rows are discarded wholesale so a retried query cannot
+	// double-count into the digest.
+	type queryResult struct {
+		digest  uint64
+		tuples  int64
+		reused  bool
+		retries int64
+		faults  int64
+	}
+	runQuery := func(lo int64) (queryResult, error) {
+		var qr queryResult
+		var rows *smoothscan.Rows
+		var err error
+		if cfg.stmt != nil {
+			rows, err = cfg.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": lo + width})
+		} else {
+			rows, err = db.Query("t").
+				Where("val", smoothscan.Between(lo, lo+width)).
+				WithOptions(cfg.opts).
+				Run(ctx)
+		}
+		if err != nil {
+			return qr, err
+		}
+		for rows.Next() {
+			qr.tuples++
+			qr.digest += rowHash(rows.Row())
+		}
+		err = rows.Err()
+		if cerr := rows.Close(); err == nil {
+			err = cerr
+		}
+		st := rows.ExecStats()
+		qr.reused = st.PlanCacheHit
+		qr.retries = st.Retries
+		qr.faults = st.FaultsSeen
+		return qr, err
+	}
+
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		latencies []time.Duration
 		tuples    int64
 		reused    int64
-		firstErr  error
+		digest    uint64
+		perClient []clientStat
 	)
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
@@ -333,68 +452,77 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		go func(c int) {
 			defer wg.Done()
 			// Distribute exactly cfg.queries across the clients.
-			perClient := cfg.queries / cfg.clients
+			n := cfg.queries / cfg.clients
 			if c < cfg.queries%cfg.clients {
-				perClient++
+				n++
 			}
 			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			stat := clientStat{Client: c}
 			var localLat []time.Duration
 			var localTuples, localReused int64
-			for q := 0; q < perClient; q++ {
+			var localDigest uint64
+			for q := 0; q < n; q++ {
 				lo := int64(0)
 				if cfg.domain > width {
 					lo = rng.Int63n(cfg.domain - width)
 				}
 				qStart := time.Now()
-				var rows *smoothscan.Rows
+				var qr queryResult
 				var err error
-				if cfg.stmt != nil {
-					rows, err = cfg.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": lo + width})
-				} else {
-					rows, err = db.Query("t").
-						Where("val", smoothscan.Between(lo, lo+width)).
-						WithOptions(cfg.opts).
-						Run(ctx)
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				for attempt := 0; ; attempt++ {
+					var once queryResult
+					once, err = runQuery(lo)
+					qr.retries += once.retries
+					qr.faults += once.faults
+					if err == nil {
+						qr.digest, qr.tuples, qr.reused = once.digest, once.tuples, once.reused
+						break
 					}
-					mu.Unlock()
-					return
+					if attempt >= cfg.retryFaults || !smoothscan.IsTransientFault(err) || ctx.Err() != nil {
+						break
+					}
+					stat.QueryRetries++
 				}
-				for rows.Next() {
-					localTuples++
+				stat.Retries += qr.retries
+				stat.FaultsSeen += qr.faults
+				if err != nil {
+					// Record the failure and move on: one poisoned
+					// query must not hide the rest of this client's
+					// work. A cancelled context is the exception —
+					// every further query would fail the same way.
+					stat.Errors++
+					if stat.FirstError == "" {
+						stat.FirstError = err.Error()
+					}
+					if ctx.Err() != nil {
+						break
+					}
+					continue
 				}
-				err = rows.Err()
-				if rows.ExecStats().PlanCacheHit {
+				stat.Queries++
+				if qr.reused {
 					localReused++
 				}
-				rows.Close()
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
+				localTuples += qr.tuples
+				localDigest += qr.digest
 				localLat = append(localLat, time.Since(qStart))
 			}
 			mu.Lock()
 			latencies = append(latencies, localLat...)
 			tuples += localTuples
 			reused += localReused
+			digest += localDigest
+			perClient = append(perClient, stat)
 			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	if firstErr != nil {
-		return loadResult{}, firstErr
+	if err := ctx.Err(); err != nil {
+		return loadResult{}, err
 	}
 
+	sort.Slice(perClient, func(i, j int) bool { return perClient[i].Client < perClient[j].Client })
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) float64 {
 		if len(latencies) == 0 {
@@ -407,7 +535,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 	if len(latencies) > 0 {
 		reuseRate = float64(reused) / float64(len(latencies))
 	}
-	return loadResult{
+	res := loadResult{
 		Clients:       cfg.clients,
 		Queries:       len(latencies),
 		Parallelism:   cfg.opts.Parallelism,
@@ -421,7 +549,100 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		MaxMS:         pct(1.0),
 		SimCost:       db.Stats().Time(),
 		PlanReuseRate: reuseRate,
-	}, nil
+		Digest:        digest,
+		PerClient:     perClient,
+	}
+	for _, st := range perClient {
+		res.Errors += st.Errors
+		res.QueryRetries += st.QueryRetries
+		res.Retries += st.Retries
+		res.FaultsSeen += st.FaultsSeen
+	}
+	return res, nil
+}
+
+// chaosRun is one fault schedule of the -chaos sweep.
+type chaosRun struct {
+	Schedule string     `json:"schedule"`
+	Run      loadResult `json:"run"`
+	// Match reports whether the run reproduced the fault-free oracle:
+	// same digest, same tuple count, zero unrecovered errors.
+	Match bool `json:"match"`
+}
+
+// chaosReport is the -chaos JSON document.
+type chaosReport struct {
+	Oracle loadResult `json:"oracle"`
+	Runs   []chaosRun `json:"runs"`
+}
+
+// chaosQueryRetries is the application-level retry budget chaos mode
+// gives each query on top of the engine's page-level retry: transient
+// decisions re-roll per attempt, so a recoverable schedule converges.
+const chaosQueryRetries = 8
+
+// runChaos verifies end-to-end fault recovery under concurrent load:
+// the workload runs once fault-free to record the oracle digest, then
+// once per injected fault schedule. Recovered runs must reproduce the
+// oracle bit-for-bit; any divergence or unrecovered error fails the
+// sweep. Fault decisions are seed-deterministic per (space, page,
+// attempt); which attempt a page is at when concurrent clients race
+// through the shared pool is scheduling-dependent, which is exactly
+// the point — recovery must hold under any interleaving.
+func runChaos(ctx context.Context, db *smoothscan.DB, cfg loadConfig, seed int64, jsonOut string) error {
+	oracle, err := runLoad(ctx, db, cfg)
+	if err != nil {
+		return err
+	}
+	if oracle.Errors > 0 {
+		return fmt.Errorf("chaos: fault-free oracle run had %d errors", oracle.Errors)
+	}
+	fmt.Printf("ssload -chaos: fault-free oracle (%d clients x %d queries, digest %016x)\n",
+		cfg.clients, cfg.queries, oracle.Digest)
+	oracle.print(os.Stdout)
+
+	schedules := []struct {
+		name string
+		rule smoothscan.FaultRule
+	}{
+		{"transient r=0.05", smoothscan.FaultRule{Space: smoothscan.AnySpace, Kind: smoothscan.FaultTransient, Rate: 0.05}},
+		{"transient r=0.15", smoothscan.FaultRule{Space: smoothscan.AnySpace, Kind: smoothscan.FaultTransient, Rate: 0.15}},
+		{"corrupt r=0.05", smoothscan.FaultRule{Space: smoothscan.AnySpace, Kind: smoothscan.FaultCorrupt, Rate: 0.05}},
+		{"latency r=0.50 +50u", smoothscan.FaultRule{Space: smoothscan.AnySpace, Kind: smoothscan.FaultLatency, Rate: 0.50, ExtraCost: 50}},
+	}
+	ccfg := cfg
+	ccfg.retryFaults = chaosQueryRetries
+	report := chaosReport{Oracle: oracle}
+	failed := 0
+	for _, sc := range schedules {
+		db.SetFaultPolicy(smoothscan.NewFaultPolicy(seed, sc.rule))
+		res, err := runLoad(ctx, db, ccfg)
+		db.SetFaultPolicy(nil)
+		if err != nil {
+			return fmt.Errorf("chaos: schedule %q: %w", sc.name, err)
+		}
+		match := res.Digest == oracle.Digest && res.Tuples == oracle.Tuples && res.Errors == 0
+		if !match {
+			failed++
+		}
+		verdict := "recovered, digest matches oracle"
+		if !match {
+			verdict = "DIVERGED from oracle"
+		}
+		fmt.Printf("chaos %-20s %s — %d faults, %d page retries, %d query re-runs, %d errors\n",
+			sc.name, verdict, res.FaultsSeen, res.Retries, res.QueryRetries, res.Errors)
+		report.Runs = append(report.Runs, chaosRun{Schedule: sc.name, Run: res, Match: match})
+	}
+	if jsonOut != "" {
+		if err := writeJSON(jsonOut, report); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d of %d schedules diverged from the fault-free oracle", failed, len(schedules))
+	}
+	fmt.Printf("chaos: all %d schedules recovered to the oracle digest\n", len(schedules))
+	return nil
 }
 
 // parallelBenchResult is one point of the -bench parallel sweep.

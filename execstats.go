@@ -71,6 +71,18 @@ type ExecStats struct {
 	// true for every Stmt.Run, and for an ad-hoc Query.Run whose
 	// canonical shape was in the DB-wide plan cache.
 	PlanCacheHit bool
+	// Retries is the number of bounded device-read retries the query
+	// window saw (IO.Retries): transient faults and corrupted pages the
+	// buffer pool recovered by re-reading. Zero without a FaultPolicy.
+	Retries int64
+	// FaultsSeen totals the injected-fault events in the query window:
+	// failed reads (transient and permanent), corrupted pages served,
+	// and latency spikes charged. Zero without a FaultPolicy.
+	FaultsSeen int64
+	// Degraded lists the fault-recovery plan fallbacks this execution
+	// applied, in order (see Plan.Degraded); nil when the query ran as
+	// compiled.
+	Degraded []string
 }
 
 // ExecStats returns the query's unified execution statistics. It may
@@ -111,6 +123,11 @@ func (r *Rows) ExecStats() ExecStats {
 		st.RowsReturned = r.counters[n-1].rows
 	}
 	st.PlanCacheHit = r.planCached
+	st.Retries = st.IO.Retries
+	st.FaultsSeen = st.IO.Faults + st.IO.Corruptions + st.IO.LatencySpikes
+	if r.compiled != nil && len(r.compiled.degraded) > 0 {
+		st.Degraded = append([]string(nil), r.compiled.degraded...)
+	}
 	return st
 }
 

@@ -49,6 +49,12 @@ type Plan struct {
 	// optimizer path pick, join algorithm and build side, parallelism;
 	// nil for ad-hoc queries.
 	BindChoices []string
+	// Degraded lists the fault-recovery fallbacks the execution applied
+	// (parallel to serial, index to smooth, smooth to full, merge join
+	// to hash), in the order they were taken; nil for a query that ran
+	// as compiled. Only plans retrieved from a Rows can carry entries —
+	// Explain never executes, so it never degrades.
+	Degraded []string
 	// Root is the plan's root operator node.
 	Root *PlanNode
 }
@@ -72,6 +78,9 @@ func (p *Plan) String() string {
 	}
 	if len(p.BindChoices) > 0 {
 		fmt.Fprintf(&b, "   re-planned at bind: %s\n", strings.Join(p.BindChoices, "; "))
+	}
+	if len(p.Degraded) > 0 {
+		fmt.Fprintf(&b, "   degraded on fault: %s\n", strings.Join(p.Degraded, "; "))
 	}
 	var walk func(n *PlanNode, depth int)
 	walk = func(n *PlanNode, depth int) {
@@ -212,6 +221,9 @@ func (cq *compiledQuery) plan() *Plan {
 	if cq.annotate {
 		p.Binds = renderBinds(cq.binds)
 		p.BindChoices = cq.renderBindNotes()
+	}
+	if len(cq.degraded) > 0 {
+		p.Degraded = append([]string(nil), cq.degraded...)
 	}
 	for _, a := range cq.inputs {
 		p.Tables = append(p.Tables, a.name)

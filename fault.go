@@ -1,0 +1,325 @@
+package smoothscan
+
+import (
+	"context"
+	"fmt"
+
+	"smoothscan/internal/disk"
+	"smoothscan/internal/plan"
+)
+
+// Fault injection.
+//
+// A FaultPolicy attached to a DB's device makes reads fail, slow down
+// or return corrupted bytes according to deterministic seed-driven
+// rules — the chaos harness behind the robustness experiments. Every
+// decision is a pure hash of (seed, rule, space, page, attempt), so a
+// schedule replays identically across runs and goroutine interleavings,
+// which is what lets the property tests compare a faulty run against a
+// fault-free oracle byte for byte.
+//
+// The engine's recovery layers, bottom up:
+//
+//   - the buffer pool retries transient read faults (including checksum
+//     mismatches from corrupted payloads) up to bufferpool.MaxReadRetries
+//     times, charging simulated backoff I/O time per retry;
+//   - permanent faults are never retried; they surface to the planner,
+//     which degrades the plan one step at a time — parallel scans drop
+//     to serial, index-driven paths (index, sort, switch) fall back to
+//     Smooth Scan, Smooth Scan falls back to a full scan — re-opening
+//     the query after each step;
+//   - what cannot be recovered or degraded around surfaces as a typed
+//     error from Run/Next/Err, never as a panic, with every worker
+//     goroutine exited.
+//
+// Recovery is visible, not silent: ExecStats carries Retries, FaultsSeen
+// and Degraded, and the Explain plan of a degraded Rows is annotated
+// with each fallback taken.
+
+// FaultPolicy is a deterministic fault-injection schedule (see
+// disk.FaultPolicy). Attach one with DB.SetFaultPolicy.
+type FaultPolicy = disk.FaultPolicy
+
+// FaultRule scopes one kind of fault to a space and page range at a
+// given rate.
+type FaultRule = disk.FaultRule
+
+// FaultKind selects what a matching rule injects.
+type FaultKind = disk.FaultKind
+
+// Fault kinds, re-exported from internal/disk.
+const (
+	// FaultTransient fails the read with ErrTransientFault; a retry
+	// re-rolls the decision, so bounded retry recovers unless Rate is 1.
+	FaultTransient = disk.FaultTransient
+	// FaultPermanent fails the read with ErrPermanentFault on every
+	// attempt; recovery happens by plan degradation, not retry.
+	FaultPermanent = disk.FaultPermanent
+	// FaultLatency lets the read succeed but charges ExtraCost extra
+	// simulated I/O time (a latency spike, not an error).
+	FaultLatency = disk.FaultLatency
+	// FaultCorrupt returns a bit-flipped copy of the page; checksum
+	// verification turns it into ErrPageCorrupt and a retry re-reads
+	// the intact device page.
+	FaultCorrupt = disk.FaultCorrupt
+)
+
+// SpaceID identifies a disk space (one table's heap or one index's
+// run). Obtain concrete IDs from TableSpace and IndexSpace.
+type SpaceID = disk.SpaceID
+
+// AnySpace in a FaultRule matches every space.
+const AnySpace = disk.AnySpace
+
+// Typed fault errors, matchable with errors.Is through every layer.
+var (
+	// ErrTransientFault marks an injected transient read failure.
+	ErrTransientFault = disk.ErrInjected
+	// ErrPermanentFault marks an injected permanent read failure.
+	ErrPermanentFault = disk.ErrPermanentFault
+	// ErrPageCorrupt marks a page whose checksum did not verify.
+	ErrPageCorrupt = disk.ErrPageCorrupt
+)
+
+// NewFaultPolicy builds a policy from a seed and rules. Rules are
+// evaluated in order per page read; the first error-kind match wins,
+// while latency and corruption effects accumulate.
+func NewFaultPolicy(seed int64, rules ...FaultRule) *FaultPolicy {
+	return disk.NewFaultPolicy(seed, rules...)
+}
+
+// IsFaultError reports whether err (or anything it wraps) is an
+// injected fault or a checksum failure — the error class the planner
+// degrades around.
+func IsFaultError(err error) bool { return disk.IsFault(err) }
+
+// IsTransientFault reports whether err is a retryable injected fault —
+// a transient failure or a detected corruption, but not a permanent
+// fault. Clients that re-run failed queries (application-level retry
+// above the engine's own bounded page retry) should gate on this: a
+// transient schedule re-rolls per attempt, so a fresh run can succeed,
+// while retrying a permanent fault fails identically every time.
+func IsTransientFault(err error) bool { return disk.IsTransient(err) }
+
+// SetFaultPolicy attaches a fault policy to the database's device, or
+// detaches it when p is nil. With no policy attached every fault path
+// is dormant: reads skip checksum verification and retry entirely, and
+// the fault counters in IOStats stay zero.
+//
+// Attaching a policy while scans are open affects their subsequent
+// reads; for reproducible schedules attach the policy before starting
+// the query.
+func (db *DB) SetFaultPolicy(p *FaultPolicy) { db.dev.SetFaultPolicy(p) }
+
+// FaultPolicyAttached returns the currently attached policy, or nil.
+func (db *DB) FaultPolicyAttached() *FaultPolicy { return db.dev.FaultPolicy() }
+
+// TableSpace returns the disk space holding the named table's heap
+// pages, for targeting FaultRules.
+func (db *DB) TableSpace(name string) (SpaceID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t.file.Space(), nil
+}
+
+// IndexSpace returns the disk space holding the named table's index on
+// col, for targeting FaultRules.
+func (db *DB) IndexSpace(tableName, col string) (SpaceID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	tree, ok := t.indexes[col]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q.%q", ErrNoIndex, tableName, col)
+	}
+	return tree.Space(), nil
+}
+
+// clone copies the compiled query one level deep: the inputs and join
+// stages the degradation ladder mutates are duplicated, everything else
+// (schemas, predicates, estimates) is shared immutably.
+func (cq *compiledQuery) clone() *compiledQuery {
+	c := *cq
+	c.inputs = make([]*tableAccess, len(cq.inputs))
+	for i, a := range cq.inputs {
+		aa := *a
+		c.inputs[i] = &aa
+	}
+	c.joins = make([]*joinStage, len(cq.joins))
+	for i, st := range cq.joins {
+		ss := *st
+		c.joins[i] = &ss
+	}
+	c.degraded = append([]string(nil), cq.degraded...)
+	return &c
+}
+
+// degradeOnFault returns a copy of the compiled query one step further
+// down the degradation ladder, or nil when nothing is left to degrade.
+// The ladder, in order:
+//
+//  1. a parallel input drops to serial (a failing worker stops taking
+//     the siblings down with it);
+//  2. an index-driven path (index, sort, switch) falls back to Smooth
+//     Scan — same index, but morphing tolerates regions of the heap
+//     being re-read;
+//  3. Smooth Scan falls back to a full heap scan, which touches no
+//     index space at all.
+//
+// Each step preserves the query's result contract: an input whose
+// order feeds a merge join stays order-delivering (or the join flips
+// to hash), a plan-level ORDER BY satisfied by scan order regains it
+// through a posterior sort, and a scan-level Ordered contract that a
+// full scan cannot honour blocks step 3 for that input. The caller
+// loops: a degraded plan that still hits the fault degrades again, so
+// multi-input queries converge even when the ladder picks a healthy
+// input first.
+func (cq *compiledQuery) degradeOnFault() *compiledQuery {
+	if cq.emptyWhy != "" {
+		return nil
+	}
+	mergeFed := func(c *compiledQuery, i int) bool {
+		return i <= 1 && len(c.joins) > 0 && c.joins[0].algo == plan.JoinMerge
+	}
+	// Step 1: drop parallelism.
+	for i, a := range cq.inputs {
+		if a.par > 1 {
+			next := cq.clone()
+			na := next.inputs[i]
+			next.degraded = append(next.degraded,
+				fmt.Sprintf("%s: parallel[%d] -> serial (fault)", a.name, a.par))
+			na.par = 1
+			return next
+		}
+	}
+	// Step 2: index-driven paths fall back to Smooth Scan.
+	for i, a := range cq.inputs {
+		switch a.path {
+		case PathIndex, PathSort, PathSwitch:
+			next := cq.clone()
+			na := next.inputs[i]
+			next.degraded = append(next.degraded,
+				fmt.Sprintf("%s: %s scan -> smooth scan (fault)", a.name, a.path))
+			na.path = PathSmooth
+			na.choice = nil // the optimizer's pick no longer describes the plan
+			if mergeFed(next, i) {
+				// An index scan delivers order even without the ordered
+				// flag; the smooth replacement must opt in to keep the
+				// merge join's input contract.
+				na.ordered = true
+			}
+			na.cfg.Ordered = na.ordered
+			na.pushed = len(na.residual) > 0 && !na.ordered
+			return next
+		}
+	}
+	// Step 3: Smooth Scan falls back to a full scan.
+	for i, a := range cq.inputs {
+		if a.path != PathSmooth {
+			continue
+		}
+		next := cq.clone()
+		na := next.inputs[i]
+		if na.ordered {
+			switch {
+			case i == 0 && next.orderVia == "scan":
+				// Plan-level ORDER BY rode the scan order; a posterior
+				// sort restores it.
+				next.orderVia = ""
+				next.needSort = true
+				next.degraded = append(next.degraded,
+					fmt.Sprintf("order by %s: scan order -> posterior sort (fault)",
+						na.driving.name))
+			case mergeFed(next, i):
+				// Order only fed the merge join; the flip below removes
+				// the need for it.
+			default:
+				// A scan-level Ordered contract cannot survive a full
+				// scan; leave this input alone.
+				continue
+			}
+			na.ordered = false
+			na.cfg.Ordered = false
+		}
+		if mergeFed(next, i) {
+			st := next.joins[0]
+			st.algo = plan.JoinHash
+			st.buildLeft = next.inputs[0].estScan < next.inputs[1].estScan
+			next.degraded = append(next.degraded,
+				fmt.Sprintf("%s=%s: merge join -> hash join (fault)",
+					st.leftName, st.rightName))
+		}
+		next.degraded = append(next.degraded,
+			fmt.Sprintf("%s: smooth scan -> full scan (fault)", a.name))
+		na.path = PathFull
+		na.choice = nil
+		na.pushed = len(na.residual) > 0
+		return next
+	}
+	return nil
+}
+
+// degradeAndReopen walks the degradation ladder until a plan opens
+// cleanly, returning the degraded compiled query and its opened
+// operator tree. When the ladder is exhausted (or a step fails with a
+// non-fault error) it returns the last error; the caller reports that
+// to the user. The caller holds db.mu (read).
+func (db *DB) degradeAndReopen(ctx context.Context, cq *compiledQuery, cause error) (*compiledQuery, *builtQuery, error) {
+	err := cause
+	for IsFaultError(err) {
+		next := cq.degradeOnFault()
+		if next == nil {
+			return cq, nil, err
+		}
+		cq = next
+		bq, berr := cq.build(db, ctx)
+		if berr != nil {
+			return cq, nil, berr
+		}
+		if err = bq.root.Open(); err == nil {
+			return cq, bq, nil
+		}
+	}
+	return cq, nil, err
+}
+
+// tryDegrade attempts mid-stream recovery after a fault surfaced from
+// NextBatch: only before any row has been delivered (afterwards a
+// restart would replay rows), and only for fault-classed errors. On
+// success the Rows transparently switches to the degraded plan's
+// operator tree and reports the fallbacks via ExecStats.Degraded.
+func (r *Rows) tryDegrade(err error) bool {
+	if r.delivered || r.closed || r.db == nil || r.compiled == nil || !IsFaultError(err) {
+		return false
+	}
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	cq, bq, derr := r.db.degradeAndReopen(r.ctx, r.compiled, err)
+	if derr != nil {
+		return false
+	}
+	// The failed tree is closed only after its replacement opened, so a
+	// failure above leaves the Rows exactly as it was (Close still
+	// closes the original operator once).
+	_ = r.op.Close()
+	r.op = bq.root
+	r.compiled = cq
+	r.counters = bq.counters
+	r.smooth = bq.smooth
+	r.smoothAll = bq.workers
+	r.joins = bq.joins
+	r.choice = cq.driving().choice
+	r.plan = nil // re-render: the plan now carries degradation notes
+	if r.batch != nil {
+		r.batch.Reset()
+	}
+	r.pos = 0
+	return true
+}

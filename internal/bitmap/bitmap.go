@@ -15,6 +15,12 @@ type Bitmap struct {
 }
 
 // New creates a bitmap of n bits, all clear.
+//
+// The size and index panics here are invariant guards, not error
+// returns: every caller sizes bitmaps from a heap file's page or tuple
+// count and indexes them with TIDs from that same file, so negative or
+// out-of-range values indicate engine corruption that must not be
+// silently absorbed.
 func New(n int64) *Bitmap {
 	if n < 0 {
 		panic(fmt.Sprintf("bitmap: negative size %d", n))

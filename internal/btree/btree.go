@@ -27,6 +27,8 @@ const (
 	kindLeaf     = 0
 	kindInternal = 1
 
+	// headerSize covers the node kind byte, the entry count at [4, 8)
+	// and the page checksum at [8, 16) (see disk.StampChecksum).
 	headerSize = 16
 	// leaf entry: key int64 + TID (page int64, slot int32).
 	leafEntrySize = 20
@@ -152,6 +154,7 @@ func encodeLeaf(page []byte, entries []Entry) {
 		binary.LittleEndian.PutUint32(page[off+16:], uint32(e.TID.Slot))
 		off += leafEntrySize
 	}
+	disk.StampChecksum(page)
 }
 
 // encodeInternal writes an internal node with children[0] as the
@@ -170,6 +173,7 @@ func encodeInternal(page []byte, keys []int64, children []int64) {
 		binary.LittleEndian.PutUint64(page[off+8:], uint64(children[i+1]))
 		off += internalEntrySize
 	}
+	disk.StampChecksum(page)
 }
 
 func nodeKind(page []byte) byte { return page[0] }

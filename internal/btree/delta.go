@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"fmt"
 	"sort"
 
 	"smoothscan/internal/bufferpool"
@@ -58,6 +59,9 @@ func (t *Tree) Compact(dev *disk.Device, pool *bufferpool.Pool) error {
 		page, err := dev.ReadPage(t.space, leaf)
 		if err != nil {
 			return err
+		}
+		if dev.Faulty() && !disk.VerifyChecksum(page) {
+			return fmt.Errorf("%w: btree space %d page %d", disk.ErrPageCorrupt, t.space, leaf)
 		}
 		n := nodeCount(page)
 		for i := 0; i < n; i++ {

@@ -80,6 +80,9 @@ type Pool struct {
 // be positive.
 func New(dev *disk.Device, capacity int) *Pool {
 	if capacity <= 0 {
+		// Invariant, not an error return: every caller either passes a
+		// compile-time constant or validates user input first (the
+		// facade's Open rejects PoolPages < 1 before reaching here).
 		panic(fmt.Sprintf("bufferpool: capacity %d", capacity))
 	}
 	return &Pool{
@@ -160,7 +163,7 @@ func (p *Pool) Get(space disk.SpaceID, pageNo int64) ([]byte, error) {
 	}
 	st.stats.Misses++
 	st.mu.Unlock()
-	data, err := p.ch.ReadPage(space, pageNo)
+	data, err := p.readPage(space, pageNo)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +209,7 @@ func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][
 		// by another view meanwhile, and a single-threaded caller sees
 		// the classic probe/read/insert order unchanged.
 		st.mu.Unlock()
-		pages, err := p.ch.ReadRun(space, runStart, end-runStart)
+		pages, err := p.readRun(space, runStart, end-runStart)
 		st.mu.Lock()
 		if err != nil {
 			return err
@@ -238,6 +241,105 @@ func (p *Pool) GetRun(space disk.SpaceID, start, n int64, scratch [][]byte) ([][
 		return nil, err
 	}
 	return out, nil
+}
+
+// MaxReadRetries bounds the attempts the pool makes per page read when
+// a fault policy is active. Transient-fault and corruption decisions
+// re-roll per attempt, so bounded per-page retry recovers unless the
+// fault rate is 1 (or the fault is permanent, which is never retried).
+const MaxReadRetries = 4
+
+// readRun is the pool's device-read primitive: ch.ReadRun plus, when a
+// fault policy is attached, checksum verification of every returned
+// page and bounded retry with simulated-clock backoff for transient
+// faults. Corrupted or failed reads never reach the frame table — the
+// callers insert only pages this function returned, so a later retry
+// re-reads the device rather than serving damaged bytes from cache.
+// With no policy attached this is exactly ch.ReadRun.
+//
+// Retry is page-granular: when a multi-page run hits a transient fault
+// or a corrupted page, the run is re-read page by page, each page with
+// its own bounded retry. Re-issuing the whole run would make recovery
+// LESS likely the longer the run — at per-page fault rate r a fresh
+// n-page attempt fails somewhere with probability 1-(1-r)^n, so long
+// runs would fail almost every attempt — whereas real storage re-reads
+// the flaky sector, not the whole transfer. The split costs the same
+// simulated I/O time as the run (head position makes the follow-on
+// pages sequential) plus the backoff charges of the retried pages.
+func (p *Pool) readRun(space disk.SpaceID, start, n int64) ([][]byte, error) {
+	if !p.st.dev.Faulty() {
+		return p.ch.ReadRun(space, start, n)
+	}
+	if n == 1 {
+		page, err := p.readPageRetried(space, start)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{page}, nil
+	}
+	pages, err := p.readVerified(space, start, n)
+	if err == nil {
+		return pages, nil
+	}
+	if !disk.IsTransient(err) {
+		return nil, err
+	}
+	p.ch.ChargeRetryBackoff(0)
+	out := make([][]byte, n)
+	for i := int64(0); i < n; i++ {
+		page, perr := p.readPageRetried(space, start+i)
+		if perr != nil {
+			return nil, perr
+		}
+		out[i] = page
+	}
+	return out, nil
+}
+
+// readVerified is one read attempt: ch.ReadRun plus checksum
+// verification of every returned page.
+func (p *Pool) readVerified(space disk.SpaceID, start, n int64) ([][]byte, error) {
+	pages, err := p.ch.ReadRun(space, start, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyRun(space, start, pages); err != nil {
+		return nil, err
+	}
+	return pages, nil
+}
+
+// readPageRetried reads one page with bounded retry; each retry
+// charges backoff time and re-rolls the page's fault decisions.
+func (p *Pool) readPageRetried(space disk.SpaceID, pageNo int64) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		pages, err := p.readVerified(space, pageNo, 1)
+		if err == nil {
+			return pages[0], nil
+		}
+		if attempt+1 >= MaxReadRetries || !disk.IsTransient(err) {
+			return nil, err
+		}
+		p.ch.ChargeRetryBackoff(attempt)
+	}
+}
+
+func (p *Pool) readPage(space disk.SpaceID, pageNo int64) ([]byte, error) {
+	pages, err := p.readRun(space, pageNo, 1)
+	if err != nil {
+		return nil, err
+	}
+	return pages[0], nil
+}
+
+// verifyRun checks every page of a run against its stored checksum.
+func verifyRun(space disk.SpaceID, start int64, pages [][]byte) error {
+	for i, page := range pages {
+		if !disk.VerifyChecksum(page) {
+			return fmt.Errorf("%w: space %d page %d", disk.ErrPageCorrupt, space, start+int64(i))
+		}
+	}
+	return nil
 }
 
 // insert places a page into a frame, evicting via clock sweep if full.

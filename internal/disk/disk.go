@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Profile describes the cost characteristics of a simulated device.
@@ -71,6 +72,17 @@ type Stats struct {
 	// the two clocks side by side lets the harness reproduce the
 	// CPU-vs-I/O-wait breakdown of Figure 4.
 	CPUTime float64
+	// Faults counts reads failed by an injected fault (transient or
+	// permanent). All four fault counters stay zero when no
+	// FaultPolicy is attached.
+	Faults int64
+	// Corruptions counts pages returned with a corrupted payload.
+	Corruptions int64
+	// LatencySpikes counts latency-spike hits (reads that succeeded
+	// but were charged extra simulated time).
+	LatencySpikes int64
+	// Retries counts retried reads, charged via ChargeRetryBackoff.
+	Retries int64
 }
 
 // Time returns total simulated time (I/O plus CPU).
@@ -89,6 +101,10 @@ func (s Stats) Sub(t Stats) Stats {
 		BytesRead:      s.BytesRead - t.BytesRead,
 		IOTime:         s.IOTime - t.IOTime,
 		CPUTime:        s.CPUTime - t.CPUTime,
+		Faults:         s.Faults - t.Faults,
+		Corruptions:    s.Corruptions - t.Corruptions,
+		LatencySpikes:  s.LatencySpikes - t.LatencySpikes,
+		Retries:        s.Retries - t.Retries,
 	}
 }
 
@@ -140,6 +156,12 @@ type Device struct {
 	// failAfter, when >= 0, counts down on every page read; the read
 	// that decrements it to below zero fails with ErrInjected.
 	failAfter int64
+
+	// faults is the attached fault policy, nil when injection is off.
+	// Atomic so readers above the device (buffer pool, decoders) can
+	// check Faulty() without taking the device mutex; the policy's own
+	// state is still only touched under mu (in ReadRun).
+	faults atomic.Pointer[FaultPolicy]
 }
 
 // NewDevice creates an empty device with the given profile.
@@ -323,6 +345,19 @@ func (c *Channel) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 		}
 		d.failAfter -= n
 	}
+	var dec faultDecision
+	if fp := d.faults.Load(); fp != nil {
+		dec = fp.evaluate(id, start, n)
+		if dec.err != nil {
+			// A failed read is counted but charged no transfer time:
+			// the request never completed.
+			var fd Stats
+			fd.Faults++
+			d.stats.add(fd)
+			c.local.add(fd)
+			return nil, dec.err
+		}
+	}
 
 	var delta Stats
 	delta.Requests++
@@ -350,6 +385,9 @@ func (c *Channel) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 	}
 	delta.PagesRead += n
 	delta.BytesRead += n * int64(d.profile.PageSize)
+	delta.IOTime += dec.extraCost
+	delta.LatencySpikes += dec.latency
+	delta.Corruptions += int64(len(dec.corrupt))
 	c.lastSpace, c.lastPage, c.hasPos = id, start+n-1, true
 	d.stats.add(delta)
 	c.local.add(delta)
@@ -357,6 +395,11 @@ func (c *Channel) ReadRun(id SpaceID, start, n int64) ([][]byte, error) {
 	out := make([][]byte, n)
 	for i := int64(0); i < n; i++ {
 		out[i] = sp.pages[start+i]
+	}
+	for _, i := range dec.corrupt {
+		// Corruption damages the returned copy, not the stored page;
+		// re-reading can return clean data.
+		out[i] = corruptCopy(out[i])
 	}
 	return out, nil
 }
@@ -476,6 +519,10 @@ func (s *Stats) add(t Stats) {
 	s.BytesRead += t.BytesRead
 	s.IOTime += t.IOTime
 	s.CPUTime += t.CPUTime
+	s.Faults += t.Faults
+	s.Corruptions += t.Corruptions
+	s.LatencySpikes += t.LatencySpikes
+	s.Retries += t.Retries
 }
 
 // Stats returns a snapshot of the device counters, taken under the

@@ -1,0 +1,55 @@
+// Page integrity. Every engine page format (heap pages, btree leaf and
+// internal pages) reserves header bytes [8, 16) for a 64-bit FNV-1a
+// checksum over the rest of the page. Writers stamp it unconditionally
+// (StampChecksum); readers verify it only when the device has a fault
+// policy attached, so the fault-free hot path pays nothing.
+package disk
+
+import "encoding/binary"
+
+const (
+	checksumOff = 8
+	checksumEnd = 16
+)
+
+// PageChecksum computes the FNV-1a checksum of a page, skipping the
+// checksum field itself.
+func PageChecksum(page []byte) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, b := range page[:checksumOff] {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, b := range page[checksumEnd:] {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// StampChecksum writes the page's checksum into header bytes [8, 16).
+// Page writers call it immediately before handing the page to the
+// device.
+func StampChecksum(page []byte) {
+	binary.LittleEndian.PutUint64(page[checksumOff:checksumEnd], PageChecksum(page))
+}
+
+// VerifyChecksum reports whether the page's stored checksum matches
+// its content. A false return means the payload was damaged between
+// stamping and reading — the caller should surface ErrPageCorrupt.
+func VerifyChecksum(page []byte) bool {
+	return binary.LittleEndian.Uint64(page[checksumOff:checksumEnd]) == PageChecksum(page)
+}
+
+// corruptCopy returns a damaged copy of page: two bytes flipped, one
+// in the checksum field and one at the end of the payload, so
+// VerifyChecksum always fails on it. The original device page is left
+// intact — a re-read can return clean data.
+func corruptCopy(page []byte) []byte {
+	bad := make([]byte, len(page))
+	copy(bad, page)
+	bad[checksumOff] ^= 0xA5
+	bad[len(bad)-1] ^= 0x5A
+	return bad
+}

@@ -70,7 +70,7 @@ func TestByIDUnknown(t *testing.T) {
 	if _, err := r.ByID("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if len(IDs()) != 17 {
+	if len(IDs()) != 18 {
 		t.Errorf("IDs() = %v", IDs())
 	}
 }
@@ -498,5 +498,30 @@ func TestAllRunsEverything(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Error("nothing printed")
+	}
+}
+
+func TestFaultExpRecoversOrTypes(t *testing.T) {
+	r := smallRunner()
+	tab, err := r.FaultExp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := colIndex(t, tab, "result")
+	retries := colIndex(t, tab, "retries")
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "permanent heap r=1":
+			if row[res] != "typed error (permanent)" {
+				t.Errorf("%s: result = %q, want typed permanent error", row[0], row[res])
+			}
+		default:
+			if row[res] != "match oracle" {
+				t.Errorf("%s: result = %q, want oracle match", row[0], row[res])
+			}
+		}
+		if strings.HasPrefix(row[0], "transient") && row[retries] == "0" {
+			t.Errorf("%s: recovery reported zero retries", row[0])
+		}
 	}
 }

@@ -296,6 +296,7 @@ func (r *Runner) All() ([]*Table, error) {
 		r.Fig5a, r.Fig5b, r.Fig6, r.Fig7a, r.Fig7b,
 		r.Fig8, r.Fig9, r.Fig10, r.Fig11,
 		r.CompetitiveRatios, r.ModelAccuracy, r.JoinExp, r.Concurrent,
+		r.FaultExp,
 	}
 	out := make([]*Table, 0, len(fns))
 	for _, fn := range fns {
@@ -328,6 +329,7 @@ func (r *Runner) ByID(id string) (*Table, error) {
 		"model":      r.ModelAccuracy,
 		"join":       r.JoinExp,
 		"concurrent": r.Concurrent,
+		"fault":      r.FaultExp,
 	}
 	fn, ok := m[id]
 	if !ok {
@@ -338,5 +340,5 @@ func (r *Runner) ByID(id string) (*Table, error) {
 
 // IDs lists the experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model", "join", "concurrent"}
+	return []string{"fig1", "fig1-q12", "fig4", "tab2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "tab-cr", "model", "join", "concurrent", "fault"}
 }

@@ -21,7 +21,7 @@ import (
 )
 
 // headerSize is the per-page header: uint32 count, uint32 tuple size,
-// 8 reserved bytes.
+// then the page checksum in bytes [8, 16) (see disk.StampChecksum).
 const headerSize = 16
 
 // TID identifies a tuple in a heap file.
@@ -116,6 +116,7 @@ func (b *Builder) flushPage() error {
 	f := b.file
 	binary.LittleEndian.PutUint32(b.page[0:], uint32(b.n))
 	binary.LittleEndian.PutUint32(b.page[4:], uint32(f.schema.TupleSize()))
+	disk.StampChecksum(b.page)
 	if _, err := f.dev.AppendPage(f.space, b.page); err != nil {
 		return err
 	}
@@ -157,12 +158,16 @@ func (f *File) Insert(r tuple.Row) (TID, error) {
 		if err != nil {
 			return TID{}, err
 		}
+		if f.dev.Faulty() && !disk.VerifyChecksum(page) {
+			return TID{}, fmt.Errorf("%w: heap space %d page %d", disk.ErrPageCorrupt, f.space, last)
+		}
 		count := PageTupleCount(page)
 		if count < f.tuplesPerPage {
 			buf := make([]byte, len(page))
 			copy(buf, page)
 			encode(buf, count)
 			binary.LittleEndian.PutUint32(buf[0:], uint32(count+1))
+			disk.StampChecksum(buf)
 			if err := f.dev.WritePage(f.space, last, buf); err != nil {
 				return TID{}, err
 			}
@@ -174,6 +179,7 @@ func (f *File) Insert(r tuple.Row) (TID, error) {
 	encode(buf, 0)
 	binary.LittleEndian.PutUint32(buf[0:], 1)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(f.schema.TupleSize()))
+	disk.StampChecksum(buf)
 	pageNo, err := f.dev.AppendPage(f.space, buf)
 	if err != nil {
 		return TID{}, err

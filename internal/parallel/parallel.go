@@ -131,6 +131,12 @@ type Scan struct {
 	open bool
 	quit chan struct{}
 	done <-chan struct{} // opts.Ctx.Done(), nil when no context
+	// fail is closed (once) by the first worker that hits an error, so
+	// sibling workers parked on an exchange channel stop promptly
+	// instead of filling their pipes with results nobody will read —
+	// errgroup-style first-error propagation.
+	fail     chan struct{}
+	failOnce *sync.Once
 	// wg is allocated fresh per Open: the fan-in closer goroutine of a
 	// previous generation may still be inside Wait when the scan is
 	// reopened, and a WaitGroup must not see a new Add concurrently
@@ -193,15 +199,21 @@ func (s *Scan) newBatch() *tuple.Batch {
 	return tuple.NewBatchFor(s.opts.Schema, s.opts.BatchSize)
 }
 
-// Open starts every worker goroutine. Workers open their shard
-// operators concurrently; any open, scan or close error surfaces from
-// NextBatch.
+// Open opens every shard operator — concurrently, but Open does not
+// return until all have opened or one has failed. An open-time fault
+// (a dead index root, say) therefore surfaces from Open itself, where
+// the planner's degradation ladder can still rebuild the query; only
+// mid-scan and close errors surface later, from NextBatch or Close.
+// On an open failure every already-opened operator is closed again and
+// no goroutine is left behind.
 func (s *Scan) Open() error {
 	if s.open {
 		return fmt.Errorf("parallel: scan already open")
 	}
 	p := len(s.workers)
 	s.quit = make(chan struct{})
+	s.fail = make(chan struct{})
+	s.failOnce = &sync.Once{}
 	s.done = nil
 	if s.opts.Ctx != nil {
 		s.done = s.opts.Ctx.Done()
@@ -214,6 +226,36 @@ func (s *Scan) Open() error {
 	s.curPos = 0
 	s.scratch = nil
 	s.scratchPos = 0
+
+	openErrs := make([]error, p)
+	opened := make([]bool, p)
+	var owg sync.WaitGroup
+	for i := range s.workers {
+		owg.Add(1)
+		go func(i int) {
+			defer owg.Done()
+			if err := s.workers[i].Op.Open(); err != nil {
+				openErrs[i] = err
+			} else {
+				opened[i] = true
+			}
+		}(i)
+	}
+	owg.Wait()
+	for _, openErr := range openErrs {
+		if openErr == nil {
+			continue
+		}
+		for i, ok := range opened {
+			if ok {
+				_ = s.workers[i].Op.Close()
+			}
+			if s.workers[i].Flush != nil {
+				s.workers[i].Flush()
+			}
+		}
+		return openErr
+	}
 
 	if s.opts.Ordered {
 		s.streams = make([]*stream, p)
@@ -250,25 +292,28 @@ func (s *Scan) Open() error {
 	return nil
 }
 
-// runWorker drains one shard operator into out, recycling batches
-// through free. With ownsOut (ordered mode: out has a single sender)
-// the channel is closed when the worker finishes. The WaitGroup, quit
-// channel and error sink are passed explicitly so the goroutine stays
+// runWorker drains one already-opened shard operator into out,
+// recycling batches through free. With ownsOut (ordered mode: out has
+// a single sender) the channel is closed when the worker finishes. The
+// WaitGroup, quit and fail channels and error sink are passed
+// explicitly (or captured before any blocking) so the goroutine stays
 // bound to the generation of the Open that spawned it even if the scan
 // is closed and reopened.
 func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, free <-chan *tuple.Batch, out chan<- *tuple.Batch, ownsOut bool) {
 	errs := s.errs
 	done := s.done
+	fail := s.fail
+	failOnce := s.failOnce
+	report := func(err error) {
+		errs <- err
+		failOnce.Do(func() { close(fail) })
+	}
 	defer wg.Done()
 	if w.Flush != nil {
 		defer w.Flush()
 	}
 	if ownsOut {
 		defer close(out)
-	}
-	if err := w.Op.Open(); err != nil {
-		errs <- err
-		return
 	}
 	defer func() {
 		if err := w.Op.Close(); err != nil {
@@ -280,11 +325,13 @@ func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, fre
 	}()
 	for {
 		// Cancellation is checked once per batch (never per tuple): a
-		// non-blocking poll here, plus the done arms below that unblock
-		// a worker parked on an exchange channel after the consumer has
-		// abandoned the scan.
+		// non-blocking poll here, plus the done/fail arms below that
+		// unblock a worker parked on an exchange channel after the
+		// consumer has abandoned the scan or a sibling has failed.
 		select {
 		case <-done:
+			return
+		case <-fail:
 			return
 		default:
 		}
@@ -295,10 +342,12 @@ func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, fre
 			return
 		case <-done:
 			return
+		case <-fail:
+			return
 		}
 		n, err := w.Op.NextBatch(b)
 		if err != nil {
-			errs <- err
+			report(err)
 			return
 		}
 		if n == 0 {
@@ -309,6 +358,8 @@ func (s *Scan) runWorker(w Worker, wg *sync.WaitGroup, quit <-chan struct{}, fre
 		case <-quit:
 			return
 		case <-done:
+			return
+		case <-fail:
 			return
 		}
 	}

@@ -25,6 +25,13 @@ type Batch struct {
 
 // NewBatch creates a fixed-capacity batch of capacity rows of width
 // columns. The backing array is allocated once, up front.
+//
+// The panics below (and in NewGrowableBatch, AppendRows, Append and
+// Truncate) guard engine invariants, not user input: widths come from
+// schemas NewSchema already validated as non-empty, and capacities are
+// compile-time constants (exec.DefaultBatchSize) — no public API call
+// can reach them with bad values. Faults from user input or the device
+// surface as typed errors instead.
 func NewBatch(width, capacity int) *Batch {
 	if width < 1 {
 		panic("tuple: batch width < 1")

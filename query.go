@@ -462,6 +462,12 @@ type compiledQuery struct {
 	// the pre-prepared-statement engine.
 	annotate bool
 	binds    []bindPair
+
+	// degraded records the fault-recovery fallbacks applied to this
+	// plan, one human-readable note per ladder step (see
+	// degradeOnFault); empty for a plan that ran as compiled. Surfaced
+	// via ExecStats.Degraded and the Explain header.
+	degraded []string
 }
 
 // bindPair is one bound parameter captured at bind time (the caller's
@@ -1475,6 +1481,19 @@ func (db *DB) startRows(ctx context.Context, cq *compiledQuery) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	ioStart := db.dev.Stats()
+	if openErr := bq.root.Open(); openErr != nil {
+		// An open-time fault (a dead index root, a failing parallel
+		// worker) walks the degradation ladder before giving up; the
+		// I/O burned on failed attempts stays inside the query's delta.
+		if !IsFaultError(openErr) {
+			return nil, openErr
+		}
+		cq, bq, openErr = db.degradeAndReopen(ctx, cq, openErr)
+		if openErr != nil {
+			return nil, openErr
+		}
+	}
 	rows := &Rows{
 		schema:     cq.out,
 		baseSchema: cq.base,
@@ -1487,10 +1506,7 @@ func (db *DB) startRows(ctx context.Context, cq *compiledQuery) (*Rows, error) {
 		smoothAll:  bq.workers,
 		joins:      bq.joins,
 		planCached: cq.planCached,
-	}
-	rows.ioStart = db.dev.Stats()
-	if err := bq.root.Open(); err != nil {
-		return nil, err
+		ioStart:    ioStart,
 	}
 	rows.db = db
 	db.openScans.Add(1)

@@ -182,6 +182,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.Disk.PageSize == 0 {
 		opts.Disk = HDD
 	}
+	if opts.Disk.PageSize < 0 {
+		return nil, fmt.Errorf("smoothscan: negative page size %d", opts.Disk.PageSize)
+	}
 	if opts.PoolPages == 0 {
 		opts.PoolPages = 1024
 	}
@@ -516,13 +519,15 @@ type Rows struct {
 	joins      []exec.JoinStatser // batched join operators, leaf-most first
 	choice     *optimizer.Choice
 	counters   []*opCounter
-	compiled   *compiledQuery // immutable after compile; renders Plan lazily
+	compiled   *compiledQuery // replaced wholesale on fault degradation; renders Plan lazily
 	plan       *Plan          // cached Plan() result
 	ioStart    IOStats
 	ioDelta    IOStats // device delta frozen at Close
 	planCached bool    // template reused (plan cache hit or prepared Stmt)
+	delivered  bool    // at least one row handed out (blocks mid-stream degradation)
 	done       bool
 	closed     bool
+	closeErr   error // first Close error, replayed by idempotent re-Close
 }
 
 // Next advances to the next row; it returns false at the end of the
@@ -534,7 +539,7 @@ func (r *Rows) Next() bool {
 	if r.batch == nil {
 		r.batch = tuple.NewBatchFor(r.schema, exec.DefaultBatchSize)
 	}
-	if r.pos >= r.batch.Len() {
+	for r.pos >= r.batch.Len() {
 		// Cancellation is checked once per batch refill, never per
 		// tuple, to keep the hot path a bounds check.
 		if r.ctx != nil {
@@ -546,6 +551,12 @@ func (r *Rows) Next() bool {
 		}
 		n, err := exec.NextBatch(r.op, r.batch)
 		if err != nil {
+			// A fault surfacing before any row was delivered can still
+			// be degraded around (tryDegrade swaps in a fallback plan
+			// and the loop refills from it); afterwards it is final.
+			if r.tryDegrade(err) {
+				continue
+			}
 			r.err = err
 			r.done = true
 			return false
@@ -558,6 +569,7 @@ func (r *Rows) Next() bool {
 	}
 	r.cur = r.batch.Row(r.pos)
 	r.pos++
+	r.delivered = true
 	return true
 }
 
@@ -589,20 +601,25 @@ func (r *Rows) Err() error { return r.err }
 
 // Close releases the scan (stopping any parallel workers still
 // running) and freezes the query's ExecStats. Closing an
-// already-closed Rows is a no-op.
+// already-closed Rows is idempotent: the first call's error (if any)
+// is recorded and returned again by every later call, and is also
+// surfaced through Err when iteration itself saw no earlier error.
 func (r *Rows) Close() error {
 	if r.closed {
-		return nil
+		return r.closeErr
 	}
 	r.closed = true
-	err := r.op.Close()
+	r.closeErr = r.op.Close()
+	if r.err == nil && r.closeErr != nil {
+		r.err = r.closeErr
+	}
 	if r.db != nil {
 		// Workers have quiesced and flushed their deferred CPU charges
 		// by the time op.Close returns, so the delta is complete.
 		r.ioDelta = r.db.dev.Stats().Sub(r.ioStart)
 		r.db.openScans.Add(-1)
 	}
-	return err
+	return r.closeErr
 }
 
 // Plan returns the compiled plan the query executed — the same tree
