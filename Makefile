@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv chaos
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv chaos server-smoke
 
 ## check: everything CI runs — format, vet, build, tests (incl. -race),
 ## bench smoke, the facade-equivalence golden diff, the coverage floor,
-## and the chaos sweep.
-check: fmt vet build test race bench-smoke equiv cover chaos
+## the chaos sweep, and the client/server smoke.
+check: fmt vet build test race bench-smoke equiv cover chaos server-smoke
 
 ## COVER_FLOOR: minimum total statement coverage (percent) make cover accepts.
 COVER_FLOOR ?= 70.0
@@ -58,9 +58,12 @@ bench-gate:
 COVER_DIR ?= tmp
 
 ## cover: the test suite with coverage, enforcing COVER_FLOOR on the total.
+## -coverpkg counts cross-package coverage: ssclient and internal/loadgen
+## are exercised by the server and remote-equivalence suites, not by
+## same-package tests.
 cover:
 	@mkdir -p $(COVER_DIR)
-	$(GO) test -coverprofile=$(COVER_DIR)/cover.out ./...
+	$(GO) test -coverprofile=$(COVER_DIR)/cover.out -coverpkg=./... ./...
 	@total=$$($(GO) tool cover -func=$(COVER_DIR)/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
 
 ## equiv: diff the deterministic ssbench experiments against the
@@ -76,3 +79,9 @@ equiv:
 chaos:
 	$(GO) test -race -run 'TestFault' -count=1 . ./internal/disk/
 	$(GO) run ./cmd/ssload -chaos -rows 60000 -clients 4 -queries 32
+
+## server-smoke: boot ssserver and drive it with ssload -addr, both
+## race-instrumented — plain, prepared and chaos remote runs must be
+## clean (zero failed queries) with nonzero client-observed throughput.
+server-smoke:
+	./scripts/server_smoke.sh

@@ -1,9 +1,8 @@
 // Command ssload is a concurrent load driver for the smoothscan
 // engine: it bulk-loads a synthetic table, then hammers it from many
-// client goroutines sharing one DB, reporting aggregate tuples/s,
-// queries/s and p50/p99 query latency. It is the inter-query
-// counterpart of ScanOptions.Parallelism (intra-query): both can be
-// combined.
+// client goroutines, reporting aggregate tuples/s, queries/s and
+// p50/p99 query latency. It is the inter-query counterpart of
+// ScanOptions.Parallelism (intra-query): both can be combined.
 //
 // Usage:
 //
@@ -11,6 +10,19 @@
 //	ssload -clients 4 -parallelism 4 -ordered
 //	ssload -bench parallel -json BENCH_parallel.json
 //	ssload -chaos -clients 4 -queries 64
+//	ssload -addr 127.0.0.1:7744 -clients 8 -queries 64
+//
+// By default the clients share one in-process DB. With -addr the same
+// workload runs against a remote ssserver instead: every client
+// goroutine owns one ssclient connection, queries travel the wire
+// protocol, and the reported latencies are client-observed (dial,
+// frame round trips and result streaming included), directly
+// comparable to the in-process numbers from the same flags. The
+// -prepare and -chaos modes work remotely too — statements are
+// prepared per session, and chaos schedules are installed through the
+// fault-administration frame (the server must run with -fault-admin).
+// A client whose connection is lost re-dials transparently; reconnect
+// counts land in the JSON output next to the retry counters.
 //
 // The -bench parallel mode runs the fixed P=1/2/4/8 intra-query sweep
 // of BenchmarkParallelSmoothScan and writes machine-readable JSON, so
@@ -29,13 +41,15 @@
 // records the error (retrying transient faults a bounded number of
 // times first) and moves on, so one poisoned query cannot hide the
 // rest of the run. Per-client error and retry counts land in the JSON
-// output.
+// output. -require-clean turns any recorded error into a non-zero
+// exit, for smoke tests that must not average failures away.
 package main
 
 import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -47,12 +61,14 @@ import (
 	"time"
 
 	"smoothscan"
+	"smoothscan/internal/loadgen"
+	"smoothscan/ssclient"
 )
 
 func main() {
 	var (
-		rows        = flag.Int64("rows", 200_000, "table rows (10 int64 columns, like the paper's micro table)")
-		domain      = flag.Int64("domain", 100_000, "indexed-column value domain")
+		rows        = flag.Int64("rows", 200_000, "table rows (10 int64 columns, like the paper's micro table); local modes only")
+		domain      = flag.Int64("domain", 100_000, "indexed-column value domain (must match the server's with -addr)")
 		clients     = flag.Int("clients", 4, "concurrent client goroutines")
 		queries     = flag.Int("queries", 64, "total queries across all clients")
 		selectivity = flag.Float64("selectivity", 0.01, "per-query selectivity (0..1]")
@@ -61,13 +77,15 @@ func main() {
 		policy      = flag.String("policy", "elastic", "morphing policy: elastic, greedy, si")
 		path        = flag.String("path", "smooth", "access path: smooth, full, index, sort, switch")
 		seed        = flag.Int64("seed", 42, "generator seed")
-		pool        = flag.Int("pool", 2048, "buffer pool pages")
+		pool        = flag.Int("pool", 2048, "buffer pool pages; local modes only")
 		bench       = flag.String("bench", "", "run a fixed benchmark instead: 'parallel' (P=1/2/4/8 sweep)")
 		jsonOut     = flag.String("json", "", "also write results as JSON to this file")
 		timeout     = flag.Duration("timeout", 0, "deadline for the whole load; in-flight queries are cancelled through their context")
-		prepare     = flag.Bool("prepare", false, "prepared-statement mode: all clients share one Stmt and bind per query; reports plan reuse and the latency delta vs an ad-hoc control run")
+		prepare     = flag.Bool("prepare", false, "prepared-statement mode: clients bind and execute a prepared Stmt per query; reports plan reuse and the latency delta vs an ad-hoc control run")
 		adhoc       = flag.Bool("adhoc", true, "with -prepare: run the ad-hoc control load first (disable to measure only the prepared run)")
 		chaos       = flag.Bool("chaos", false, "chaos mode: run a fault-free oracle load, then re-run under injected fault schedules and verify the result digests match")
+		addr        = flag.String("addr", "", "run against a remote ssserver at this address instead of in-process (the server owns the data; use matching -domain/-seed flags on both sides)")
+		clean       = flag.Bool("require-clean", false, "exit non-zero if any query failed")
 	)
 	flag.Parse()
 
@@ -78,20 +96,38 @@ func main() {
 		defer cancel()
 	}
 
-	db, err := buildDB(*rows, *domain, *seed, *pool)
-	if err != nil {
-		fatal(err)
-	}
-
-	if *bench == "parallel" {
+	if *bench != "" {
+		if *addr != "" {
+			fatal(fmt.Errorf("-bench needs the in-process engine (drop -addr)"))
+		}
+		if *bench != "parallel" {
+			fatal(fmt.Errorf("unknown -bench %q (known: parallel)", *bench))
+		}
+		db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
+		if err != nil {
+			fatal(err)
+		}
 		if err := benchParallel(db, *rows, *domain, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if *bench != "" {
-		fatal(fmt.Errorf("unknown -bench %q (known: parallel)", *bench))
+
+	var h harness
+	if *addr != "" {
+		rh, err := newRemoteHarness(*addr)
+		if err != nil {
+			fatal(fmt.Errorf("dial %s: %w", *addr, err))
+		}
+		h = rh
+	} else {
+		db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
+		if err != nil {
+			fatal(err)
+		}
+		h = &localHarness{db: db}
 	}
+	defer h.close()
 
 	opts, err := scanOptions(*path, *policy, *ordered, *parallelism)
 	if err != nil {
@@ -107,30 +143,42 @@ func main() {
 	}
 
 	if *chaos {
-		if err := runChaos(ctx, db, cfg, *seed, *jsonOut); err != nil {
+		// Chaos is clean by construction: any unrecovered error fails it.
+		if err := runChaos(ctx, h, cfg, *seed, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *prepare {
-		if err := runPrepared(ctx, db, cfg, *adhoc, *jsonOut); err != nil {
+		report, err := runPrepared(ctx, h, cfg, *adhoc, *jsonOut)
+		if err != nil {
 			fatal(err)
+		}
+		errors := report.Prepared.Errors
+		if report.AdHoc != nil {
+			errors += report.AdHoc.Errors
+		}
+		if *clean && errors > 0 {
+			fatal(fmt.Errorf("-require-clean: %d queries failed", errors))
 		}
 		return
 	}
 
-	res, err := runLoad(ctx, db, cfg)
+	res, err := runLoad(ctx, h, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("ssload: %d clients x %d queries, sel=%.4f%%, path=%s, parallelism=%d, ordered=%v, cpus=%d\n",
-		*clients, *queries, *selectivity*100, *path, *parallelism, *ordered, runtime.NumCPU())
+	fmt.Printf("ssload: %d clients x %d queries, sel=%.4f%%, path=%s, parallelism=%d, ordered=%v, mode=%s, cpus=%d\n",
+		*clients, *queries, *selectivity*100, *path, *parallelism, *ordered, h.mode(), runtime.NumCPU())
 	res.print(os.Stdout)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fatal(err)
 		}
+	}
+	if *clean && res.Errors > 0 {
+		fatal(fmt.Errorf("-require-clean: %d queries failed", res.Errors))
 	}
 }
 
@@ -138,8 +186,9 @@ func main() {
 // optional ad-hoc control, the p50/p99 latency deltas (prepared minus
 // ad-hoc; negative = prepared faster) and the plan-cache traffic
 // attributed per run (counter deltas around each run — Stmt.Run binds
-// its own template, so the prepared delta only shows the one Prepare
-// miss).
+// its own template, so the prepared delta only shows the Prepare
+// misses: one for a local shared Stmt, one per session remotely with
+// the rest hitting the server's shared plan cache).
 type prepareReport struct {
 	AdHoc             *loadResult                `json:"adhoc,omitempty"`
 	Prepared          loadResult                 `json:"prepared"`
@@ -162,45 +211,54 @@ func cacheDelta(before, after smoothscan.PlanCacheStats) smoothscan.PlanCacheSta
 
 // runPrepared runs the -prepare comparison: an ad-hoc control load
 // (every query compiled through the builder — transparently sharing
-// templates via the DB plan cache), then the same workload through one
-// shared prepared Stmt bound per query from every client.
-func runPrepared(ctx context.Context, db *smoothscan.DB, cfg loadConfig, control bool, jsonOut string) error {
+// templates via the DB plan cache), then the same workload through
+// prepared statements bound per query — one Stmt shared by every
+// client locally, one Stmt per session remotely.
+func runPrepared(ctx context.Context, h harness, cfg loadConfig, control bool, jsonOut string) (prepareReport, error) {
 	report := prepareReport{}
 
 	if control {
-		before := db.PlanCacheStats()
-		res, err := runLoad(ctx, db, cfg)
+		before, err := h.planCache()
 		if err != nil {
-			return err
+			return report, err
+		}
+		res, err := runLoad(ctx, h, cfg)
+		if err != nil {
+			return report, err
+		}
+		after, err := h.planCache()
+		if err != nil {
+			return report, err
 		}
 		report.AdHoc = &res
-		delta := cacheDelta(before, db.PlanCacheStats())
+		delta := cacheDelta(before, after)
 		report.PlanCacheAdHoc = &delta
-		fmt.Printf("ssload -prepare: ad-hoc control (%d clients x %d queries, cpus=%d)\n",
-			cfg.clients, cfg.queries, runtime.NumCPU())
+		fmt.Printf("ssload -prepare: ad-hoc control (%d clients x %d queries, mode=%s, cpus=%d)\n",
+			cfg.clients, cfg.queries, h.mode(), runtime.NumCPU())
 		res.print(os.Stdout)
-		fmt.Printf("  plan cache %d hits / %d misses this run (%d entries)\n",
-			delta.Hits, delta.Misses, delta.Entries)
+		fmt.Printf("  plan cache %d hits / %d misses this run\n", delta.Hits, delta.Misses)
 	}
 
-	before := db.PlanCacheStats()
-	stmt, err := db.Prepare(db.Query("t").
-		Where("val", smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
-		WithOptions(cfg.opts))
+	before, err := h.planCache()
 	if err != nil {
-		return err
+		return report, err
 	}
 	pcfg := cfg
-	pcfg.stmt = stmt
-	res, err := runLoad(ctx, db, pcfg)
+	pcfg.prepared = true
+	res, err := runLoad(ctx, h, pcfg)
 	if err != nil {
-		return err
+		return report, err
+	}
+	after, err := h.planCache()
+	if err != nil {
+		return report, err
 	}
 	report.Prepared = res
-	report.PlanCachePrepared = cacheDelta(before, db.PlanCacheStats())
-	fmt.Printf("ssload -prepare: shared Stmt (%d clients x %d queries)\n", cfg.clients, cfg.queries)
+	report.PlanCachePrepared = cacheDelta(before, after)
+	fmt.Printf("ssload -prepare: prepared Stmt (%d clients x %d queries, mode=%s)\n",
+		cfg.clients, cfg.queries, h.mode())
 	res.print(os.Stdout)
-	fmt.Printf("  plan cache %d hits / %d misses this run (Stmt binds its own template; expect just the Prepare miss)\n",
+	fmt.Printf("  plan cache %d hits / %d misses this run (Stmt binds its own template; expect only the Prepare traffic)\n",
 		report.PlanCachePrepared.Hits, report.PlanCachePrepared.Misses)
 
 	if report.AdHoc != nil {
@@ -211,45 +269,16 @@ func runPrepared(ctx context.Context, db *smoothscan.DB, cfg loadConfig, control
 	}
 
 	if jsonOut != "" {
-		return writeJSON(jsonOut, report)
+		if err := writeJSON(jsonOut, report); err != nil {
+			return report, err
+		}
 	}
-	return nil
+	return report, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ssload:", err)
 	os.Exit(1)
-}
-
-// buildDB loads the micro-benchmark-shaped table: c0 dense key, c1
-// indexed uniform over the domain, c2..c9 payload.
-func buildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
-	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
-	if err != nil {
-		return nil, err
-	}
-	tb, err := db.CreateTable("t", "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	vals := make([]int64, 10)
-	for i := int64(0); i < rows; i++ {
-		vals[0] = i
-		for c := 1; c < len(vals); c++ {
-			vals[c] = rng.Int63n(domain)
-		}
-		if err := tb.Append(vals...); err != nil {
-			return nil, err
-		}
-	}
-	if err := tb.Finish(); err != nil {
-		return nil, err
-	}
-	if err := db.CreateIndex("t", "val"); err != nil {
-		return nil, err
-	}
-	return db, nil
 }
 
 func scanOptions(path, policy string, ordered bool, parallelism int) (smoothscan.ScanOptions, error) {
@@ -288,14 +317,308 @@ type loadConfig struct {
 	domain      int64
 	seed        int64
 	opts        smoothscan.ScanOptions
-	// stmt, when set, routes every query through the shared prepared
-	// statement (bound per query) instead of the ad-hoc builder.
-	stmt *smoothscan.Stmt
+	// prepared routes every query through a prepared statement (bound
+	// per query) instead of the ad-hoc builder.
+	prepared bool
 	// retryFaults is the number of application-level re-runs a client
 	// gives a query that failed with a transient injected fault, on top
 	// of the engine's own bounded page retry. Chaos mode sets it so a
 	// recoverable schedule cannot strand a query.
 	retryFaults int
+}
+
+// queryResult is one successful query execution; a failed attempt's
+// partial rows are discarded wholesale so a retried query cannot
+// double-count into the digest.
+type queryResult struct {
+	digest  uint64
+	tuples  int64
+	reused  bool
+	retries int64
+	faults  int64
+}
+
+// runner executes one client goroutine's queries against a backend;
+// it is owned by that goroutine and never shared.
+type runner interface {
+	runQuery(ctx context.Context, lo, hi int64) (queryResult, error)
+	// reconnects reports how many times the runner had to re-dial a
+	// lost connection (always 0 for the in-process backend).
+	reconnects() int
+	close()
+}
+
+// harness abstracts where the workload runs: the in-process engine or
+// a remote ssserver over the wire protocol. The load loop, the
+// latency accounting and the digest are identical either way — that
+// symmetry is what makes local and remote numbers comparable.
+type harness interface {
+	mode() string
+	// mark starts a measurement window: the local backend cold-starts
+	// the cache and zeroes device stats; the remote backend snapshots
+	// the server counters so simCost can report a delta.
+	mark() error
+	// simCost is the simulated device cost attributed to the window
+	// opened by mark.
+	simCost() (float64, error)
+	planCache() (smoothscan.PlanCacheStats, error)
+	newRunner(cfg loadConfig, client int) (runner, error)
+	// setFault installs a fault-injection schedule (nil clears it).
+	setFault(seed int64, rule *smoothscan.FaultRule) error
+	close()
+}
+
+// localHarness runs the workload against an in-process DB shared by
+// all clients.
+type localHarness struct {
+	db   *smoothscan.DB
+	stmt *smoothscan.Stmt // shared prepared Stmt, created lazily
+}
+
+func (h *localHarness) mode() string { return "local" }
+
+func (h *localHarness) mark() error {
+	if err := h.db.ColdCache(); err != nil {
+		return err
+	}
+	return h.db.ResetStats()
+}
+
+func (h *localHarness) simCost() (float64, error) { return h.db.Stats().Time(), nil }
+
+func (h *localHarness) planCache() (smoothscan.PlanCacheStats, error) {
+	return h.db.PlanCacheStats(), nil
+}
+
+func (h *localHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
+	if cfg.prepared && h.stmt == nil {
+		stmt, err := h.db.Prepare(h.db.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+			WithOptions(cfg.opts))
+		if err != nil {
+			return nil, err
+		}
+		h.stmt = stmt
+	}
+	return &localRunner{h: h, cfg: cfg}, nil
+}
+
+func (h *localHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
+	if rule == nil {
+		h.db.SetFaultPolicy(nil)
+		return nil
+	}
+	h.db.SetFaultPolicy(smoothscan.NewFaultPolicy(seed, *rule))
+	return nil
+}
+
+func (h *localHarness) close() {}
+
+type localRunner struct {
+	h   *localHarness
+	cfg loadConfig
+}
+
+func (r *localRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
+	var qr queryResult
+	var rows *smoothscan.Rows
+	var err error
+	if r.cfg.prepared {
+		rows, err = r.h.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
+	} else {
+		rows, err = r.h.db.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
+			WithOptions(r.cfg.opts).
+			Run(ctx)
+	}
+	if err != nil {
+		return qr, err
+	}
+	for rows.Next() {
+		qr.tuples++
+		qr.digest += rowHash(rows.Row())
+	}
+	err = rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
+	st := rows.ExecStats()
+	qr.reused = st.PlanCacheHit
+	qr.retries = st.Retries
+	qr.faults = st.FaultsSeen
+	return qr, err
+}
+
+func (r *localRunner) reconnects() int { return 0 }
+func (r *localRunner) close()          {}
+
+// remoteHarness runs the workload against an ssserver: one control
+// connection for stats and fault administration, plus one connection
+// per client goroutine (an ssclient.Client is single-goroutine by
+// contract).
+type remoteHarness struct {
+	addr string
+	ctl  *ssclient.Client
+	base ssclient.ServerStats
+	// noCold is set once the server refuses cache administration;
+	// later windows measure warm instead of failing the run.
+	noCold bool
+}
+
+func newRemoteHarness(addr string) (*remoteHarness, error) {
+	ctl, err := ssclient.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteHarness{addr: addr, ctl: ctl}, nil
+}
+
+func (h *remoteHarness) mode() string { return "remote" }
+
+func (h *remoteHarness) mark() error {
+	if !h.noCold {
+		// Match the local harness's cold-start semantics when the
+		// server allows it (ssserver -fault-admin); a refusal just
+		// means this window measures a warm pool.
+		if err := h.ctl.ColdCache(); err != nil {
+			var re *ssclient.RemoteError
+			if !errors.As(err, &re) {
+				return err
+			}
+			h.noCold = true
+		}
+	}
+	st, err := h.ctl.ServerStats()
+	if err != nil {
+		return err
+	}
+	h.base = st
+	return nil
+}
+
+func (h *remoteHarness) simCost() (float64, error) {
+	st, err := h.ctl.ServerStats()
+	if err != nil {
+		return 0, err
+	}
+	return st.DeviceSimCost - h.base.DeviceSimCost, nil
+}
+
+func (h *remoteHarness) planCache() (smoothscan.PlanCacheStats, error) {
+	st, err := h.ctl.ServerStats()
+	if err != nil {
+		return smoothscan.PlanCacheStats{}, err
+	}
+	// The wire stats carry the hit/miss counters; sizing fields stay
+	// zero, and cacheDelta only reports differences anyway.
+	return smoothscan.PlanCacheStats{
+		Hits:   uint64(st.PlanCacheHits),
+		Misses: uint64(st.PlanCacheMisses),
+	}, nil
+}
+
+func (h *remoteHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
+	r := &remoteRunner{h: h, cfg: cfg}
+	if err := r.connect(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (h *remoteHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
+	if rule == nil {
+		return h.ctl.ClearFaultPolicy()
+	}
+	err := h.ctl.SetFaultPolicy(seed, ssclient.FaultRule{
+		Kind:      rule.Kind,
+		Rate:      rule.Rate,
+		ExtraCost: rule.ExtraCost,
+	})
+	if err != nil {
+		return fmt.Errorf("%w (remote fault schedules need ssserver -fault-admin)", err)
+	}
+	return nil
+}
+
+func (h *remoteHarness) close() { h.ctl.Close() }
+
+type remoteRunner struct {
+	h     *remoteHarness
+	cfg   loadConfig
+	c     *ssclient.Client
+	stmt  *ssclient.Stmt
+	recon int
+}
+
+// connect dials a fresh session and, in prepared mode, prepares this
+// session's statement (handles are per session, so each client owns
+// one; the compiled template is still shared through the server's
+// plan cache).
+func (r *remoteRunner) connect() error {
+	c, err := ssclient.Dial(r.h.addr)
+	if err != nil {
+		return err
+	}
+	if r.cfg.prepared {
+		stmt, err := c.Prepare(c.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, ssclient.Between(ssclient.Param("lo"), ssclient.Param("hi"))).
+			WithOptions(r.cfg.opts))
+		if err != nil {
+			c.Close()
+			return err
+		}
+		r.stmt = stmt
+	}
+	r.c = c
+	return nil
+}
+
+func (r *remoteRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
+	var qr queryResult
+	if r.c.Broken() {
+		// Transparent re-dial on a lost connection; the count lands in
+		// the per-client JSON so flapping is visible, not averaged away.
+		if err := r.connect(); err != nil {
+			return qr, err
+		}
+		r.recon++
+	}
+	var rows *ssclient.Rows
+	var err error
+	if r.cfg.prepared {
+		rows, err = r.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
+	} else {
+		rows, err = r.c.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, ssclient.Between(lo, hi)).
+			WithOptions(r.cfg.opts).
+			Run(ctx)
+	}
+	if err != nil {
+		return qr, err
+	}
+	for rows.Next() {
+		qr.tuples++
+		qr.digest += rowHash(rows.Row())
+	}
+	err = rows.Err()
+	rows.Close()
+	if s, ok := rows.Summary(); ok {
+		qr.reused = s.PlanCacheHit
+		qr.retries = s.Retries
+		qr.faults = s.FaultsSeen
+	}
+	return qr, err
+}
+
+func (r *remoteRunner) reconnects() int { return r.recon }
+
+func (r *remoteRunner) close() {
+	if r.stmt != nil {
+		r.stmt.Close()
+	}
+	if r.c != nil {
+		r.c.Close()
+	}
 }
 
 // clientStat is one client goroutine's tally, reported in the JSON
@@ -306,15 +629,18 @@ type clientStat struct {
 	Errors  int `json:"errors"`
 	// QueryRetries counts application-level query re-runs (see
 	// loadConfig.retryFaults); Retries counts the engine's page-level
-	// read retries inside this client's queries.
+	// read retries inside this client's queries; Reconnects counts
+	// re-dials of a lost remote connection.
 	QueryRetries int    `json:"query_retries"`
 	Retries      int64  `json:"retries"`
 	FaultsSeen   int64  `json:"faults_seen"`
+	Reconnects   int    `json:"reconnects,omitempty"`
 	FirstError   string `json:"first_error,omitempty"`
 }
 
 // loadResult aggregates a load run; field names feed the JSON output.
 type loadResult struct {
+	Mode        string  `json:"mode"`
 	Clients     int     `json:"clients"`
 	Queries     int     `json:"queries"`
 	Parallelism int     `json:"parallelism"`
@@ -329,21 +655,24 @@ type loadResult struct {
 	SimCost     float64 `json:"simcost"`
 	// PlanReuseRate is the fraction of queries that reused a compiled
 	// plan template (ExecStats.PlanCacheHit): the DB plan cache for
-	// ad-hoc loads, the shared Stmt's template for prepared loads.
+	// ad-hoc loads, the Stmt's template for prepared loads.
 	PlanReuseRate float64 `json:"plan_reuse_rate"`
 	// Errors counts queries that still failed after any application
 	// retries; failed queries are excluded from Queries, the latency
 	// percentiles, Tuples and Digest.
 	Errors int `json:"errors"`
-	// QueryRetries / Retries / FaultsSeen aggregate the per-client
-	// fault counters (see clientStat).
+	// QueryRetries / Retries / FaultsSeen / Reconnects aggregate the
+	// per-client fault counters (see clientStat).
 	QueryRetries int   `json:"query_retries"`
 	Retries      int64 `json:"retries"`
 	FaultsSeen   int64 `json:"faults_seen"`
+	Reconnects   int   `json:"reconnects"`
 	// Digest is an order-independent checksum of every result row of
 	// every successful query (sum of per-row FNV-1a hashes), stable
 	// across client scheduling and parallel-worker interleavings. Two
-	// runs of the same workload over the same data must agree on it.
+	// runs of the same workload over the same data must agree on it —
+	// including one local and one remote run, since results cross the
+	// wire bit-exact.
 	Digest uint64 `json:"digest"`
 	// PerClient breaks the run down by client goroutine.
 	PerClient []clientStat `json:"per_client,omitempty"`
@@ -363,6 +692,9 @@ func (r loadResult) print(w *os.File) {
 		fmt.Fprintf(w, "  faults     %d seen, %d page retries, %d query re-runs\n",
 			r.FaultsSeen, r.Retries, r.QueryRetries)
 	}
+	if r.Reconnects > 0 {
+		fmt.Fprintf(w, "  reconnects %d lost connections re-dialed\n", r.Reconnects)
+	}
 }
 
 // rowHash hashes one result row; per-query and per-run digests are
@@ -377,19 +709,17 @@ func rowHash(vals []int64) uint64 {
 	return h.Sum64()
 }
 
-// runLoad fires cfg.queries queries across cfg.clients goroutines
-// sharing db and aggregates wall-clock throughput and latency. Every
-// query goes through the composable Query builder — the same surface
-// the library's users compose — with ctx cancelling in-flight queries
-// (and their parallel scan workers) when the -timeout deadline hits.
-func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult, error) {
+// runLoad fires cfg.queries queries across cfg.clients goroutines and
+// aggregates wall-clock throughput and latency. Every query goes
+// through the composable Query builder — the same surface the
+// library's users compose, local or remote — with ctx cancelling
+// in-flight queries (and their parallel scan workers, on either side
+// of the wire) when the -timeout deadline hits.
+func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error) {
 	if cfg.clients < 1 || cfg.queries < 1 {
 		return loadResult{}, fmt.Errorf("need at least one client and one query")
 	}
-	if err := db.ColdCache(); err != nil {
-		return loadResult{}, err
-	}
-	if err := db.ResetStats(); err != nil {
+	if err := h.mark(); err != nil {
 		return loadResult{}, err
 	}
 	width := int64(float64(cfg.domain) * cfg.selectivity)
@@ -397,45 +727,25 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		width = 1
 	}
 
-	// queryResult is one successful query execution; a failed attempt's
-	// partial rows are discarded wholesale so a retried query cannot
-	// double-count into the digest.
-	type queryResult struct {
-		digest  uint64
-		tuples  int64
-		reused  bool
-		retries int64
-		faults  int64
-	}
-	runQuery := func(lo int64) (queryResult, error) {
-		var qr queryResult
-		var rows *smoothscan.Rows
-		var err error
-		if cfg.stmt != nil {
-			rows, err = cfg.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": lo + width})
-		} else {
-			rows, err = db.Query("t").
-				Where("val", smoothscan.Between(lo, lo+width)).
-				WithOptions(cfg.opts).
-				Run(ctx)
-		}
+	// Runners are created up front so a backend that cannot serve the
+	// run at all (bad prepare, unreachable server) fails it cleanly
+	// instead of being tallied as per-query errors.
+	runners := make([]runner, cfg.clients)
+	for c := range runners {
+		r, err := h.newRunner(cfg, c)
 		if err != nil {
-			return qr, err
+			for _, prev := range runners[:c] {
+				prev.close()
+			}
+			return loadResult{}, fmt.Errorf("client %d: %w", c, err)
 		}
-		for rows.Next() {
-			qr.tuples++
-			qr.digest += rowHash(rows.Row())
-		}
-		err = rows.Err()
-		if cerr := rows.Close(); err == nil {
-			err = cerr
-		}
-		st := rows.ExecStats()
-		qr.reused = st.PlanCacheHit
-		qr.retries = st.Retries
-		qr.faults = st.FaultsSeen
-		return qr, err
+		runners[c] = r
 	}
+	defer func() {
+		for _, r := range runners {
+			r.close()
+		}
+	}()
 
 	var (
 		wg        sync.WaitGroup
@@ -449,7 +759,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(c int, run runner) {
 			defer wg.Done()
 			// Distribute exactly cfg.queries across the clients.
 			n := cfg.queries / cfg.clients
@@ -471,7 +781,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 				var err error
 				for attempt := 0; ; attempt++ {
 					var once queryResult
-					once, err = runQuery(lo)
+					once, err = run.runQuery(ctx, lo, lo+width)
 					qr.retries += once.retries
 					qr.faults += once.faults
 					if err == nil {
@@ -507,6 +817,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 				localDigest += qr.digest
 				localLat = append(localLat, time.Since(qStart))
 			}
+			stat.Reconnects = run.reconnects()
 			mu.Lock()
 			latencies = append(latencies, localLat...)
 			tuples += localTuples
@@ -514,11 +825,15 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 			digest += localDigest
 			perClient = append(perClient, stat)
 			mu.Unlock()
-		}(c)
+		}(c, runners[c])
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	if err := ctx.Err(); err != nil {
+		return loadResult{}, err
+	}
+	simCost, err := h.simCost()
+	if err != nil {
 		return loadResult{}, err
 	}
 
@@ -536,6 +851,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		reuseRate = float64(reused) / float64(len(latencies))
 	}
 	res := loadResult{
+		Mode:          h.mode(),
 		Clients:       cfg.clients,
 		Queries:       len(latencies),
 		Parallelism:   cfg.opts.Parallelism,
@@ -547,7 +863,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		P50MS:         pct(0.50),
 		P99MS:         pct(0.99),
 		MaxMS:         pct(1.0),
-		SimCost:       db.Stats().Time(),
+		SimCost:       simCost,
 		PlanReuseRate: reuseRate,
 		Digest:        digest,
 		PerClient:     perClient,
@@ -557,6 +873,7 @@ func runLoad(ctx context.Context, db *smoothscan.DB, cfg loadConfig) (loadResult
 		res.QueryRetries += st.QueryRetries
 		res.Retries += st.Retries
 		res.FaultsSeen += st.FaultsSeen
+		res.Reconnects += st.Reconnects
 	}
 	return res, nil
 }
@@ -588,17 +905,20 @@ const chaosQueryRetries = 8
 // sweep. Fault decisions are seed-deterministic per (space, page,
 // attempt); which attempt a page is at when concurrent clients race
 // through the shared pool is scheduling-dependent, which is exactly
-// the point — recovery must hold under any interleaving.
-func runChaos(ctx context.Context, db *smoothscan.DB, cfg loadConfig, seed int64, jsonOut string) error {
-	oracle, err := runLoad(ctx, db, cfg)
+// the point — recovery must hold under any interleaving. Remotely the
+// same holds with the wire in the loop: schedules are installed via
+// fault administration, typed fault errors drive the same client-side
+// retries, and the digest must still match the remote oracle.
+func runChaos(ctx context.Context, h harness, cfg loadConfig, seed int64, jsonOut string) error {
+	oracle, err := runLoad(ctx, h, cfg)
 	if err != nil {
 		return err
 	}
 	if oracle.Errors > 0 {
 		return fmt.Errorf("chaos: fault-free oracle run had %d errors", oracle.Errors)
 	}
-	fmt.Printf("ssload -chaos: fault-free oracle (%d clients x %d queries, digest %016x)\n",
-		cfg.clients, cfg.queries, oracle.Digest)
+	fmt.Printf("ssload -chaos: fault-free oracle (%d clients x %d queries, mode=%s, digest %016x)\n",
+		cfg.clients, cfg.queries, h.mode(), oracle.Digest)
 	oracle.print(os.Stdout)
 
 	schedules := []struct {
@@ -615,9 +935,13 @@ func runChaos(ctx context.Context, db *smoothscan.DB, cfg loadConfig, seed int64
 	report := chaosReport{Oracle: oracle}
 	failed := 0
 	for _, sc := range schedules {
-		db.SetFaultPolicy(smoothscan.NewFaultPolicy(seed, sc.rule))
-		res, err := runLoad(ctx, db, ccfg)
-		db.SetFaultPolicy(nil)
+		if err := h.setFault(seed, &sc.rule); err != nil {
+			return fmt.Errorf("chaos: installing schedule %q: %w", sc.name, err)
+		}
+		res, err := runLoad(ctx, h, ccfg)
+		if cerr := h.setFault(0, nil); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("chaos: schedule %q: %w", sc.name, err)
 		}

@@ -1,0 +1,49 @@
+// Package loadgen builds the synthetic micro-benchmark table the load
+// tooling shares. ssload (local mode) and ssserver generate the same
+// data from the same flags, so a digest computed over the wire is
+// comparable to one computed in-process — the remote-equivalence
+// property the harness checks rides on this single generator.
+package loadgen
+
+import (
+	"math/rand"
+
+	"smoothscan"
+)
+
+// Table is the generated table's name.
+const Table = "t"
+
+// IndexedCol is the indexed query column.
+const IndexedCol = "val"
+
+// BuildDB loads the micro-benchmark-shaped table: id dense key, val
+// indexed uniform over the domain, p1..p8 payload.
+func BuildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
+	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := db.CreateTable(Table, "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, 10)
+	for i := int64(0); i < rows; i++ {
+		vals[0] = i
+		for c := 1; c < len(vals); c++ {
+			vals[c] = rng.Int63n(domain)
+		}
+		if err := tb.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex(Table, IndexedCol); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,436 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"smoothscan"
+	"smoothscan/internal/loadgen"
+	"smoothscan/internal/server"
+	"smoothscan/ssclient"
+)
+
+// startServer boots a server over a small loadgen table on an
+// ephemeral port and tears it down with the test.
+func startServer(t *testing.T, cfg server.Config) (addr string, db *smoothscan.DB) {
+	t.Helper()
+	db, err := loadgen.BuildDB(4000, 2000, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String(), db
+}
+
+func dial(t *testing.T, addr string) *ssclient.Client {
+	t.Helper()
+	c, err := ssclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// rangeQuery composes the standard probe query.
+func rangeQuery(c *ssclient.Client, lo, hi any) *ssclient.Query {
+	return c.Query(loadgen.Table).Where(loadgen.IndexedCol, ssclient.Between(lo, hi))
+}
+
+func drain(t *testing.T, rows *ssclient.Rows) int64 {
+	t.Helper()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return n
+}
+
+// TestStmtTableEviction prepares past the per-session limit and
+// checks the least recently executed statement is the one evicted,
+// failing its Execute with the typed ErrStmtEvicted (not a generic
+// not-found).
+func TestStmtTableEviction(t *testing.T) {
+	addr, _ := startServer(t, server.Config{MaxStmtsPerSession: 2})
+	c := dial(t, addr)
+
+	prep := func() *ssclient.Stmt {
+		s, err := c.Prepare(rangeQuery(c, ssclient.Param("lo"), ssclient.Param("hi")).Limit(ssclient.Param("n")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := prep(), prep()
+	// Touch s1 so s2 is the least recently executed when s3 arrives.
+	rows, err := s1.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 50, "n": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rows)
+	s3 := prep()
+
+	if _, err := s2.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 50, "n": 5}); !errors.Is(err, ssclient.ErrStmtEvicted) {
+		t.Fatalf("evicted stmt Run: %v, want ErrStmtEvicted", err)
+	}
+	// Survivors keep working.
+	for _, s := range []*ssclient.Stmt{s1, s3} {
+		rows, err := s.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 50, "n": 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, rows)
+	}
+}
+
+// TestStmtDoubleClose closes a statement twice (both nil) and checks
+// a closed handle's Execute is a typed not-found, while an unknown
+// handle is never confused with an evicted one.
+func TestStmtDoubleClose(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	s, err := c.Prepare(rangeQuery(c, ssclient.Param("lo"), ssclient.Param("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 10}); err == nil {
+		t.Fatal("Run on a closed Stmt succeeded")
+	}
+}
+
+// TestIdleTimeout lets a session go silent past the server's idle
+// deadline and checks the server-initiated close surfaces as the
+// typed ErrSessionClosed on the client's next request.
+func TestIdleTimeout(t *testing.T) {
+	addr, _ := startServer(t, server.Config{IdleTimeout: 150 * time.Millisecond})
+	c := dial(t, addr)
+
+	// An active session stays alive across requests.
+	rows, err := rangeQuery(c, 0, 100).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rows)
+
+	time.Sleep(400 * time.Millisecond)
+	_, err = rangeQuery(c, 0, 100).Run(context.Background())
+	if err == nil {
+		t.Fatal("request after idle close succeeded")
+	}
+	if !errors.Is(err, ssclient.ErrSessionClosed) && !errors.Is(err, ssclient.ErrConnLost) {
+		t.Fatalf("request after idle close: %v, want ErrSessionClosed or ErrConnLost", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after server-initiated close")
+	}
+}
+
+// TestCancelMidStream opens a large parallel query, abandons it
+// mid-stream, and checks (a) the connection resynchronises for the
+// next query and (b) no server goroutines leak — the client Cancel
+// must reach the in-flight query's context so parallel scan workers
+// exit rather than block on a consumer that will never come.
+func TestCancelMidStream(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	c.SetFetchRows(64) // small windows: plenty of stream left to cancel into
+
+	base := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		rows, err := rangeQuery(c, 0, 2000).
+			WithOptions(smoothscan.ScanOptions{Parallelism: 4}).
+			Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("iteration %d: no rows before cancel: %v", i, rows.Err())
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("iteration %d: mid-stream Close: %v", i, err)
+		}
+		// The same connection serves the next query after the cancel.
+		full, err := rangeQuery(c, 0, 50).Run(context.Background())
+		if err != nil {
+			t.Fatalf("iteration %d: query after cancel: %v", i, err)
+		}
+		drain(t, full)
+	}
+	// Parallel workers and session goroutines must wind down; poll
+	// because exits are asynchronous to the client-visible protocol.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d before", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAdmissionControl saturates MaxInFlight and checks the excess
+// query is rejected with the typed ErrOverloaded after the bounded
+// queue deadline — a shed, not a hang — while the in-flight query is
+// left to complete normally.
+func TestAdmissionControl(t *testing.T) {
+	addr, _ := startServer(t, server.Config{
+		MaxInFlight:   1,
+		QueueDeadline: 100 * time.Millisecond,
+	})
+	holder := dial(t, addr)
+	waiter := dial(t, addr)
+
+	// The holder's open cursor occupies the only admission slot. Small
+	// fetch windows keep it open: with the default window the whole
+	// result would stream in one Fetch and the slot free immediately.
+	holder.SetFetchRows(64)
+	rows, err := rangeQuery(holder, 0, 2000).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("holder got no rows: %v", rows.Err())
+	}
+
+	start := time.Now()
+	_, err = rangeQuery(waiter, 0, 50).Run(context.Background())
+	waited := time.Since(start)
+	if !errors.Is(err, ssclient.ErrOverloaded) {
+		t.Fatalf("overloaded Execute: %v, want ErrOverloaded", err)
+	}
+	if waited > 3*time.Second {
+		t.Fatalf("reject took %v; admission control must shed, not hang", waited)
+	}
+
+	// The in-flight query is unaffected by the shed, and finishing it
+	// frees the slot for the waiter.
+	n := drain(t, rows)
+	if n == 0 {
+		t.Fatal("holder stream came back empty")
+	}
+	rows2, err := rangeQuery(waiter, 0, 50).Run(context.Background())
+	if err != nil {
+		t.Fatalf("query after slot freed: %v", err)
+	}
+	drain(t, rows2)
+}
+
+// TestConnLimit fills the connection budget and checks the next Dial
+// fails typed with ErrOverloaded instead of hanging in a handshake.
+func TestConnLimit(t *testing.T) {
+	addr, _ := startServer(t, server.Config{MaxConns: 2})
+	dial(t, addr)
+	dial(t, addr)
+	_, err := ssclient.Dial(addr)
+	if !errors.Is(err, ssclient.ErrOverloaded) {
+		t.Fatalf("Dial past MaxConns: %v, want ErrOverloaded", err)
+	}
+}
+
+// TestCloseAfterServerShutdown checks the documented contract that
+// Rows.Close and Stmt.Close are safe after the server is gone.
+func TestCloseAfterServerShutdown(t *testing.T) {
+	db, err := loadgen.BuildDB(2000, 1000, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ssclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stmt, err := c.Prepare(rangeQuery(c, ssclient.Param("lo"), ssclient.Param("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows before shutdown: %v", rows.Err())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream dies with the server; closing the carcasses is nil.
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Rows.Close after shutdown: %v", err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatalf("Stmt.Close after shutdown: %v", err)
+	}
+	if _, err := stmt.Run(context.Background(), smoothscan.Bind{"lo": 0, "hi": 1}); err == nil {
+		t.Fatal("Run against a closed server succeeded")
+	}
+}
+
+// TestServerStats sanity-checks the counter snapshot a load driver
+// reads for its remote measurements.
+func TestServerStats(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	for i := int64(0); i < 3; i++ {
+		rows, err := rangeQuery(c, i*10, i*10+50).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, rows)
+	}
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesServed != 3 {
+		t.Fatalf("QueriesServed = %d, want 3", st.QueriesServed)
+	}
+	if st.SessionsOpen != 1 || st.SessionsTotal != 1 {
+		t.Fatalf("sessions open/total = %d/%d, want 1/1", st.SessionsOpen, st.SessionsTotal)
+	}
+	if st.DeviceSimCost <= 0 {
+		t.Fatalf("DeviceSimCost = %v, want > 0", st.DeviceSimCost)
+	}
+}
+
+// TestFaultAdminGate checks fault and cache administration are
+// refused without the server-side opt-in, and work with it.
+func TestFaultAdminGate(t *testing.T) {
+	locked, _ := startServer(t, server.Config{})
+	c := dial(t, locked)
+	if err := c.SetFaultPolicy(1, ssclient.FaultRule{Kind: smoothscan.FaultTransient, Rate: 0.5}); err == nil {
+		t.Fatal("SetFaultPolicy without -fault-admin succeeded")
+	}
+	if err := c.ColdCache(); err == nil {
+		t.Fatal("ColdCache without -fault-admin succeeded")
+	}
+
+	open, _ := startServer(t, server.Config{FaultAdmin: true})
+	ca := dial(t, open)
+	if err := ca.SetFaultPolicy(1, ssclient.FaultRule{Kind: smoothscan.FaultTransient, Rate: 0.2}); err != nil {
+		t.Fatalf("SetFaultPolicy: %v", err)
+	}
+	if err := ca.ColdCache(); err != nil {
+		t.Fatalf("ColdCache: %v", err)
+	}
+	if err := ca.ClearFaultPolicy(); err != nil {
+		t.Fatalf("ClearFaultPolicy: %v", err)
+	}
+	// Out-of-range rules are rejected before touching the device.
+	if err := ca.SetFaultPolicy(1, ssclient.FaultRule{Kind: smoothscan.FaultKind(99), Rate: 0.5}); err == nil {
+		t.Fatal("out-of-range fault kind accepted")
+	}
+	if err := ca.SetFaultPolicy(1, ssclient.FaultRule{Kind: smoothscan.FaultTransient, Rate: 1.5}); err == nil {
+		t.Fatal("out-of-range fault rate accepted")
+	}
+}
+
+// TestBadRequests drives protocol misuse paths and checks each gets a
+// typed reject while the session stays usable.
+func TestBadRequests(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+
+	// Unknown table: a not-found reject, not a dropped connection.
+	if _, err := c.Query("nope").Run(context.Background()); err == nil {
+		t.Fatal("query on unknown table succeeded")
+	}
+	var re *ssclient.RemoteError
+	_, err := c.Query("nope").Run(context.Background())
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown table error is %T, want RemoteError", err)
+	}
+
+	// Unknown column, bad parameter binding.
+	if _, err := rangeQuery(c, 0, 10).Select("ghost").Run(context.Background()); err == nil {
+		t.Fatal("select of unknown column succeeded")
+	}
+	s, err := c.Prepare(rangeQuery(c, ssclient.Param("lo"), ssclient.Param("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), smoothscan.Bind{"lo": 1}); err == nil {
+		t.Fatal("run with unbound parameter succeeded")
+	}
+
+	// The session survived all of it.
+	rows, err := rangeQuery(c, 0, 100).Run(context.Background())
+	if err != nil {
+		t.Fatalf("session unusable after rejects: %v", err)
+	}
+	drain(t, rows)
+	if c.Broken() {
+		t.Fatal("client marked broken by recoverable rejects")
+	}
+}
+
+// TestQueueDeadlineIsBounded pins down the "reject, don't hang"
+// property under a pile-up bigger than one waiter.
+func TestQueueDeadlineIsBounded(t *testing.T) {
+	addr, _ := startServer(t, server.Config{
+		MaxInFlight:   1,
+		QueueDeadline: 50 * time.Millisecond,
+	})
+	holder := dial(t, addr)
+	holder.SetFetchRows(64) // keep the cursor (and its slot) open
+	rows, err := rangeQuery(holder, 0, 2000).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("holder got no rows")
+	}
+	defer rows.Close()
+
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			c, err := ssclient.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			_, err = rangeQuery(c, 0, 10).Run(context.Background())
+			errs <- err
+		}(i)
+	}
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ssclient.ErrOverloaded) {
+				t.Fatalf("waiter %d: %v, want ErrOverloaded", i, err)
+			}
+		case <-timeout:
+			t.Fatal("waiters hung instead of being shed")
+		}
+	}
+}

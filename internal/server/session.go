@@ -1,0 +1,475 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smoothscan"
+	"smoothscan/internal/wire"
+)
+
+// batchRows caps one Batch frame; a Fetch window larger than this is
+// served as several frames so no single frame outgrows the decoder's
+// comfort zone.
+const batchRows = 1024
+
+// evictedCap bounds the evicted-ID memory a session keeps for
+// distinguishing "evicted" from "never existed". Past it the set
+// resets: ancient evicted handles then report not-found, which is the
+// acceptable end of the precision.
+const evictedCap = 65536
+
+// frame is one decoded wire frame in flight from the reader goroutine
+// to the session loop.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// stmtEntry is one slot of the session's statement table; seq is the
+// LRU clock (bumped on Prepare and Execute).
+type stmtEntry struct {
+	stmt *smoothscan.Stmt
+	seq  uint64
+}
+
+// cursor is the session's one open result stream.
+type cursor struct {
+	rows    *smoothscan.Rows
+	cancel  context.CancelFunc
+	release func()
+	width   int
+	flat    []int64 // reused batch buffer, batchRows*width
+}
+
+// session serves one connection. Two goroutines cooperate: the reader
+// decodes frames off the wire — handling Cancel immediately, so an
+// in-flight query's context is cancelled even while the session loop
+// is busy streaming its result — and the session loop owns all other
+// state and every write.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	bw   *bufio.Writer
+
+	inbox chan frame
+	ctx   context.Context // server lifetime; sessions die with it
+
+	// curMu guards curCancel, the only state the reader goroutine
+	// touches besides the inbox.
+	curMu     sync.Mutex
+	curCancel context.CancelFunc
+
+	stmts   map[uint32]*stmtEntry
+	evicted map[uint32]struct{}
+	nextID  uint32
+	seq     uint64
+
+	cur *cursor
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:     s,
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		inbox:   make(chan frame, 4),
+		ctx:     s.ctx,
+		stmts:   make(map[uint32]*stmtEntry),
+		evicted: make(map[uint32]struct{}),
+	}
+}
+
+// readLoop decodes frames until the connection dies, forwarding them
+// to the session loop. Cancel frames additionally fire the in-flight
+// query's context right here, before the forward, so parallel scan
+// workers start exiting while the session loop is still mid-stream.
+func (ss *session) readLoop() {
+	defer close(ss.inbox)
+	for {
+		typ, payload, err := wire.ReadFrame(ss.conn)
+		if err != nil {
+			return
+		}
+		if typ == wire.MsgCancel {
+			ss.curMu.Lock()
+			if ss.curCancel != nil {
+				ss.curCancel()
+			}
+			ss.curMu.Unlock()
+		}
+		select {
+		case ss.inbox <- frame{typ: typ, payload: payload}:
+		case <-ss.ctx.Done():
+			return
+		}
+	}
+}
+
+// setCancel publishes (or clears) the in-flight query's cancel func
+// for the reader goroutine.
+func (ss *session) setCancel(fn context.CancelFunc) {
+	ss.curMu.Lock()
+	ss.curCancel = fn
+	ss.curMu.Unlock()
+}
+
+// send writes one frame and flushes it; a false return means the
+// connection is dead and the session must exit.
+func (ss *session) send(typ byte, payload []byte) bool {
+	if err := wire.WriteFrame(ss.bw, typ, payload); err != nil {
+		return false
+	}
+	return ss.bw.Flush() == nil
+}
+
+// sendErr sends a typed Error frame.
+func (ss *session) sendErr(class byte, format string, args ...any) bool {
+	m := wire.ErrorMsg{Class: class, Msg: fmt.Sprintf(format, args...)}
+	return ss.send(wire.MsgError, m.Marshal())
+}
+
+// fail classifies err into an Error frame.
+func (ss *session) fail(err error) bool {
+	return ss.sendErr(classify(err), "%s", err.Error())
+}
+
+// nextFrame waits for the next request, the idle timeout, or server
+// shutdown.
+func (ss *session) nextFrame() (frame, bool) {
+	var idleC <-chan time.Time
+	if d := ss.srv.cfg.IdleTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		idleC = t.C
+	}
+	select {
+	case fr, ok := <-ss.inbox:
+		return fr, ok
+	case <-idleC:
+		ss.srv.ctr.idleCloses.Add(1)
+		ss.sendErr(wire.ClassIdle, "session closed: idle for %s", ss.srv.cfg.IdleTimeout)
+		return frame{}, false
+	case <-ss.ctx.Done():
+		ss.sendErr(wire.ClassIdle, "session closed: server shutting down")
+		return frame{}, false
+	}
+}
+
+func (ss *session) run() {
+	go ss.readLoop()
+	defer func() {
+		ss.closeCursor()
+		ss.conn.Close()
+		// Unblock the reader if it is parked on the inbox send.
+		for range ss.inbox {
+		}
+	}()
+
+	// Handshake: the first frame must be a version-matched Hello.
+	fr, ok := ss.nextFrame()
+	if !ok {
+		return
+	}
+	hello, err := wire.DecodeHello(fr.payload)
+	if fr.typ != wire.MsgHello || err != nil || hello.Magic != wire.Magic {
+		ss.sendErr(wire.ClassBadRequest, "expected Hello")
+		return
+	}
+	if hello.Version != wire.Version {
+		ss.sendErr(wire.ClassBadRequest, "protocol version %d not supported (server speaks %d)",
+			hello.Version, wire.Version)
+		return
+	}
+	if !ss.send(wire.MsgHelloOK, wire.HelloOK{Version: wire.Version}.Marshal()) {
+		return
+	}
+
+	for {
+		fr, ok := ss.nextFrame()
+		if !ok {
+			return
+		}
+		if !ss.handle(fr) {
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame; a false return ends the session.
+func (ss *session) handle(fr frame) bool {
+	switch fr.typ {
+	case wire.MsgPrepare:
+		m, err := wire.DecodePrepare(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.handlePrepare(&m.Spec)
+	case wire.MsgExecute:
+		m, err := wire.DecodeExecute(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.handleExecute(m)
+	case wire.MsgQuery:
+		m, err := wire.DecodeQuery(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.handleQuery(&m.Spec)
+	case wire.MsgFetch:
+		m, err := wire.DecodeFetch(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.handleFetch(int(m.MaxRows))
+	case wire.MsgCloseStmt:
+		m, err := wire.DecodeCloseStmt(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		if _, present := ss.stmts[m.StmtID]; present {
+			delete(ss.stmts, m.StmtID)
+			ss.srv.ctr.stmtsClosed.Add(1)
+		}
+		// Closing an unknown, evicted or already-closed handle is a
+		// no-op by contract: the client may be racing an eviction.
+		return ss.send(wire.MsgOK, nil)
+	case wire.MsgCancel:
+		// The reader already fired the context; here the cursor (if
+		// any) is torn down and the cancel acknowledged, giving the
+		// client a deterministic frame to resynchronise on.
+		ss.srv.ctr.cancels.Add(1)
+		ss.closeCursor()
+		return ss.send(wire.MsgOK, nil)
+	case wire.MsgStats:
+		return ss.send(wire.MsgStatsReply, ss.srv.Stats().Marshal())
+	case wire.MsgFaultCtl:
+		m, err := wire.DecodeFaultCtl(fr.payload)
+		if err != nil {
+			return ss.fail(err)
+		}
+		return ss.handleFaultCtl(m)
+	case wire.MsgColdCache:
+		return ss.handleColdCache()
+	case wire.MsgHello:
+		return ss.sendErr(wire.ClassBadRequest, "duplicate Hello")
+	default:
+		return ss.sendErr(wire.ClassBadRequest, "unexpected message %#02x", fr.typ)
+	}
+}
+
+func (ss *session) handlePrepare(spec *wire.QuerySpec) bool {
+	stmt, err := ss.srv.db.Prepare(buildQuery(ss.srv.db, spec))
+	if err != nil {
+		return ss.fail(err)
+	}
+	if max := ss.srv.cfg.MaxStmtsPerSession; max > 0 && len(ss.stmts) >= max {
+		// Evict the least recently executed statement to make room.
+		var victim uint32
+		first := true
+		for id, e := range ss.stmts {
+			if first || e.seq < ss.stmts[victim].seq {
+				victim, first = id, false
+			}
+		}
+		delete(ss.stmts, victim)
+		if len(ss.evicted) >= evictedCap {
+			ss.evicted = make(map[uint32]struct{})
+		}
+		ss.evicted[victim] = struct{}{}
+		ss.srv.ctr.stmtsEvicted.Add(1)
+	}
+	id := ss.nextID
+	ss.nextID++
+	ss.seq++
+	ss.stmts[id] = &stmtEntry{stmt: stmt, seq: ss.seq}
+	ss.srv.ctr.stmtsPrepared.Add(1)
+	return ss.send(wire.MsgPrepareOK, wire.PrepareOK{StmtID: id, Params: stmt.Params()}.Marshal())
+}
+
+func (ss *session) handleExecute(m wire.Execute) bool {
+	if ss.cur != nil {
+		return ss.sendErr(wire.ClassBadRequest, "a cursor is already open on this session")
+	}
+	entry, ok := ss.stmts[m.StmtID]
+	if !ok {
+		if _, was := ss.evicted[m.StmtID]; was {
+			return ss.sendErr(wire.ClassEvicted,
+				"statement %d was evicted (per-session limit %d); re-Prepare",
+				m.StmtID, ss.srv.cfg.MaxStmtsPerSession)
+		}
+		return ss.sendErr(wire.ClassNotFound, "no statement %d on this session", m.StmtID)
+	}
+	ss.seq++
+	entry.seq = ss.seq
+	bind := make(smoothscan.Bind, len(m.Binds))
+	for _, b := range m.Binds {
+		bind[b.Name] = b.Val
+	}
+	return ss.openCursor(func(ctx context.Context) (*smoothscan.Rows, error) {
+		return entry.stmt.Run(ctx, bind)
+	})
+}
+
+func (ss *session) handleQuery(spec *wire.QuerySpec) bool {
+	if ss.cur != nil {
+		return ss.sendErr(wire.ClassBadRequest, "a cursor is already open on this session")
+	}
+	return ss.openCursor(func(ctx context.Context) (*smoothscan.Rows, error) {
+		return buildQuery(ss.srv.db, spec).Run(ctx)
+	})
+}
+
+// openCursor admits the query, runs it, and opens the session's
+// cursor, replying ExecOK with the result columns.
+func (ss *session) openCursor(run func(context.Context) (*smoothscan.Rows, error)) bool {
+	release, err := ss.srv.admit()
+	if err != nil {
+		return ss.fail(err)
+	}
+	ctx, cancel := context.WithCancel(ss.ctx)
+	ss.setCancel(cancel)
+	rows, err := run(ctx)
+	if err != nil {
+		ss.setCancel(nil)
+		cancel()
+		release()
+		ss.srv.ctr.queriesFailed.Add(1)
+		return ss.fail(err)
+	}
+	cols := rows.Columns()
+	ss.cur = &cursor{
+		rows:    rows,
+		cancel:  cancel,
+		release: release,
+		width:   len(cols),
+		flat:    make([]int64, batchRows*len(cols)),
+	}
+	return ss.send(wire.MsgExecOK, wire.ExecOK{Cols: cols}.Marshal())
+}
+
+// closeCursor tears the open cursor down: cancel the query context,
+// close the Rows (stopping parallel workers), release the admission
+// token. Idempotent.
+func (ss *session) closeCursor() {
+	c := ss.cur
+	if c == nil {
+		return
+	}
+	ss.cur = nil
+	ss.setCancel(nil)
+	c.cancel()
+	_ = c.rows.Close()
+	c.release()
+}
+
+// handleFetch streams up to maxRows rows of the open cursor as Batch
+// frames, ending the window with End (More when the budget filled
+// before the stream ended) or a classified Error.
+func (ss *session) handleFetch(maxRows int) bool {
+	c := ss.cur
+	if c == nil {
+		return ss.sendErr(wire.ClassBadRequest, "no open cursor (Execute or Query first)")
+	}
+	if maxRows <= 0 {
+		maxRows = ss.srv.cfg.FetchRows
+	}
+	sent := 0
+	for sent < maxRows {
+		chunk := maxRows - sent
+		if chunk > batchRows {
+			chunk = batchRows
+		}
+		n := 0
+		for n < chunk && c.rows.Next() {
+			c.rows.CopyRow(c.flat[n*c.width : (n+1)*c.width])
+			n++
+		}
+		if n > 0 {
+			var e wire.Encoder
+			e.AppendBatch(c.flat, n, c.width)
+			if !ss.send(wire.MsgBatch, e.B) {
+				return false
+			}
+			ss.srv.ctr.rowsSent.Add(int64(n))
+			ss.srv.ctr.batchesSent.Add(1)
+			sent += n
+		}
+		if n < chunk {
+			// Stream ended (or failed) inside this chunk.
+			if err := c.rows.Err(); err != nil {
+				ss.srv.ctr.queriesFailed.Add(1)
+				ok := ss.fail(err)
+				ss.closeCursor()
+				return ok
+			}
+			if err := c.rows.Close(); err != nil {
+				ss.srv.ctr.queriesFailed.Add(1)
+				ok := ss.fail(err)
+				ss.closeCursor()
+				return ok
+			}
+			st := c.rows.ExecStats()
+			end := wire.End{Summary: wire.ExecSummary{
+				Rows:         st.RowsReturned,
+				Retries:      st.Retries,
+				FaultsSeen:   st.FaultsSeen,
+				PlanCacheHit: st.PlanCacheHit,
+				Degraded:     st.Degraded,
+			}}
+			ss.srv.ctr.queriesServed.Add(1)
+			ok := ss.send(wire.MsgEnd, end.Marshal())
+			ss.closeCursor()
+			return ok
+		}
+	}
+	// Window filled; the cursor stays open for the next Fetch.
+	return ss.send(wire.MsgEnd, wire.End{More: true}.Marshal())
+}
+
+// handleColdCache evicts the buffer pool so a remote measurement
+// window starts from the same cold state an in-process run would.
+// Like fault administration it is a test-rig control, and shares its
+// gate: an open benchmark harness is fine, an open eviction endpoint
+// on a shared server is not.
+func (ss *session) handleColdCache() bool {
+	if !ss.srv.cfg.FaultAdmin {
+		return ss.sendErr(wire.ClassBadRequest, "cache administration is disabled on this server (-fault-admin)")
+	}
+	if ss.cur != nil {
+		return ss.sendErr(wire.ClassBadRequest, "ColdCache while a cursor is open")
+	}
+	if err := ss.srv.db.ColdCache(); err != nil {
+		return ss.fail(err)
+	}
+	return ss.send(wire.MsgOK, nil)
+}
+
+func (ss *session) handleFaultCtl(m wire.FaultCtl) bool {
+	if !ss.srv.cfg.FaultAdmin {
+		return ss.sendErr(wire.ClassBadRequest, "fault administration is disabled on this server (-fault-admin)")
+	}
+	if len(m.Rules) == 0 {
+		ss.srv.db.SetFaultPolicy(nil)
+		return ss.send(wire.MsgOK, nil)
+	}
+	rules := make([]smoothscan.FaultRule, len(m.Rules))
+	for i, r := range m.Rules {
+		if r.Kind > byte(smoothscan.FaultCorrupt) || r.Rate < 0 || r.Rate > 1 {
+			return ss.sendErr(wire.ClassBadRequest, "fault rule %d: kind %d rate %g out of range", i, r.Kind, r.Rate)
+		}
+		rules[i] = smoothscan.FaultRule{
+			Space:     smoothscan.AnySpace,
+			Kind:      smoothscan.FaultKind(r.Kind),
+			Rate:      r.Rate,
+			ExtraCost: float64(r.ExtraCost),
+		}
+	}
+	ss.srv.db.SetFaultPolicy(smoothscan.NewFaultPolicy(m.Seed, rules...))
+	return ss.send(wire.MsgOK, nil)
+}

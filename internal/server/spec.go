@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+
+	"smoothscan"
+	"smoothscan/internal/wire"
+)
+
+// buildQuery rebuilds the in-process builder chain from a wire
+// QuerySpec. Semantic validation (unknown tables, columns, ambiguous
+// conjuncts) stays with the builder and Prepare — the one place that
+// owns it; this translation only maps shapes. A spec carrying an
+// out-of-range kind byte lands in the builder's error channel via a
+// poisoned predicate, so it surfaces through the same classified-error
+// path as every other bad query.
+func buildQuery(db *smoothscan.DB, spec *wire.QuerySpec) *smoothscan.Query {
+	q := db.Query(spec.Table)
+	for _, p := range spec.Preds {
+		q = q.Where(p.Col, predOf(p))
+	}
+	for _, j := range spec.Joins {
+		q = q.JoinWithOptions(j.Table, j.LeftCol, j.RightCol, scanOptionsOf(j.Opts))
+	}
+	if spec.HasSel {
+		q = q.Select(spec.Select...)
+	}
+	if spec.HasAgg {
+		aggs := make([]smoothscan.Agg, len(spec.Aggs))
+		for i, a := range spec.Aggs {
+			aggs[i] = aggOf(a)
+		}
+		q = q.GroupBy(spec.GroupCol, aggs...)
+	}
+	if spec.HasOrd {
+		q = q.OrderBy(spec.OrderCol)
+	}
+	if spec.HasLim {
+		q = q.Limit(argOf(spec.Limit))
+	}
+	return q.WithOptions(scanOptionsOf(spec.Opts))
+}
+
+// argOf maps a wire argument to a builder argument: a Param
+// placeholder or an int64 literal.
+func argOf(a wire.ArgSpec) any {
+	if a.Param != "" {
+		return smoothscan.Param(a.Param)
+	}
+	return a.Lit
+}
+
+// badPred poisons the builder chain with an argument-type error, the
+// channel Query.Where already propagates.
+func badPred(format string, args ...any) smoothscan.Pred {
+	return smoothscan.Eq(fmt.Sprintf(format, args...))
+}
+
+func predOf(p wire.PredSpec) smoothscan.Pred {
+	switch p.Kind {
+	case wire.PredBetween:
+		return smoothscan.Between(argOf(p.A), argOf(p.B))
+	case wire.PredEq:
+		return smoothscan.Eq(argOf(p.A))
+	case wire.PredLt:
+		return smoothscan.Lt(argOf(p.A))
+	case wire.PredLe:
+		return smoothscan.Le(argOf(p.A))
+	case wire.PredGt:
+		return smoothscan.Gt(argOf(p.A))
+	case wire.PredGe:
+		return smoothscan.Ge(argOf(p.A))
+	default:
+		return badPred("wire predicate kind %d", p.Kind)
+	}
+}
+
+func aggOf(a wire.AggSpec) smoothscan.Agg {
+	var agg smoothscan.Agg
+	switch a.Kind {
+	case wire.AggSum:
+		agg = smoothscan.Sum(a.Col)
+	case wire.AggCount:
+		agg = smoothscan.Count()
+	case wire.AggMin:
+		agg = smoothscan.Min(a.Col)
+	case wire.AggMax:
+		agg = smoothscan.Max(a.Col)
+	default:
+		// No error channel on Agg itself; an impossible output name
+		// routes the mistake into GroupBy's duplicate/unknown checks.
+		agg = smoothscan.Count().As(fmt.Sprintf("bad-agg-kind-%d", a.Kind))
+	}
+	if a.As != "" {
+		agg = agg.As(a.As)
+	}
+	return agg
+}
+
+func scanOptionsOf(o wire.OptsSpec) smoothscan.ScanOptions {
+	return smoothscan.ScanOptions{
+		Path:              smoothscan.AccessPath(o.Path),
+		Policy:            smoothscan.Policy(o.Policy),
+		Trigger:           smoothscan.Trigger(o.Trigger),
+		Ordered:           o.Ordered,
+		EstimatedRows:     o.EstimatedRows,
+		SLABound:          o.SLABound,
+		MaxRegionPages:    o.MaxRegionPages,
+		ResultCacheBudget: o.ResultCacheBudget,
+		Parallelism:       int(o.Parallelism),
+	}
+}

@@ -1,0 +1,70 @@
+package wire
+
+// Batch frame codec. Result rows travel column-major: for each output
+// column, its values across the batch's rows are delta-encoded
+// (consecutive differences, zigzag-varint). Sorted or clustered columns
+// — ids, group keys, anything an index scan emits in order — collapse
+// to one or two bytes per value; the worst case degrades to plain
+// varints. The flat row-major []int64 the engine hands us is strided in
+// place, no transpose buffer.
+
+// Batch decode bounds. A frame announcing more is malformed — the
+// limits keep a forged header from turning into a giant allocation.
+const (
+	maxBatchWidth = 4096
+	maxBatchRows  = 65536
+	maxBatchCells = 1 << 22
+)
+
+// AppendBatch serialises nRows rows of width columns from the row-major
+// flat slice (len >= nRows*width) as a Batch payload.
+func (e *Encoder) AppendBatch(flat []int64, nRows, width int) {
+	e.Uvarint(uint64(nRows))
+	e.Uvarint(uint64(width))
+	for c := 0; c < width; c++ {
+		prev := int64(0)
+		for r := 0; r < nRows; r++ {
+			v := flat[r*width+c]
+			e.Varint(v - prev)
+			prev = v
+		}
+	}
+}
+
+// DecodeBatchPayload parses a Batch payload into a row-major flat
+// slice, reusing buf's backing array when it is large enough. It
+// returns the flat values, the row count, and the column width.
+func DecodeBatchPayload(p []byte, buf []int64) ([]int64, int, int, error) {
+	d := NewDecoder(p)
+	nRows := int(d.Uvarint())
+	width := int(d.Uvarint())
+	if d.Err != nil {
+		return nil, 0, 0, d.Err
+	}
+	if nRows < 0 || width < 0 || nRows > maxBatchRows || width > maxBatchWidth || nRows*width > maxBatchCells {
+		return nil, 0, 0, ErrMalformed
+	}
+	// Each varint is at least one byte; a frame shorter than the cell
+	// count is malformed without decoding a thing.
+	if d.Rem() < nRows*width {
+		return nil, 0, 0, ErrMalformed
+	}
+	n := nRows * width
+	var flat []int64
+	if cap(buf) >= n {
+		flat = buf[:n]
+	} else {
+		flat = make([]int64, n)
+	}
+	for c := 0; c < width; c++ {
+		prev := int64(0)
+		for r := 0; r < nRows; r++ {
+			prev += d.Varint()
+			flat[r*width+c] = prev
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, 0, 0, err
+	}
+	return flat, nRows, width, nil
+}

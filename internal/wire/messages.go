@@ -1,0 +1,471 @@
+package wire
+
+// Message payload structs and their codecs. Each message type has a
+// Marshal (payload bytes) and a Decode<Name> (payload → struct) pair;
+// DecodeMessage dispatches on the frame type for consumers (and the
+// fuzz harness) that want one entry point.
+
+// Hello opens a session.
+type Hello struct {
+	Magic   uint32
+	Version uint32
+}
+
+// Marshal serialises the message payload.
+func (m Hello) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.Magic))
+	e.Uvarint(uint64(m.Version))
+	return e.B
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	d := NewDecoder(p)
+	m := Hello{Magic: uint32(d.Uvarint()), Version: uint32(d.Uvarint())}
+	return m, d.Finish()
+}
+
+// HelloOK accepts a session.
+type HelloOK struct {
+	Version uint32
+}
+
+// Marshal serialises the message payload.
+func (m HelloOK) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.Version))
+	return e.B
+}
+
+// DecodeHelloOK parses a HelloOK payload.
+func DecodeHelloOK(p []byte) (HelloOK, error) {
+	d := NewDecoder(p)
+	m := HelloOK{Version: uint32(d.Uvarint())}
+	return m, d.Finish()
+}
+
+// Prepare compiles a query structure into a server-side statement.
+type Prepare struct {
+	Spec QuerySpec
+}
+
+// Marshal serialises the message payload.
+func (m Prepare) Marshal() []byte {
+	var e Encoder
+	e.AppendSpec(&m.Spec)
+	return e.B
+}
+
+// DecodePrepare parses a Prepare payload.
+func DecodePrepare(p []byte) (Prepare, error) {
+	d := NewDecoder(p)
+	m := Prepare{Spec: d.DecodeSpec()}
+	return m, d.Finish()
+}
+
+// PrepareOK returns the statement handle and its parameter names, in
+// first-use order (smoothscan.Stmt.Params).
+type PrepareOK struct {
+	StmtID uint32
+	Params []string
+}
+
+// Marshal serialises the message payload.
+func (m PrepareOK) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.StmtID))
+	e.Uvarint(uint64(len(m.Params)))
+	for _, p := range m.Params {
+		e.Str(p)
+	}
+	return e.B
+}
+
+// DecodePrepareOK parses a PrepareOK payload.
+func DecodePrepareOK(p []byte) (PrepareOK, error) {
+	d := NewDecoder(p)
+	var m PrepareOK
+	m.StmtID = uint32(d.Uvarint())
+	n := d.Count(maxParams, "param")
+	m.Params = make([]string, 0, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		m.Params = append(m.Params, d.Str())
+	}
+	return m, d.Finish()
+}
+
+// BindKV is one bound parameter of an Execute.
+type BindKV struct {
+	Name string
+	Val  int64
+}
+
+// Execute binds and runs a prepared statement, opening the session's
+// cursor.
+type Execute struct {
+	StmtID uint32
+	Binds  []BindKV
+}
+
+// Marshal serialises the message payload.
+func (m Execute) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.StmtID))
+	e.Uvarint(uint64(len(m.Binds)))
+	for _, b := range m.Binds {
+		e.Str(b.Name)
+		e.Varint(b.Val)
+	}
+	return e.B
+}
+
+// DecodeExecute parses an Execute payload.
+func DecodeExecute(p []byte) (Execute, error) {
+	d := NewDecoder(p)
+	var m Execute
+	m.StmtID = uint32(d.Uvarint())
+	n := d.Count(maxParams, "bind")
+	m.Binds = make([]BindKV, 0, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		m.Binds = append(m.Binds, BindKV{Name: d.Str(), Val: d.Varint()})
+	}
+	return m, d.Finish()
+}
+
+// Query executes an ad-hoc query (literals inline) without a prepared
+// handle; the server still routes it through its plan cache.
+type Query struct {
+	Spec QuerySpec
+}
+
+// Marshal serialises the message payload.
+func (m Query) Marshal() []byte {
+	var e Encoder
+	e.AppendSpec(&m.Spec)
+	return e.B
+}
+
+// DecodeQuery parses a Query payload.
+func DecodeQuery(p []byte) (Query, error) {
+	d := NewDecoder(p)
+	m := Query{Spec: d.DecodeSpec()}
+	return m, d.Finish()
+}
+
+// ExecOK opens the result stream: the cursor exists and these are its
+// output columns.
+type ExecOK struct {
+	Cols []string
+}
+
+// Marshal serialises the message payload.
+func (m ExecOK) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(len(m.Cols)))
+	for _, c := range m.Cols {
+		e.Str(c)
+	}
+	return e.B
+}
+
+// DecodeExecOK parses an ExecOK payload.
+func DecodeExecOK(p []byte) (ExecOK, error) {
+	d := NewDecoder(p)
+	var m ExecOK
+	n := d.Count(maxSelCols, "col")
+	m.Cols = make([]string, 0, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		m.Cols = append(m.Cols, d.Str())
+	}
+	return m, d.Finish()
+}
+
+// Fetch pulls up to MaxRows rows from the open cursor. The server
+// answers with zero or more Batch frames followed by one End.
+type Fetch struct {
+	MaxRows uint32
+}
+
+// Marshal serialises the message payload.
+func (m Fetch) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.MaxRows))
+	return e.B
+}
+
+// DecodeFetch parses a Fetch payload.
+func DecodeFetch(p []byte) (Fetch, error) {
+	d := NewDecoder(p)
+	m := Fetch{MaxRows: uint32(d.Uvarint())}
+	return m, d.Finish()
+}
+
+// ExecSummary is the execution's closing statistics, the remote
+// projection of smoothscan.ExecStats: row count, fault-recovery
+// counters, the degradation ladder taken, and plan-cache reuse.
+type ExecSummary struct {
+	Rows         int64
+	Retries      int64
+	FaultsSeen   int64
+	PlanCacheHit bool
+	Degraded     []string
+}
+
+// End closes a fetch window. More means the cursor has (or may have)
+// further rows — issue another Fetch; otherwise the stream is complete
+// and Summary is populated, the cursor closed server-side.
+type End struct {
+	More    bool
+	Summary ExecSummary
+}
+
+// Marshal serialises the message payload.
+func (m End) Marshal() []byte {
+	var e Encoder
+	e.Bool(m.More)
+	if !m.More {
+		e.Varint(m.Summary.Rows)
+		e.Varint(m.Summary.Retries)
+		e.Varint(m.Summary.FaultsSeen)
+		e.Bool(m.Summary.PlanCacheHit)
+		e.Uvarint(uint64(len(m.Summary.Degraded)))
+		for _, s := range m.Summary.Degraded {
+			e.Str(s)
+		}
+	}
+	return e.B
+}
+
+// DecodeEnd parses an End payload.
+func DecodeEnd(p []byte) (End, error) {
+	d := NewDecoder(p)
+	var m End
+	if m.More = d.Bool(); !m.More {
+		m.Summary.Rows = d.Varint()
+		m.Summary.Retries = d.Varint()
+		m.Summary.FaultsSeen = d.Varint()
+		m.Summary.PlanCacheHit = d.Bool()
+		n := d.Count(maxParams, "degraded")
+		for i := 0; i < n && d.Err == nil; i++ {
+			m.Summary.Degraded = append(m.Summary.Degraded, d.Str())
+		}
+	}
+	return m, d.Finish()
+}
+
+// ErrorMsg is the typed error frame.
+type ErrorMsg struct {
+	Class byte
+	Msg   string
+}
+
+// Marshal serialises the message payload.
+func (m ErrorMsg) Marshal() []byte {
+	var e Encoder
+	e.U8(m.Class)
+	e.Str(m.Msg)
+	return e.B
+}
+
+// DecodeError parses an Error payload.
+func DecodeError(p []byte) (ErrorMsg, error) {
+	d := NewDecoder(p)
+	m := ErrorMsg{Class: d.U8(), Msg: d.Str()}
+	return m, d.Finish()
+}
+
+// Err converts the frame to the client-side error value.
+func (m ErrorMsg) Err() error { return &RemoteError{Class: m.Class, Msg: m.Msg} }
+
+// CloseStmt drops a statement handle. Closing an unknown or already
+// closed handle succeeds (idempotent).
+type CloseStmt struct {
+	StmtID uint32
+}
+
+// Marshal serialises the message payload.
+func (m CloseStmt) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(m.StmtID))
+	return e.B
+}
+
+// DecodeCloseStmt parses a CloseStmt payload.
+func DecodeCloseStmt(p []byte) (CloseStmt, error) {
+	d := NewDecoder(p)
+	m := CloseStmt{StmtID: uint32(d.Uvarint())}
+	return m, d.Finish()
+}
+
+// ServerStats is the server's counter snapshot, served to clients via
+// the Stats message — the wire-layer counterpart of ExecStats for
+// whole-server observability.
+type ServerStats struct {
+	// SessionsOpen / SessionsTotal count live and lifetime sessions.
+	SessionsOpen  int64
+	SessionsTotal int64
+	// ConnsRejected counts connections refused at the limit.
+	ConnsRejected int64
+	// Statement-table traffic across all sessions.
+	StmtsPrepared int64
+	StmtsEvicted  int64
+	StmtsClosed   int64
+	// Query admission and completion.
+	QueriesServed   int64 // streams that completed (End with summary)
+	QueriesFailed   int64 // streams that ended in an Error frame
+	QueriesRejected int64 // admission-control rejects (queue deadline)
+	Cancels         int64 // Cancel messages honoured
+	IdleCloses      int64 // sessions closed by the idle timeout
+	// Result traffic.
+	RowsSent    int64
+	BatchesSent int64
+	// Engine-side observability forwarded for remote harnesses: the
+	// simulated-device time total and the DB plan-cache counters.
+	DeviceSimCost   float64
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+}
+
+// Marshal serialises the message payload.
+func (m ServerStats) Marshal() []byte {
+	var e Encoder
+	e.Varint(m.SessionsOpen)
+	e.Varint(m.SessionsTotal)
+	e.Varint(m.ConnsRejected)
+	e.Varint(m.StmtsPrepared)
+	e.Varint(m.StmtsEvicted)
+	e.Varint(m.StmtsClosed)
+	e.Varint(m.QueriesServed)
+	e.Varint(m.QueriesFailed)
+	e.Varint(m.QueriesRejected)
+	e.Varint(m.Cancels)
+	e.Varint(m.IdleCloses)
+	e.Varint(m.RowsSent)
+	e.Varint(m.BatchesSent)
+	e.F64(m.DeviceSimCost)
+	e.Varint(m.PlanCacheHits)
+	e.Varint(m.PlanCacheMisses)
+	return e.B
+}
+
+// DecodeServerStats parses a StatsReply payload.
+func DecodeServerStats(p []byte) (ServerStats, error) {
+	d := NewDecoder(p)
+	var m ServerStats
+	m.SessionsOpen = d.Varint()
+	m.SessionsTotal = d.Varint()
+	m.ConnsRejected = d.Varint()
+	m.StmtsPrepared = d.Varint()
+	m.StmtsEvicted = d.Varint()
+	m.StmtsClosed = d.Varint()
+	m.QueriesServed = d.Varint()
+	m.QueriesFailed = d.Varint()
+	m.QueriesRejected = d.Varint()
+	m.Cancels = d.Varint()
+	m.IdleCloses = d.Varint()
+	m.RowsSent = d.Varint()
+	m.BatchesSent = d.Varint()
+	m.DeviceSimCost = d.F64()
+	m.PlanCacheHits = d.Varint()
+	m.PlanCacheMisses = d.Varint()
+	return m, d.Finish()
+}
+
+// FaultRuleSpec is one fault-injection rule of a FaultCtl message; it
+// always targets every space (the remote chaos harness's usage).
+type FaultRuleSpec struct {
+	Kind      byte // FaultTransient=0, FaultPermanent=1, FaultLatency=2, FaultCorrupt=3
+	Rate      float64
+	ExtraCost int64
+}
+
+// FaultCtl attaches a deterministic fault-injection policy to the
+// server's device (admin operation, gated by server configuration).
+// Empty Rules detaches any policy.
+type FaultCtl struct {
+	Seed  int64
+	Rules []FaultRuleSpec
+}
+
+// Marshal serialises the message payload.
+func (m FaultCtl) Marshal() []byte {
+	var e Encoder
+	e.Varint(m.Seed)
+	e.Uvarint(uint64(len(m.Rules)))
+	for _, r := range m.Rules {
+		e.U8(r.Kind)
+		e.F64(r.Rate)
+		e.Varint(r.ExtraCost)
+	}
+	return e.B
+}
+
+// DecodeFaultCtl parses a FaultCtl payload.
+func DecodeFaultCtl(p []byte) (FaultCtl, error) {
+	d := NewDecoder(p)
+	var m FaultCtl
+	m.Seed = d.Varint()
+	n := d.Count(maxRules, "rule")
+	m.Rules = make([]FaultRuleSpec, 0, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		m.Rules = append(m.Rules, FaultRuleSpec{Kind: d.U8(), Rate: d.F64(), ExtraCost: d.Varint()})
+	}
+	return m, d.Finish()
+}
+
+// DecodeMessage decodes any frame by type, returning the typed message
+// struct. Frames with no payload structure (OK, Cancel, Stats) return
+// nil. It is the single entry point the fuzz harness drives: whatever
+// the bytes, the result is a value or an error — never a panic, never
+// an allocation proportional to a forged length field.
+func DecodeMessage(typ byte, payload []byte) (any, error) {
+	switch typ {
+	case MsgHello:
+		return DecodeHello(payload)
+	case MsgHelloOK:
+		return DecodeHelloOK(payload)
+	case MsgPrepare:
+		return DecodePrepare(payload)
+	case MsgPrepareOK:
+		return DecodePrepareOK(payload)
+	case MsgExecute:
+		return DecodeExecute(payload)
+	case MsgExecOK:
+		return DecodeExecOK(payload)
+	case MsgFetch:
+		return DecodeFetch(payload)
+	case MsgBatch:
+		flat, rows, width, err := DecodeBatchPayload(payload, nil)
+		if err != nil {
+			return nil, err
+		}
+		return BatchFrame{Flat: flat, Rows: rows, Width: width}, nil
+	case MsgEnd:
+		return DecodeEnd(payload)
+	case MsgError:
+		return DecodeError(payload)
+	case MsgCloseStmt:
+		return DecodeCloseStmt(payload)
+	case MsgOK, MsgCancel, MsgStats, MsgColdCache:
+		if len(payload) != 0 {
+			return nil, NewDecoder(payload).Finish()
+		}
+		return nil, nil
+	case MsgQuery:
+		return DecodeQuery(payload)
+	case MsgStatsReply:
+		return DecodeServerStats(payload)
+	case MsgFaultCtl:
+		return DecodeFaultCtl(payload)
+	default:
+		return nil, &RemoteError{Class: ClassBadRequest, Msg: "unknown message type"}
+	}
+}
+
+// BatchFrame is DecodeMessage's materialisation of a Batch frame.
+type BatchFrame struct {
+	Flat  []int64
+	Rows  int
+	Width int
+}

@@ -1,0 +1,246 @@
+package wire
+
+// QuerySpec is a query's structure serialised for the wire: the same
+// shape the smoothscan.Query builder composes — driving table, joins,
+// conjunctive predicates, projection, grouping, ordering, limit, scan
+// options — with every argument either an inline literal or a named
+// parameter placeholder. The server rebuilds the in-process builder
+// chain from it; all semantic validation (unknown tables and columns,
+// ambiguous conjuncts) happens there, in the one place that owns it.
+
+// Decode caps: a spec announcing more elements than these is malformed.
+// They are far above anything the builder API can express usefully and
+// exist only to bound decoder allocations.
+const (
+	maxPreds   = 256
+	maxJoins   = 16
+	maxSelCols = 512
+	maxAggs    = 64
+	maxParams  = 256
+	maxRules   = 64
+)
+
+// Predicate comparison kinds (the wire's own numbering, decoupled from
+// the planner's).
+const (
+	PredBetween byte = 0 // lo <= v < hi (two arguments)
+	PredEq      byte = 1
+	PredLt      byte = 2
+	PredLe      byte = 3
+	PredGt      byte = 4
+	PredGe      byte = 5
+)
+
+// Aggregate kinds for GroupBy.
+const (
+	AggSum   byte = 0
+	AggCount byte = 1
+	AggMin   byte = 2
+	AggMax   byte = 3
+)
+
+// ArgSpec is one predicate or limit argument: a named parameter when
+// Param is non-empty, the literal Lit otherwise.
+type ArgSpec struct {
+	Param string
+	Lit   int64
+}
+
+// PredSpec is one Where conjunct.
+type PredSpec struct {
+	Col  string
+	Kind byte
+	A, B ArgSpec // B only meaningful for PredBetween
+}
+
+// OptsSpec mirrors smoothscan.ScanOptions field for field.
+type OptsSpec struct {
+	Path              byte
+	Policy            byte
+	Trigger           byte
+	Ordered           bool
+	EstimatedRows     int64
+	SLABound          float64
+	MaxRegionPages    int64
+	ResultCacheBudget int64
+	Parallelism       int32
+}
+
+// JoinSpec is one Join clause; Opts configures the joined table's
+// access path (JoinWithOptions).
+type JoinSpec struct {
+	Table    string
+	LeftCol  string
+	RightCol string
+	Opts     OptsSpec
+}
+
+// AggSpec is one GroupBy aggregate.
+type AggSpec struct {
+	Kind byte
+	Col  string // empty for AggCount
+	As   string // output column override; empty = constructor default
+}
+
+// QuerySpec carries a whole query structure.
+type QuerySpec struct {
+	Table    string
+	Preds    []PredSpec
+	Joins    []JoinSpec
+	Select   []string
+	HasSel   bool
+	GroupCol string
+	Aggs     []AggSpec
+	HasAgg   bool
+	OrderCol string
+	HasOrd   bool
+	Limit    ArgSpec
+	HasLim   bool
+	Opts     OptsSpec
+}
+
+func (e *Encoder) arg(a ArgSpec) {
+	e.Str(a.Param)
+	if a.Param == "" {
+		e.Varint(a.Lit)
+	}
+}
+
+func (d *Decoder) arg() ArgSpec {
+	var a ArgSpec
+	a.Param = d.Str()
+	if a.Param == "" {
+		a.Lit = d.Varint()
+	}
+	return a
+}
+
+func (e *Encoder) opts(o OptsSpec) {
+	e.U8(o.Path)
+	e.U8(o.Policy)
+	e.U8(o.Trigger)
+	e.Bool(o.Ordered)
+	e.Varint(o.EstimatedRows)
+	e.F64(o.SLABound)
+	e.Varint(o.MaxRegionPages)
+	e.Varint(o.ResultCacheBudget)
+	e.Varint(int64(o.Parallelism))
+}
+
+func (d *Decoder) optsSpec() OptsSpec {
+	var o OptsSpec
+	o.Path = d.U8()
+	o.Policy = d.U8()
+	o.Trigger = d.U8()
+	o.Ordered = d.Bool()
+	o.EstimatedRows = d.Varint()
+	o.SLABound = d.F64()
+	o.MaxRegionPages = d.Varint()
+	o.ResultCacheBudget = d.Varint()
+	o.Parallelism = int32(d.Varint())
+	return o
+}
+
+// AppendSpec serialises the spec into the encoder.
+func (e *Encoder) AppendSpec(q *QuerySpec) {
+	e.Str(q.Table)
+	e.Uvarint(uint64(len(q.Preds)))
+	for _, p := range q.Preds {
+		e.Str(p.Col)
+		e.U8(p.Kind)
+		e.arg(p.A)
+		if p.Kind == PredBetween {
+			e.arg(p.B)
+		}
+	}
+	e.Uvarint(uint64(len(q.Joins)))
+	for _, j := range q.Joins {
+		e.Str(j.Table)
+		e.Str(j.LeftCol)
+		e.Str(j.RightCol)
+		e.opts(j.Opts)
+	}
+	e.Bool(q.HasSel)
+	if q.HasSel {
+		e.Uvarint(uint64(len(q.Select)))
+		for _, c := range q.Select {
+			e.Str(c)
+		}
+	}
+	e.Bool(q.HasAgg)
+	if q.HasAgg {
+		e.Str(q.GroupCol)
+		e.Uvarint(uint64(len(q.Aggs)))
+		for _, a := range q.Aggs {
+			e.U8(a.Kind)
+			e.Str(a.Col)
+			e.Str(a.As)
+		}
+	}
+	e.Bool(q.HasOrd)
+	if q.HasOrd {
+		e.Str(q.OrderCol)
+	}
+	e.Bool(q.HasLim)
+	if q.HasLim {
+		e.arg(q.Limit)
+	}
+	e.opts(q.Opts)
+}
+
+// DecodeSpec reads a QuerySpec from the decoder.
+func (d *Decoder) DecodeSpec() QuerySpec {
+	var q QuerySpec
+	q.Table = d.Str()
+	if n := d.Count(maxPreds, "pred"); n > 0 {
+		q.Preds = make([]PredSpec, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			var p PredSpec
+			p.Col = d.Str()
+			p.Kind = d.U8()
+			p.A = d.arg()
+			if p.Kind == PredBetween {
+				p.B = d.arg()
+			}
+			q.Preds = append(q.Preds, p)
+		}
+	}
+	if n := d.Count(maxJoins, "join"); n > 0 {
+		q.Joins = make([]JoinSpec, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			var j JoinSpec
+			j.Table = d.Str()
+			j.LeftCol = d.Str()
+			j.RightCol = d.Str()
+			j.Opts = d.optsSpec()
+			q.Joins = append(q.Joins, j)
+		}
+	}
+	if q.HasSel = d.Bool(); q.HasSel {
+		n := d.Count(maxSelCols, "select")
+		q.Select = make([]string, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			q.Select = append(q.Select, d.Str())
+		}
+	}
+	if q.HasAgg = d.Bool(); q.HasAgg {
+		q.GroupCol = d.Str()
+		n := d.Count(maxAggs, "agg")
+		q.Aggs = make([]AggSpec, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			var a AggSpec
+			a.Kind = d.U8()
+			a.Col = d.Str()
+			a.As = d.Str()
+			q.Aggs = append(q.Aggs, a)
+		}
+	}
+	if q.HasOrd = d.Bool(); q.HasOrd {
+		q.OrderCol = d.Str()
+	}
+	if q.HasLim = d.Bool(); q.HasLim {
+		q.Limit = d.arg()
+	}
+	q.Opts = d.optsSpec()
+	return q
+}

@@ -1,0 +1,411 @@
+// Package wire is the smoothscan wire protocol: a small length-prefixed
+// binary framing carrying the prepare → bind → execute query lifecycle
+// between a remote client (package ssclient) and the serving subsystem
+// (internal/server, cmd/ssserver).
+//
+// # Framing
+//
+// Every frame is
+//
+//	| u32 big-endian length | u8 message type | payload (length-1 bytes) |
+//
+// where length counts the type byte plus the payload and is bounded by
+// MaxFrame. Payloads are encoded with unsigned/zigzag varints and
+// length-prefixed strings (Encoder/Decoder); result rows travel as
+// column-major delta-varint batches (AppendBatch/DecodeBatchPayload),
+// mirroring tuple.Batch as the engine's unit of vectorized execution.
+//
+// # Error model
+//
+// Errors cross the wire as Error frames carrying a Class byte plus a
+// human-readable message. The classes preserve the engine's typed error
+// taxonomy (fault injection, admission control, cancellation):
+// RemoteError unwraps to the same sentinels the in-process engine
+// returns, so errors.Is — and therefore smoothscan.IsTransientFault /
+// IsFaultError — give the same answers for a remote execution as for a
+// local one.
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"smoothscan/internal/disk"
+)
+
+// Protocol constants.
+const (
+	// Magic opens the Hello message: "SSWP" (SmoothScan Wire Protocol).
+	Magic uint32 = 0x53535750
+	// Version is the protocol revision; the server rejects a Hello
+	// carrying a different major version.
+	Version uint32 = 1
+	// MaxFrame bounds a frame's length field; a peer announcing more is
+	// malformed and the connection is dropped.
+	MaxFrame = 16 << 20
+)
+
+// Message types. The request/response pairing is strict per session:
+// the client writes one request and reads frames until the terminal
+// response; only Cancel may be injected while a response stream is in
+// flight.
+const (
+	MsgHello      byte = 0x01 // client → server: handshake
+	MsgHelloOK    byte = 0x02 // server → client: handshake accepted
+	MsgPrepare    byte = 0x03 // client: compile a QuerySpec into a server-side Stmt
+	MsgPrepareOK  byte = 0x04 // server: statement handle + parameter names
+	MsgExecute    byte = 0x05 // client: bind + execute a prepared statement
+	MsgExecOK     byte = 0x06 // server: cursor opened, result columns follow
+	MsgFetch      byte = 0x07 // client: pull up to MaxRows rows from the cursor
+	MsgBatch      byte = 0x08 // server: one column-encoded row batch
+	MsgEnd        byte = 0x09 // server: fetch window done (More) or stream complete (summary)
+	MsgError      byte = 0x0a // server: typed error, terminates the current command
+	MsgCloseStmt  byte = 0x0b // client: drop a statement handle (idempotent)
+	MsgOK         byte = 0x0c // server: generic success
+	MsgCancel     byte = 0x0d // client: cancel the open cursor (also valid mid-stream)
+	MsgQuery      byte = 0x0e // client: ad-hoc execute (literals inline, no handle)
+	MsgStats      byte = 0x0f // client: server counters snapshot
+	MsgStatsReply byte = 0x10 // server: ServerStats
+	MsgFaultCtl   byte = 0x11 // client: attach/clear a fault-injection policy (admin)
+	MsgColdCache  byte = 0x12 // client: evict the server's buffer pool (admin; benchmarking)
+)
+
+// Error classes carried by Error frames. Class* values preserve the
+// engine's error taxonomy across the wire; see RemoteError.Unwrap for
+// the sentinel each class resolves to.
+const (
+	ClassInternal   byte = 0x00 // unclassified server-side failure
+	ClassBadRequest byte = 0x01 // malformed or out-of-protocol request
+	ClassNotFound   byte = 0x02 // unknown table/column/statement
+	ClassOverloaded byte = 0x03 // admission control rejected (ErrOverloaded)
+	ClassCancelled  byte = 0x04 // query cancelled (context.Canceled)
+	ClassIdle       byte = 0x05 // server closed the session (idle timeout / shutdown)
+	ClassTransient  byte = 0x06 // injected transient fault (retry can succeed)
+	ClassPermanent  byte = 0x07 // injected permanent fault
+	ClassCorrupt    byte = 0x08 // page checksum mismatch
+	ClassEvicted    byte = 0x09 // statement evicted from the session table (ErrStmtEvicted)
+)
+
+// Typed sentinels for conditions born on the wire layer itself. The
+// engine-fault classes map to internal/disk's sentinels instead, so the
+// public smoothscan.Err* aliases match remote errors too.
+var (
+	// ErrOverloaded is the admission-control reject: the server refused
+	// the connection or query because a configured limit (connections,
+	// in-flight queries past the queue deadline) was reached. Back off
+	// and retry; the server is shedding load, not failing.
+	ErrOverloaded = errors.New("wire: server overloaded")
+	// ErrStmtEvicted marks an Execute of a statement handle the server
+	// evicted from the session's statement table (per-session limit,
+	// least recently used first). Re-Prepare to continue.
+	ErrStmtEvicted = errors.New("wire: prepared statement evicted")
+	// ErrSessionClosed marks a server-initiated session close: idle
+	// timeout or server shutdown.
+	ErrSessionClosed = errors.New("wire: session closed by server")
+	// ErrMalformed marks a frame or payload that does not decode; the
+	// receiver drops the connection.
+	ErrMalformed = errors.New("wire: malformed frame")
+)
+
+// classSentinel maps an error class to the sentinel RemoteError
+// unwraps to, nil for classes with no sentinel (internal, bad request,
+// not found — the message is the information there).
+func classSentinel(class byte) error {
+	switch class {
+	case ClassOverloaded:
+		return ErrOverloaded
+	case ClassCancelled:
+		return context.Canceled
+	case ClassIdle:
+		return ErrSessionClosed
+	case ClassTransient:
+		return disk.ErrInjected
+	case ClassPermanent:
+		return disk.ErrPermanentFault
+	case ClassCorrupt:
+		return disk.ErrPageCorrupt
+	case ClassEvicted:
+		return ErrStmtEvicted
+	default:
+		return nil
+	}
+}
+
+// ClassName renders an error class for messages and logs.
+func ClassName(class byte) string {
+	switch class {
+	case ClassInternal:
+		return "internal"
+	case ClassBadRequest:
+		return "bad-request"
+	case ClassNotFound:
+		return "not-found"
+	case ClassOverloaded:
+		return "overloaded"
+	case ClassCancelled:
+		return "cancelled"
+	case ClassIdle:
+		return "session-closed"
+	case ClassTransient:
+		return "transient-fault"
+	case ClassPermanent:
+		return "permanent-fault"
+	case ClassCorrupt:
+		return "page-corrupt"
+	case ClassEvicted:
+		return "stmt-evicted"
+	default:
+		return fmt.Sprintf("class-%#02x", class)
+	}
+}
+
+// RemoteError is an Error frame materialised client-side. It unwraps
+// to the typed sentinel its class preserves — an injected transient
+// fault that crossed the wire still satisfies
+// smoothscan.IsTransientFault, an admission reject satisfies
+// errors.Is(err, ErrOverloaded), and so on.
+type RemoteError struct {
+	Class byte
+	Msg   string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote (%s): %s", ClassName(e.Class), e.Msg)
+}
+
+func (e *RemoteError) Unwrap() error { return classSentinel(e.Class) }
+
+// Classify maps a server-side execution error to the wire class that
+// preserves its type for the client. Order matters: corruption and
+// permanence are checked before the broader transient predicate.
+func Classify(err error) byte {
+	switch {
+	case err == nil:
+		return ClassInternal
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return ClassCancelled
+	case errors.Is(err, disk.ErrPageCorrupt):
+		return ClassCorrupt
+	case errors.Is(err, disk.ErrPermanentFault):
+		return ClassPermanent
+	case disk.IsTransient(err):
+		return ClassTransient
+	case errors.Is(err, ErrOverloaded):
+		return ClassOverloaded
+	case errors.Is(err, ErrStmtEvicted):
+		return ClassEvicted
+	case errors.Is(err, ErrSessionClosed):
+		return ClassIdle
+	default:
+		return ClassInternal
+	}
+}
+
+// WriteFrame writes one frame: length, type byte, payload.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrMalformed, len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and payload. Frames
+// longer than MaxFrame (or shorter than the type byte) are malformed:
+// the caller must drop the connection, since the stream can no longer
+// be resynchronised.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrMalformed, n)
+	}
+	if _, err = io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[4]
+	if n == 1 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n-1)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// Encoder appends varint-based primitives to a byte slice. The zero
+// value is ready to use; B is the accumulated payload.
+type Encoder struct {
+	B []byte
+}
+
+// U8 appends one byte.
+func (e *Encoder) U8(v byte) { e.B = append(e.B, v) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.B = binary.AppendUvarint(e.B, v)
+}
+
+// Varint appends a zigzag-encoded signed varint.
+func (e *Encoder) Varint(v int64) {
+	e.B = binary.AppendVarint(e.B, v)
+}
+
+// F64 appends a float64 as its IEEE-754 bits, little-endian.
+func (e *Encoder) F64(v float64) {
+	e.B = binary.LittleEndian.AppendUint64(e.B, math.Float64bits(v))
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Decoder consumes the primitives Encoder writes, accumulating the
+// first error instead of panicking: adversarial payloads (the fuzz
+// tests feed them directly) surface as Err, never as a crash.
+type Decoder struct {
+	b   []byte
+	off int
+	Err error
+}
+
+// NewDecoder decodes the given payload.
+func NewDecoder(p []byte) *Decoder { return &Decoder{b: p} }
+
+// fail records the first decode error.
+func (d *Decoder) fail(what string) {
+	if d.Err == nil {
+		d.Err = fmt.Errorf("%w: %s at offset %d", ErrMalformed, what, d.off)
+	}
+}
+
+// Rem returns the number of unconsumed bytes.
+func (d *Decoder) Rem() int { return len(d.b) - d.off }
+
+// U8 reads one byte.
+func (d *Decoder) U8() byte {
+	if d.Err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads a one-byte bool; any nonzero byte is true.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.Err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.Err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Decoder) F64() float64 {
+	if d.Err != nil {
+		return 0
+	}
+	if d.Rem() < 8 {
+		d.fail("truncated f64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return math.Float64frombits(v)
+}
+
+// Str reads a length-prefixed string, bounds-checked against the
+// remaining payload so a hostile length cannot force a huge allocation.
+func (d *Decoder) Str() string {
+	n := d.Uvarint()
+	if d.Err != nil {
+		return ""
+	}
+	if n > uint64(d.Rem()) {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Count reads a collection count and validates it against both a
+// protocol cap and the remaining bytes (each element costs at least
+// one byte), so a forged count cannot pre-allocate unbounded memory.
+func (d *Decoder) Count(max int, what string) int {
+	n := d.Uvarint()
+	if d.Err != nil {
+		return 0
+	}
+	if n > uint64(max) || n > uint64(d.Rem()) {
+		d.fail(what + " count out of range")
+		return 0
+	}
+	return int(n)
+}
+
+// Finish returns the accumulated decode error, flagging trailing
+// garbage after a structurally valid payload.
+func (d *Decoder) Finish() error {
+	if d.Err != nil {
+		return d.Err
+	}
+	if d.Rem() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, d.Rem())
+	}
+	return nil
+}

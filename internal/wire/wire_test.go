@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"smoothscan/internal/disk"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{0xab}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %#02x, want %#02x", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	// A forged length field must be rejected before any allocation of
+	// that size happens.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff, MsgBatch}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized frame: %v, want ErrMalformed", err)
+	}
+	// Zero length is malformed too: every frame carries at least a type.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-length frame: %v, want ErrMalformed", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	spec := QuerySpec{
+		Table: "items",
+		Preds: []PredSpec{
+			{Col: "i_date", Kind: PredBetween, A: ArgSpec{Lit: 10}, B: ArgSpec{Param: "hi"}},
+			{Col: "i_qty", Kind: PredGe, A: ArgSpec{Lit: -3}},
+		},
+		Joins:    []JoinSpec{{Table: "orders", LeftCol: "i_order", RightCol: "o_id", Opts: OptsSpec{Path: 2}}},
+		Select:   []string{"i_id", "o_id"},
+		HasSel:   true,
+		GroupCol: "o_pri",
+		Aggs:     []AggSpec{{Kind: AggSum, Col: "i_qty", As: "total"}, {Kind: AggCount}},
+		HasAgg:   true,
+		OrderCol: "o_pri",
+		HasOrd:   true,
+		Limit:    ArgSpec{Lit: 100},
+		HasLim:   true,
+		Opts:     OptsSpec{Path: 1, Ordered: true, EstimatedRows: 5, SLABound: 1.5, Parallelism: 4},
+	}
+	cases := []struct {
+		name    string
+		marshal []byte
+		decode  func([]byte) (any, error)
+		want    any
+	}{
+		{"hello", Hello{Magic: Magic, Version: Version}.Marshal(),
+			func(p []byte) (any, error) { return DecodeHello(p) }, Hello{Magic: Magic, Version: Version}},
+		{"hellook", HelloOK{Version: 7}.Marshal(),
+			func(p []byte) (any, error) { return DecodeHelloOK(p) }, HelloOK{Version: 7}},
+		{"prepare", Prepare{Spec: spec}.Marshal(),
+			func(p []byte) (any, error) { return DecodePrepare(p) }, Prepare{Spec: spec}},
+		{"query", Query{Spec: spec}.Marshal(),
+			func(p []byte) (any, error) { return DecodeQuery(p) }, Query{Spec: spec}},
+		{"prepareok", PrepareOK{StmtID: 9, Params: []string{"lo", "hi"}}.Marshal(),
+			func(p []byte) (any, error) { return DecodePrepareOK(p) }, PrepareOK{StmtID: 9, Params: []string{"lo", "hi"}}},
+		{"execute", Execute{StmtID: 3, Binds: []BindKV{{Name: "lo", Val: -9}, {Name: "hi", Val: math.MaxInt64}}}.Marshal(),
+			func(p []byte) (any, error) { return DecodeExecute(p) },
+			Execute{StmtID: 3, Binds: []BindKV{{Name: "lo", Val: -9}, {Name: "hi", Val: math.MaxInt64}}}},
+		{"execok", ExecOK{Cols: []string{"a", "b"}}.Marshal(),
+			func(p []byte) (any, error) { return DecodeExecOK(p) }, ExecOK{Cols: []string{"a", "b"}}},
+		{"fetch", Fetch{MaxRows: 512}.Marshal(),
+			func(p []byte) (any, error) { return DecodeFetch(p) }, Fetch{MaxRows: 512}},
+		{"end-more", End{More: true}.Marshal(),
+			func(p []byte) (any, error) { return DecodeEnd(p) }, End{More: true}},
+		{"end-summary", End{Summary: ExecSummary{Rows: 4, Retries: 1, FaultsSeen: 2, PlanCacheHit: true, Degraded: []string{"parallel->serial"}}}.Marshal(),
+			func(p []byte) (any, error) { return DecodeEnd(p) },
+			End{Summary: ExecSummary{Rows: 4, Retries: 1, FaultsSeen: 2, PlanCacheHit: true, Degraded: []string{"parallel->serial"}}}},
+		{"error", ErrorMsg{Class: ClassCorrupt, Msg: "page 7"}.Marshal(),
+			func(p []byte) (any, error) { return DecodeError(p) }, ErrorMsg{Class: ClassCorrupt, Msg: "page 7"}},
+		{"closestmt", CloseStmt{StmtID: 12}.Marshal(),
+			func(p []byte) (any, error) { return DecodeCloseStmt(p) }, CloseStmt{StmtID: 12}},
+		{"stats", ServerStats{SessionsOpen: 1, QueriesServed: 2, RowsSent: 3, DeviceSimCost: 4.5, PlanCacheHits: 6}.Marshal(),
+			func(p []byte) (any, error) { return DecodeServerStats(p) },
+			ServerStats{SessionsOpen: 1, QueriesServed: 2, RowsSent: 3, DeviceSimCost: 4.5, PlanCacheHits: 6}},
+		{"faultctl", FaultCtl{Seed: -5, Rules: []FaultRuleSpec{{Kind: 2, Rate: 0.25, ExtraCost: 50}}}.Marshal(),
+			func(p []byte) (any, error) { return DecodeFaultCtl(p) },
+			FaultCtl{Seed: -5, Rules: []FaultRuleSpec{{Kind: 2, Rate: 0.25, ExtraCost: 50}}}},
+	}
+	for _, tc := range cases {
+		got, err := tc.decode(tc.marshal)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s: round trip mismatch:\n got  %+v\n want %+v", tc.name, got, tc.want)
+		}
+		// Trailing garbage after a well-formed message is malformed.
+		if _, err := tc.decode(append(append([]byte{}, tc.marshal...), 0x00)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", tc.name)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ rows, width int }{
+		{0, 3}, {1, 1}, {7, 4}, {1024, 10}, {65536, 1},
+	} {
+		flat := make([]int64, tc.rows*tc.width)
+		for i := range flat {
+			// Mixed magnitudes and signs exercise the zigzag coding.
+			flat[i] = int64((i*2654435761)%1000) - 500
+		}
+		if tc.rows > 0 {
+			flat[0] = math.MinInt64
+			flat[len(flat)-1] = math.MaxInt64
+		}
+		var e Encoder
+		e.AppendBatch(flat, tc.rows, tc.width)
+		got, rows, width, err := DecodeBatchPayload(e.B, nil)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.rows, tc.width, err)
+		}
+		if rows != tc.rows || width != tc.width {
+			t.Fatalf("%dx%d: decoded %dx%d", tc.rows, tc.width, rows, width)
+		}
+		if len(flat) > 0 && !reflect.DeepEqual(got[:rows*width], flat) {
+			t.Fatalf("%dx%d: payload mismatch", tc.rows, tc.width)
+		}
+	}
+}
+
+func TestBatchDecodeBounds(t *testing.T) {
+	var e Encoder
+	e.Uvarint(uint64(maxBatchRows + 1))
+	e.Uvarint(1)
+	if _, _, _, err := DecodeBatchPayload(e.B, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized rows: %v, want ErrMalformed", err)
+	}
+	e = Encoder{}
+	e.Uvarint(16) // claims 16 rows x 1 col, but carries no cells
+	e.Uvarint(1)
+	if _, _, _, err := DecodeBatchPayload(e.B, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated cells: %v, want ErrMalformed", err)
+	}
+}
+
+func TestErrorClassPreservation(t *testing.T) {
+	cases := []struct {
+		class    byte
+		sentinel error
+	}{
+		{ClassTransient, disk.ErrInjected},
+		{ClassPermanent, disk.ErrPermanentFault},
+		{ClassCorrupt, disk.ErrPageCorrupt},
+		{ClassCancelled, context.Canceled},
+		{ClassOverloaded, ErrOverloaded},
+		{ClassEvicted, ErrStmtEvicted},
+		{ClassIdle, ErrSessionClosed},
+	}
+	for _, tc := range cases {
+		err := ErrorMsg{Class: tc.class, Msg: "x"}.Err()
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("class %s does not unwrap to %v", ClassName(tc.class), tc.sentinel)
+		}
+		// The class must survive a classify round trip: server-side
+		// Classify of the sentinel yields the class the frame carried.
+		if got := Classify(err); got != tc.class {
+			t.Errorf("Classify(%v) = %s, want %s", err, ClassName(got), ClassName(tc.class))
+		}
+	}
+	// Transient injected faults must be recognisable through wrapping,
+	// the property client-side retry loops depend on.
+	remote := ErrorMsg{Class: ClassTransient, Msg: "injected"}.Err()
+	if !disk.IsTransient(remote) {
+		t.Fatal("remote transient fault not recognised by disk.IsTransient")
+	}
+	if disk.IsTransient(ErrorMsg{Class: ClassPermanent, Msg: "x"}.Err()) {
+		t.Fatal("remote permanent fault misclassified as transient")
+	}
+}

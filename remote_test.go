@@ -1,0 +1,456 @@
+package smoothscan_test
+
+// Remote-equivalence tests: the same engine, queried in-process and
+// through cmd/ssserver's wire protocol, must produce identical
+// results. The server here is handed the *same* DB instance the local
+// queries run against, so any divergence is the wire layer's fault —
+// encoding, batching, cursor paging or error mapping — and not a data
+// generation artifact.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"smoothscan"
+	"smoothscan/internal/loadgen"
+	"smoothscan/internal/server"
+	"smoothscan/ssclient"
+)
+
+// remoteFixture is one shared DB served both ways.
+type remoteFixture struct {
+	db   *smoothscan.DB
+	srv  *server.Server
+	addr string
+}
+
+func buildRemoteFixture(t *testing.T) *remoteFixture {
+	t.Helper()
+	db, err := loadgen.BuildDB(6000, 1500, 7, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dimension table keyed by the fact table's indexed column, so
+	// the join grid has a matching row for every t.val.
+	dt, err := db.CreateTable("d", "d_id", "d_w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1500; i++ {
+		if err := dt.Append(i, i%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dt.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("d", "d_id"); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{FaultAdmin: true})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &remoteFixture{db: db, srv: srv, addr: srv.Addr().String()}
+}
+
+func (f *remoteFixture) dial(t *testing.T) *ssclient.Client {
+	t.Helper()
+	c, err := ssclient.Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func drainLocal(t *testing.T, rows *smoothscan.Rows, err error) [][]int64 {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]int64
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func drainRemote(t *testing.T, rows *ssclient.Rows, err error) [][]int64 {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]int64
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func collectLocal(t *testing.T, q *smoothscan.Query) [][]int64 {
+	t.Helper()
+	rows, err := q.Run(context.Background())
+	return drainLocal(t, rows, err)
+}
+
+func collectRemote(t *testing.T, q *ssclient.Query) [][]int64 {
+	t.Helper()
+	rows, err := q.Run(context.Background())
+	return drainRemote(t, rows, err)
+}
+
+func sortRows(rows [][]int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// requireSameRows compares two result sets value for value. Ordered
+// plans must match in sequence; unordered ones as multisets (parallel
+// fan-in interleaving is legitimately nondeterministic on both sides
+// of the wire).
+func requireSameRows(t *testing.T, local, remote [][]int64, ordered bool) {
+	t.Helper()
+	if len(local) != len(remote) {
+		t.Fatalf("row counts differ: local %d, remote %d", len(local), len(remote))
+	}
+	if !ordered {
+		sortRows(local)
+		sortRows(remote)
+	}
+	for i := range local {
+		if len(local[i]) != len(remote[i]) {
+			t.Fatalf("row %d: widths differ: local %d, remote %d", i, len(local[i]), len(remote[i]))
+		}
+		for j := range local[i] {
+			if local[i][j] != remote[i][j] {
+				t.Fatalf("row %d col %d: local %d, remote %d", i, j, local[i][j], remote[i][j])
+			}
+		}
+	}
+}
+
+// TestRemoteEquivalenceGrid runs the access-path × parallelism ×
+// join grid both ways and requires identical results.
+func TestRemoteEquivalenceGrid(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+	c.SetFetchRows(256) // several windows per query: paging is under test
+
+	paths := []struct {
+		name string
+		path smoothscan.AccessPath
+	}{
+		{"smooth", smoothscan.PathSmooth},
+		{"index", smoothscan.PathIndex},
+		{"full", smoothscan.PathFull},
+	}
+	const lo, hi = 100, 400
+	for _, p := range paths {
+		for _, par := range []int{1, 4} {
+			for _, join := range []bool{false, true} {
+				name := fmt.Sprintf("%s/p%d/join=%v", p.name, par, join)
+				t.Run(name, func(t *testing.T) {
+					opts := smoothscan.ScanOptions{Path: p.path, Parallelism: par}
+					lq := f.db.Query(loadgen.Table).
+						Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
+						WithOptions(opts)
+					rq := c.Query(loadgen.Table).
+						Where(loadgen.IndexedCol, ssclient.Between(lo, hi)).
+						WithOptions(opts)
+					if join {
+						lq = lq.Join("d", loadgen.IndexedCol, "d_id")
+						rq = rq.Join("d", loadgen.IndexedCol, "d_id")
+					}
+					local := collectLocal(t, lq)
+					remote := collectRemote(t, rq)
+					if len(local) == 0 {
+						t.Fatal("grid case matched no rows; fixture is broken")
+					}
+					requireSameRows(t, local, remote, false)
+				})
+			}
+		}
+	}
+}
+
+// TestRemoteEquivalenceOrdered pins the stronger sequence-identical
+// property for ordered output, which is deterministic on both sides.
+func TestRemoteEquivalenceOrdered(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+	c.SetFetchRows(128)
+	opts := smoothscan.ScanOptions{Ordered: true}
+	local := collectLocal(t, f.db.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, smoothscan.Between(200, 900)).
+		WithOptions(opts))
+	remote := collectRemote(t, c.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, ssclient.Between(200, 900)).
+		WithOptions(opts))
+	requireSameRows(t, local, remote, true)
+}
+
+// TestRemoteEquivalenceShaped covers the rest of the builder surface —
+// Select, GroupBy aggregates, OrderBy, Limit — through both paths.
+func TestRemoteEquivalenceShaped(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+
+	t.Run("select-order-limit", func(t *testing.T) {
+		local := collectLocal(t, f.db.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Ge(1200)).
+			Select("id", loadgen.IndexedCol).
+			OrderBy("id").
+			Limit(37))
+		remote := collectRemote(t, c.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, ssclient.Ge(1200)).
+			Select("id", loadgen.IndexedCol).
+			OrderBy("id").
+			Limit(37))
+		requireSameRows(t, local, remote, true)
+	})
+
+	t.Run("groupby-aggregates", func(t *testing.T) {
+		local := collectLocal(t, f.db.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Lt(300)).
+			Join("d", loadgen.IndexedCol, "d_id").
+			GroupBy("d_w", smoothscan.Count().As("n"), smoothscan.Sum("p1").As("s"), smoothscan.Min("p2"), smoothscan.Max("p3")).
+			OrderBy("d_w"))
+		remote := collectRemote(t, c.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, ssclient.Lt(300)).
+			Join("d", loadgen.IndexedCol, "d_id").
+			GroupBy("d_w", ssclient.Count().As("n"), ssclient.Sum("p1").As("s"), ssclient.Min("p2"), ssclient.Max("p3")).
+			OrderBy("d_w"))
+		if len(local) == 0 {
+			t.Fatal("aggregate case produced no groups")
+		}
+		requireSameRows(t, local, remote, true)
+	})
+}
+
+// TestRemotePreparedEquivalence binds the same parameterized template
+// through DB.Prepare and Client.Prepare across several bind sets.
+func TestRemotePreparedEquivalence(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+
+	lstmt, err := f.db.Prepare(f.db.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+		Limit(smoothscan.Param("n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstmt, err := c.Prepare(c.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, ssclient.Between(ssclient.Param("lo"), ssclient.Param("hi"))).
+		Limit(ssclient.Param("n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, rp := lstmt.Params(), rstmt.Params()
+	if len(lp) != len(rp) {
+		t.Fatalf("parameter lists differ: local %v, remote %v", lp, rp)
+	}
+	for i := range lp {
+		if lp[i] != rp[i] {
+			t.Fatalf("parameter lists differ: local %v, remote %v", lp, rp)
+		}
+	}
+	for _, b := range []smoothscan.Bind{
+		{"lo": 0, "hi": 120, "n": 1000},
+		{"lo": 700, "hi": 730, "n": 5},
+		{"lo": 1400, "hi": 1500, "n": 1 << 30},
+	} {
+		lrows, lerr := lstmt.Run(context.Background(), b)
+		local := drainLocal(t, lrows, lerr)
+		rrows, rerr := rstmt.Run(context.Background(), b)
+		remote := drainRemote(t, rrows, rerr)
+		requireSameRows(t, local, remote, false)
+	}
+	if err := rstmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteFaultPropagation injects faults via the admin frame and
+// checks the typed error classes survive the wire: the same
+// errors.Is/IsTransientFault answers a local run would give, never a
+// generic I/O error.
+func TestRemoteFaultPropagation(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+
+	run := func() error {
+		rows, err := c.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, ssclient.Between(0, 1500)).
+			Run(context.Background())
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+		return err
+	}
+
+	// Permanent faults on every read: the engine cannot recover, and
+	// the client must see the permanent class, not a wire error.
+	if err := c.SetFaultPolicy(3, ssclient.FaultRule{Kind: smoothscan.FaultPermanent, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("query under permanent faults succeeded")
+	}
+	if !errors.Is(err, smoothscan.ErrPermanentFault) {
+		t.Fatalf("permanent fault class lost over the wire: %v", err)
+	}
+	if !smoothscan.IsFaultError(err) || smoothscan.IsTransientFault(err) {
+		t.Fatalf("fault predicates wrong for %v", err)
+	}
+	if c.Broken() {
+		t.Fatal("execution error broke the connection")
+	}
+
+	// Saturating transient faults exhaust the engine's bounded retry;
+	// the client-visible class must be transient, the one retry loops
+	// key on.
+	if err := c.SetFaultPolicy(3, ssclient.FaultRule{Kind: smoothscan.FaultTransient, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	err = run()
+	if err == nil {
+		t.Fatal("query under saturating transient faults succeeded")
+	}
+	if !smoothscan.IsTransientFault(err) {
+		t.Fatalf("transient fault class lost over the wire: %v", err)
+	}
+
+	// Clearing the policy restores service on the same connection.
+	if err := c.ClearFaultPolicy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(); err != nil {
+		t.Fatalf("query after clearing faults: %v", err)
+	}
+}
+
+// TestRemoteRowsDoubleClose exercises the documented Close contracts
+// on the live path: double Close of Rows mid-stream and after drain.
+func TestRemoteRowsDoubleClose(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+	c.SetFetchRows(64)
+
+	rows, err := c.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, ssclient.Between(0, 1500)).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("mid-stream Close: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if rows.Next() {
+		t.Fatal("Next advanced after Close")
+	}
+
+	// The connection is resynchronised; a drained stream closes clean
+	// too, and its summary is available.
+	rows2, err := c.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, ssclient.Between(0, 100)).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(0)
+	for rows2.Next() {
+		n++
+	}
+	if rows2.Err() != nil {
+		t.Fatal(rows2.Err())
+	}
+	sum, ok := rows2.Summary()
+	if !ok {
+		t.Fatal("summary missing after full drain")
+	}
+	if sum.Rows != n {
+		t.Fatalf("summary rows %d, want %d", sum.Rows, n)
+	}
+	if err := rows2.Close(); err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	if err := rows2.Close(); err != nil {
+		t.Fatalf("double Close after drain: %v", err)
+	}
+}
+
+// TestRemoteContextCancel cancels a client context mid-stream and
+// checks the error surfaces as context.Canceled while the connection
+// is written off (the stream cannot be resynchronised without the
+// server's cancel acknowledgement, which the aborted context skips
+// waiting for).
+func TestRemoteContextCancel(t *testing.T) {
+	f := buildRemoteFixture(t)
+	c := f.dial(t)
+	c.SetFetchRows(32)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := c.Query(loadgen.Table).
+		Where(loadgen.IndexedCol, ssclient.Between(0, 1500)).
+		WithOptions(smoothscan.ScanOptions{Parallelism: 4}).
+		Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows before cancel: %v", rows.Err())
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if !errors.Is(rows.Err(), context.Canceled) {
+		t.Fatalf("cancelled stream error: %v, want context.Canceled", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Server smoke: boot ssserver on an ephemeral port and drive it with
+# ssload -addr, both race-instrumented. Three remote runs — plain,
+# prepared-statement and chaos — must finish with zero failed queries
+# (-require-clean) and the plain run must report nonzero
+# client-observed throughput. This is the CI proof that the wire path
+# works end to end as processes, not just in-process test harnesses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+TMP="$(mktemp -d)"
+SRV_PID=
+cleanup() {
+	if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+		kill "$SRV_PID" 2>/dev/null || true
+		wait "$SRV_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "server-smoke: building race-instrumented binaries"
+$GO build -race -o "$TMP/ssserver" ./cmd/ssserver
+$GO build -race -o "$TMP/ssload" ./cmd/ssload
+
+ROWS=40000 DOMAIN=20000 SEED=7
+# -fault-admin so the remote harness can cold-start the pool between
+# measurement windows and the chaos run can install fault schedules.
+"$TMP/ssserver" -addr 127.0.0.1:0 -rows "$ROWS" -domain "$DOMAIN" -seed "$SEED" \
+	-pool 512 -fault-admin >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+# The server prints "... on 127.0.0.1:<port>" once listening; scrape
+# the ephemeral port from its log rather than racing for a fixed one.
+ADDR=
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's/.* on \(127\.0\.0\.1:[0-9][0-9]*\)$/\1/p' "$TMP/server.log" | head -n 1)"
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$SRV_PID" 2>/dev/null; then
+		cat "$TMP/server.log" >&2
+		echo "server-smoke: ssserver died during startup" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+	cat "$TMP/server.log" >&2
+	echo "server-smoke: ssserver never reported a listen address" >&2
+	exit 1
+fi
+echo "server-smoke: ssserver up on $ADDR"
+
+echo "server-smoke: plain remote load"
+"$TMP/ssload" -addr "$ADDR" -domain "$DOMAIN" -seed "$SEED" \
+	-clients 4 -queries 24 -selectivity 0.02 \
+	-require-clean -json "$TMP/plain.json"
+
+grep -q '"mode": *"remote"' "$TMP/plain.json" || {
+	echo "server-smoke: plain run did not report remote mode" >&2
+	exit 1
+}
+TPS="$(tr ',{}' '\n' <"$TMP/plain.json" | sed -n 's/.*"tuples_per_s": *\([0-9.eE+-]*\).*/\1/p' | head -n 1)"
+awk -v t="${TPS:-0}" 'BEGIN { exit (t + 0 > 0) ? 0 : 1 }' || {
+	echo "server-smoke: remote throughput is zero (tuples_per_s=$TPS)" >&2
+	exit 1
+}
+echo "server-smoke: remote throughput $TPS tuples/s"
+
+echo "server-smoke: prepared-statement remote load"
+"$TMP/ssload" -addr "$ADDR" -domain "$DOMAIN" -seed "$SEED" \
+	-clients 4 -queries 24 -selectivity 0.02 -prepare \
+	-require-clean -json "$TMP/prepared.json"
+
+echo "server-smoke: chaos remote load (typed faults over the wire)"
+"$TMP/ssload" -addr "$ADDR" -domain "$DOMAIN" -seed "$SEED" \
+	-clients 2 -queries 12 -selectivity 0.02 -chaos \
+	-require-clean -json "$TMP/chaos.json"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=
+echo "server-smoke: server summary:"
+grep '^ssserver: served\|^ssserver: .*stmts prepared' "$TMP/server.log" || cat "$TMP/server.log"
+echo "server-smoke: OK"

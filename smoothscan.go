@@ -583,6 +583,33 @@ func (r *Rows) Row() []int64 {
 	return out
 }
 
+// CopyRow copies the current row's values into dst and returns the
+// number of values copied (the smaller of the row width and len(dst)).
+// Unlike Row it allocates nothing, so streaming consumers — the wire
+// server's result encoder is the canonical one — can drain a scan into
+// a reused buffer.
+func (r *Rows) CopyRow(dst []int64) int {
+	n := len(r.cur)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.cur.Int(i)
+	}
+	return n
+}
+
+// Columns returns the names of the result columns, in output order —
+// the schema Select/GroupBy produced, or the table's columns when the
+// query projected nothing away.
+func (r *Rows) Columns() []string {
+	out := make([]string, r.schema.NumCols())
+	for i := range out {
+		out[i] = r.schema.Col(i).Name
+	}
+	return out
+}
+
 // Col returns the current row's value for the named column, reporting
 // false when the name does not resolve in the row schema. The false
 // return folds two distinct situations together — a column the table

@@ -1,0 +1,268 @@
+package ssclient
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"smoothscan"
+	"smoothscan/internal/wire"
+)
+
+// The remote query builder mirrors the smoothscan.Query surface —
+// Where / Join / Select / GroupBy / OrderBy / Limit / WithOptions —
+// but composes a wire QuerySpec instead of an in-process plan. All
+// semantic validation (unknown tables and columns, ambiguous
+// conjuncts) happens server-side at Prepare/Run, where the schema
+// lives; the builder only records the first local mistake (a bad
+// argument type, an empty parameter name) and reports it from
+// Run/Prepare, the same error-channel contract as the embedded
+// builder.
+
+// Arg is one predicate or Limit argument: an integer literal or a
+// Param placeholder.
+type Arg struct {
+	param string
+	lit   int64
+	err   error
+}
+
+// Param is a named placeholder usable anywhere a literal goes, exactly
+// as with smoothscan.Param; a query containing parameters must be
+// compiled with Client.Prepare.
+func Param(name string) Arg {
+	if name == "" {
+		return Arg{err: fmt.Errorf("ssclient: empty parameter name")}
+	}
+	for _, r := range name {
+		if !(r == '_' || r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return Arg{err: fmt.Errorf("ssclient: parameter name %q: only letters, digits and underscores are allowed", name)}
+		}
+	}
+	return Arg{param: name}
+}
+
+// asArg converts a constructor argument: an Arg passes through, any
+// integer kind becomes a literal.
+func asArg(v any) Arg {
+	switch x := v.(type) {
+	case Arg:
+		return x
+	case int:
+		return Arg{lit: int64(x)}
+	case int64:
+		return Arg{lit: x}
+	case int32:
+		return Arg{lit: int64(x)}
+	case int16:
+		return Arg{lit: int64(x)}
+	case int8:
+		return Arg{lit: int64(x)}
+	case uint8:
+		return Arg{lit: int64(x)}
+	case uint16:
+		return Arg{lit: int64(x)}
+	case uint32:
+		return Arg{lit: int64(x)}
+	case uint:
+		if uint64(x) > math.MaxInt64 {
+			return Arg{err: fmt.Errorf("%w: %d overflows int64", smoothscan.ErrArgType, x)}
+		}
+		return Arg{lit: int64(x)}
+	case uint64:
+		if x > math.MaxInt64 {
+			return Arg{err: fmt.Errorf("%w: %d overflows int64", smoothscan.ErrArgType, x)}
+		}
+		return Arg{lit: int64(x)}
+	default:
+		return Arg{err: fmt.Errorf("%w: %T (want an integer or Param)", smoothscan.ErrArgType, v)}
+	}
+}
+
+func (a Arg) spec() wire.ArgSpec { return wire.ArgSpec{Param: a.param, Lit: a.lit} }
+
+// Pred is a predicate on one integer column.
+type Pred struct {
+	kind byte
+	a, b Arg
+	err  error
+}
+
+func pred(kind byte, a, b Arg) Pred {
+	err := a.err
+	if err == nil {
+		err = b.err
+	}
+	return Pred{kind: kind, a: a, b: b, err: err}
+}
+
+// Between matches lo <= v < hi.
+func Between(lo, hi any) Pred { return pred(wire.PredBetween, asArg(lo), asArg(hi)) }
+
+// Eq matches v == x.
+func Eq(x any) Pred { return pred(wire.PredEq, asArg(x), Arg{}) }
+
+// Lt matches v < x.
+func Lt(x any) Pred { return pred(wire.PredLt, asArg(x), Arg{}) }
+
+// Le matches v <= x.
+func Le(x any) Pred { return pred(wire.PredLe, asArg(x), Arg{}) }
+
+// Gt matches v > x.
+func Gt(x any) Pred { return pred(wire.PredGt, asArg(x), Arg{}) }
+
+// Ge matches v >= x.
+func Ge(x any) Pred { return pred(wire.PredGe, asArg(x), Arg{}) }
+
+// Agg is an aggregate expression for Query.GroupBy.
+type Agg struct {
+	kind byte
+	col  string
+	as   string
+}
+
+// Sum aggregates the sum of col per group.
+func Sum(col string) Agg { return Agg{kind: wire.AggSum, col: col} }
+
+// Count counts the rows of each group.
+func Count() Agg { return Agg{kind: wire.AggCount} }
+
+// Min aggregates the minimum of col per group.
+func Min(col string) Agg { return Agg{kind: wire.AggMin, col: col} }
+
+// Max aggregates the maximum of col per group.
+func Max(col string) Agg { return Agg{kind: wire.AggMax, col: col} }
+
+// As renames the aggregate's output column.
+func (a Agg) As(name string) Agg { a.as = name; return a }
+
+// Query is a remote query under construction. Build one with
+// Client.Query, chain the builder methods, then Run it (ad hoc) or
+// Prepare it into a Stmt.
+type Query struct {
+	c    *Client
+	spec wire.QuerySpec
+	err  error
+}
+
+// Query starts a composable query over the named server-side table.
+func (c *Client) Query(table string) *Query {
+	return &Query{c: c, spec: wire.QuerySpec{Table: table}}
+}
+
+func (q *Query) fail(err error) *Query {
+	if q.err == nil {
+		q.err = err
+	}
+	return q
+}
+
+// Where adds a conjunctive predicate on a column.
+func (q *Query) Where(col string, p Pred) *Query {
+	if p.err != nil {
+		return q.fail(fmt.Errorf("Where(%q): %w", col, p.err))
+	}
+	q.spec.Preds = append(q.spec.Preds, wire.PredSpec{Col: col, Kind: p.kind, A: p.a.spec(), B: p.b.spec()})
+	return q
+}
+
+// Join adds an inner equi-join with another table (see
+// smoothscan.Query.Join for the semantics).
+func (q *Query) Join(table, leftCol, rightCol string) *Query {
+	q.spec.Joins = append(q.spec.Joins, wire.JoinSpec{Table: table, LeftCol: leftCol, RightCol: rightCol})
+	return q
+}
+
+// JoinWithOptions is Join with explicit ScanOptions for the joined
+// table's access path.
+func (q *Query) JoinWithOptions(table, leftCol, rightCol string, opts smoothscan.ScanOptions) *Query {
+	q.spec.Joins = append(q.spec.Joins, wire.JoinSpec{
+		Table: table, LeftCol: leftCol, RightCol: rightCol, Opts: optsSpec(opts)})
+	return q
+}
+
+// Select projects the output onto the named columns, in order.
+func (q *Query) Select(cols ...string) *Query {
+	if q.spec.HasSel {
+		return q.fail(fmt.Errorf("ssclient: Select set twice"))
+	}
+	if len(cols) == 0 {
+		return q.fail(fmt.Errorf("ssclient: Select requires at least one column"))
+	}
+	q.spec.Select = append([]string(nil), cols...)
+	q.spec.HasSel = true
+	return q
+}
+
+// GroupBy groups rows by a column and computes the aggregates per
+// group.
+func (q *Query) GroupBy(col string, aggs ...Agg) *Query {
+	if q.spec.HasAgg {
+		return q.fail(fmt.Errorf("ssclient: GroupBy set twice"))
+	}
+	if len(aggs) == 0 {
+		return q.fail(fmt.Errorf("ssclient: GroupBy requires at least one aggregate"))
+	}
+	q.spec.GroupCol = col
+	for _, a := range aggs {
+		q.spec.Aggs = append(q.spec.Aggs, wire.AggSpec{Kind: a.kind, Col: a.col, As: a.as})
+	}
+	q.spec.HasAgg = true
+	return q
+}
+
+// OrderBy orders the output by the named column, ascending.
+func (q *Query) OrderBy(col string) *Query {
+	if q.spec.HasOrd {
+		return q.fail(fmt.Errorf("ssclient: OrderBy set twice"))
+	}
+	q.spec.OrderCol = col
+	q.spec.HasOrd = true
+	return q
+}
+
+// Limit caps the number of output rows; it accepts an integer or a
+// Param placeholder.
+func (q *Query) Limit(n any) *Query {
+	a := asArg(n)
+	if a.err != nil {
+		return q.fail(fmt.Errorf("Limit: %w", a.err))
+	}
+	if a.param == "" && a.lit < 0 {
+		return q.fail(fmt.Errorf("ssclient: negative limit %d", a.lit))
+	}
+	q.spec.Limit = a.spec()
+	q.spec.HasLim = true
+	return q
+}
+
+// WithOptions applies ScanOptions to the driving table access. The
+// options type is shared with the embedded engine, so a workload
+// configuration moves between local and remote execution unchanged.
+func (q *Query) WithOptions(opts smoothscan.ScanOptions) *Query {
+	q.spec.Opts = optsSpec(opts)
+	return q
+}
+
+// Run executes the query ad hoc (literals inline) and opens a result
+// stream. Parameterized queries must go through Prepare.
+func (q *Query) Run(ctx context.Context) (*Rows, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	return q.c.openRows(ctx, wire.MsgQuery, wire.Query{Spec: q.spec}.Marshal())
+}
+
+func optsSpec(o smoothscan.ScanOptions) wire.OptsSpec {
+	return wire.OptsSpec{
+		Path:              byte(o.Path),
+		Policy:            byte(o.Policy),
+		Trigger:           byte(o.Trigger),
+		Ordered:           o.Ordered,
+		EstimatedRows:     o.EstimatedRows,
+		SLABound:          o.SLABound,
+		MaxRegionPages:    o.MaxRegionPages,
+		ResultCacheBudget: o.ResultCacheBudget,
+		Parallelism:       int32(o.Parallelism),
+	}
+}
