@@ -366,6 +366,80 @@ func BenchmarkParallelSmoothScan(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedScan measures wall-clock tuples/second of the
+// scatter-gather full scan at N = 1/2/4 range-partitioned shards,
+// unordered fan-in (the shard-parallel analogue of
+// BenchmarkParallelSmoothScan, through the ShardedDB facade). Two
+// custom metrics per sub-benchmark: tuples/s (wall clock, the gated
+// one — benchgate also derives the N=4/N=1 scaling ratio from these)
+// and simcost (deterministic simulated device cost of one cold
+// gather). On a single-processor runner the tuples/s ratio across N
+// carries no scaling signal; benchgate reports it non-binding there.
+func BenchmarkShardedScan(b *testing.B) {
+	const (
+		numRows = 100_000
+		domain  = 100_000
+	)
+	for _, n := range []int{1, 2, 4} {
+		b.Run("N="+strconv.Itoa(n), func(b *testing.B) {
+			s, err := OpenSharded(n, Options{PoolPages: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			part := RangePartitioning("val", EqualWidthBounds(0, domain, n)...)
+			tb, err := s.CreateShardedTable("t", part, "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			vals := make([]int64, 10)
+			for i := int64(0); i < numRows; i++ {
+				vals[0] = i
+				for c := 1; c < 10; c++ {
+					vals[c] = rng.Int63n(domain)
+				}
+				if err := tb.Append(vals...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tb.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.CreateIndex("t", "val"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var produced int64
+			var simTime float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.ResetStats(); err != nil {
+					b.Fatal(err)
+				}
+				rows, err := s.Query("t").Where("val", Between(0, domain)).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.Next() {
+					produced++
+				}
+				if rows.Err() != nil {
+					b.Fatal(rows.Err())
+				}
+				if err := rows.Close(); err != nil {
+					b.Fatal(err)
+				}
+				simTime = s.Stats().Time()
+			}
+			b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(simTime, "simcost")
+		})
+	}
+}
+
 // BenchmarkHashJoinThroughput measures joined tuples/second through
 // the batched hash join (build 20k rows, probe 200k, ~1 match per
 // probe row) over in-memory inputs — the operator's own overhead,

@@ -39,6 +39,13 @@ type Baseline struct {
 	// TuplesPerSec maps benchmark name (sans -N suffix) to the best
 	// observed throughput.
 	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
+	// Scaling maps a sub-benchmark family (e.g.
+	// "BenchmarkShardedScan x4") to its scaling efficiency: best
+	// tuples/s at the highest N=/P= parameter divided by best
+	// tuples/s at parameter 1. A healthy parallel path keeps this
+	// ratio up as shards/workers grow; it is only meaningful — and
+	// only enforced — when the machine has more than one processor.
+	Scaling map[string]float64 `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -46,7 +53,7 @@ func main() {
 		baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline JSON path")
 		write        = flag.Bool("write", false, "regenerate the baseline instead of gating")
 		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional throughput regression")
-		benchRe      = flag.String("bench", "SmoothScanThroughput$|BatchDecode$|HashJoinThroughput$|PreparedExec$", "benchmarks to run (go test -bench regexp)")
+		benchRe      = flag.String("bench", "SmoothScanThroughput$|BatchDecode$|HashJoinThroughput$|PreparedExec$|ShardedScan$|ParallelSmoothScan$", "benchmarks to run (go test -bench regexp)")
 		benchtime    = flag.String("benchtime", "300ms", "go test -benchtime (time-based for stable per-run averages)")
 		count        = flag.Int("count", 3, "runs per benchmark; the gate takes the best")
 		strict       = flag.Bool("strict", false, "fail on regression even when the baseline was generated on a different CPU class")
@@ -75,6 +82,7 @@ func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime 
 				"regenerate with `make bench-baseline` after deliberate perf changes or a CI runner change",
 			CPUs:         runtime.GOMAXPROCS(0),
 			TuplesPerSec: got,
+			Scaling:      scalingRatios(got),
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -137,6 +145,52 @@ func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime 
 			fmt.Printf("note %-40s not in baseline; run `make bench-baseline` to add it\n", name)
 		}
 	}
+
+	// Scaling efficiency: the ratio of a family's highest-parameter
+	// throughput to its parameter-1 throughput. Unlike absolute
+	// tuples/s this survives runner-speed changes, but it carries no
+	// signal on a single processor — shards/workers just time-slice —
+	// so there it is reported and never enforced.
+	if gotScaling := scalingRatios(got); len(base.Scaling) > 0 || len(gotScaling) > 0 {
+		scalingBinding := binding
+		if runtime.GOMAXPROCS(0) == 1 {
+			scalingBinding = false
+			fmt.Println("warning: GOMAXPROCS=1: scaling ratios carry no parallelism signal on one processor; NOT enforced")
+		}
+		fams := make([]string, 0, len(base.Scaling))
+		for fam := range base.Scaling {
+			fams = append(fams, fam)
+		}
+		sort.Strings(fams)
+		var scalingFailed bool
+		for _, fam := range fams {
+			want := base.Scaling[fam]
+			cur, ok := gotScaling[fam]
+			if !ok {
+				fmt.Printf("FAIL %-40s scaling family missing from run (baseline %.2fx)\n", fam, want)
+				scalingFailed = true
+				continue
+			}
+			floor := want * (1 - tolerance)
+			status := "ok  "
+			if cur < floor {
+				status = "FAIL"
+				scalingFailed = true
+			}
+			fmt.Printf("%s %-40s %10.2fx scaling (baseline %.2fx, floor %.2fx)\n", status, fam, cur, want, floor)
+		}
+		for fam := range gotScaling {
+			if _, ok := base.Scaling[fam]; !ok {
+				fmt.Printf("note %-40s scaling family not in baseline; run `make bench-baseline` to add it\n", fam)
+			}
+		}
+		if scalingFailed && scalingBinding {
+			failed = true
+		} else if scalingFailed {
+			fmt.Println("bench gate: scaling regressions above were NOT enforced (no parallelism signal on this runner)")
+		}
+	}
+
 	if failed && binding {
 		return fmt.Errorf("throughput regressed beyond %.0f%% of the committed baseline", 100*tolerance)
 	}
@@ -146,6 +200,48 @@ func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime 
 	}
 	fmt.Println("bench gate passed")
 	return nil
+}
+
+// subParam matches a parameterized sub-benchmark name like
+// "BenchmarkShardedScan/N=4" or "BenchmarkParallelSmoothScan/P=2".
+var subParam = regexp.MustCompile(`^(Benchmark\S+?)/[NP]=(\d+)$`)
+
+// scalingRatios derives scaling-efficiency ratios from measured
+// throughputs: for each family with N=/P= sub-benchmarks, the best
+// tuples/s at the highest parameter over the best at parameter 1,
+// keyed "Family xTOP". Families without a parameter-1 member (or with
+// no member above 1) produce no ratio.
+func scalingRatios(got map[string]float64) map[string]float64 {
+	type point struct {
+		p int
+		v float64
+	}
+	fams := map[string][]point{}
+	for name, v := range got {
+		if m := subParam.FindStringSubmatch(name); m != nil {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				continue
+			}
+			fams[m[1]] = append(fams[m[1]], point{p, v})
+		}
+	}
+	out := map[string]float64{}
+	for fam, pts := range fams {
+		var base, top point
+		for _, pt := range pts {
+			if pt.p == 1 {
+				base = pt
+			}
+			if pt.p > top.p {
+				top = pt
+			}
+		}
+		if base.p == 1 && base.v > 0 && top.p > 1 {
+			out[fmt.Sprintf("%s x%d", fam, top.p)] = top.v / base.v
+		}
+	}
+	return out
 }
 
 // benchLine matches one `go test -bench` result line.

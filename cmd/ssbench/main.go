@@ -24,7 +24,15 @@ import (
 
 	"smoothscan"
 	"smoothscan/internal/harness"
+	"smoothscan/internal/shardexp"
 )
+
+// experimentIDs is the -exp all order: the paper experiments first,
+// then the sharded scatter-gather sweep (which lives outside
+// internal/harness because it drives the public sharded facade).
+func experimentIDs() []string {
+	return append(harness.IDs(), shardexp.ID)
+}
 
 func main() {
 	var (
@@ -51,7 +59,7 @@ func main() {
 
 	if *list {
 		fmt.Println("experiments (paper order):")
-		for _, id := range harness.IDs() {
+		for _, id := range experimentIDs() {
 			fmt.Println(" ", id)
 		}
 		return
@@ -68,7 +76,13 @@ func main() {
 
 	run := func(id string) error {
 		start := time.Now()
-		tab, err := r.ByID(id)
+		var tab *harness.Table
+		var err error
+		if id == shardexp.ID {
+			tab, err = shardexp.Run(shardexp.Config{Seed: *seed})
+		} else {
+			tab, err = r.ByID(id)
+		}
 		if err != nil {
 			return err
 		}
@@ -92,7 +106,7 @@ func main() {
 				skip[id] = true
 			}
 		}
-		for _, id := range harness.IDs() {
+		for _, id := range experimentIDs() {
 			if skip[id] {
 				continue
 			}

@@ -85,9 +85,20 @@ func main() {
 		adhoc       = flag.Bool("adhoc", true, "with -prepare: run the ad-hoc control load first (disable to measure only the prepared run)")
 		chaos       = flag.Bool("chaos", false, "chaos mode: run a fault-free oracle load, then re-run under injected fault schedules and verify the result digests match")
 		addr        = flag.String("addr", "", "run against a remote ssserver at this address instead of in-process (the server owns the data; use matching -domain/-seed flags on both sides)")
+		shards      = flag.Int("shards", 0, "range-partition the table across N in-process shards and run the load through the scatter-gather engine (0 = unsharded); local modes only")
 		clean       = flag.Bool("require-clean", false, "exit non-zero if any query failed")
 	)
 	flag.Parse()
+
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards %d (want >= 0)", *shards))
+	}
+	if *shards > 0 && *addr != "" {
+		fatal(fmt.Errorf("-shards needs the in-process engine (drop -addr)"))
+	}
+	if *shards > 0 && *bench != "" {
+		fatal(fmt.Errorf("-shards does not combine with -bench"))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -114,13 +125,20 @@ func main() {
 	}
 
 	var h harness
-	if *addr != "" {
+	switch {
+	case *addr != "":
 		rh, err := newRemoteHarness(*addr)
 		if err != nil {
 			fatal(fmt.Errorf("dial %s: %w", *addr, err))
 		}
 		h = rh
-	} else {
+	case *shards > 0:
+		s, err := loadgen.BuildShardedDB(*rows, *domain, *seed, *pool, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		h = &shardedHarness{s: s}
+	default:
 		db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
 		if err != nil {
 			fatal(err)
@@ -452,6 +470,129 @@ func (r *localRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, 
 func (r *localRunner) reconnects() int { return 0 }
 func (r *localRunner) close()          {}
 
+// shardedHarness runs the workload against an in-process ShardedDB:
+// the same query surface, scattered to the owning shards and gathered
+// through the exchange. Digests stay comparable to the unsharded
+// harness because the row stream (and thus every predicate's result
+// multiset) is identical — only the placement differs.
+type shardedHarness struct {
+	s    *smoothscan.ShardedDB
+	stmt *smoothscan.ShardedStmt // shared prepared Stmt, created lazily
+}
+
+func (h *shardedHarness) mode() string { return fmt.Sprintf("sharded[%d]", h.s.NumShards()) }
+
+func (h *shardedHarness) mark() error {
+	if err := h.s.ColdCache(); err != nil {
+		return err
+	}
+	return h.s.ResetStats()
+}
+
+func (h *shardedHarness) simCost() (float64, error) { return h.s.Stats().Time(), nil }
+
+func (h *shardedHarness) planCache() (smoothscan.PlanCacheStats, error) {
+	// Each shard owns a plan cache; the run-level counters are their sum
+	// (sizing fields are per shard and reported from shard 0).
+	var total smoothscan.PlanCacheStats
+	for i := 0; i < h.s.NumShards(); i++ {
+		st := h.s.Shard(i).PlanCacheStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+		if i == 0 {
+			total.Entries, total.Capacity = st.Entries, st.Capacity
+		}
+	}
+	return total, nil
+}
+
+func (h *shardedHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
+	if cfg.prepared && h.stmt == nil {
+		stmt, err := h.s.Prepare(h.s.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+			WithOptions(cfg.opts))
+		if err != nil {
+			return nil, err
+		}
+		h.stmt = stmt
+	}
+	return &shardedRunner{h: h, cfg: cfg}, nil
+}
+
+func (h *shardedHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
+	for i := 0; i < h.s.NumShards(); i++ {
+		if rule == nil {
+			h.s.Shard(i).SetFaultPolicy(nil)
+			continue
+		}
+		// One independent policy per shard device, same seed: decisions
+		// stay deterministic per (shard, space, page, attempt).
+		h.s.Shard(i).SetFaultPolicy(smoothscan.NewFaultPolicy(seed, *rule))
+	}
+	return nil
+}
+
+func (h *shardedHarness) close() {}
+
+// shardBalance reports the per-shard row and device-cost balance of a
+// sharded run (see loadResult.Shards).
+func (h *shardedHarness) shardBalance() []shardBalance {
+	rows, err := h.s.ShardRows(loadgen.Table)
+	if err != nil {
+		return nil
+	}
+	per := h.s.ShardIOStats()
+	out := make([]shardBalance, len(per))
+	for i := range per {
+		out[i] = shardBalance{
+			Shard:     i,
+			Rows:      rows[i],
+			SimCost:   per[i].Time(),
+			PagesRead: per[i].PagesRead,
+		}
+	}
+	return out
+}
+
+type shardedRunner struct {
+	h   *shardedHarness
+	cfg loadConfig
+}
+
+func (r *shardedRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
+	var qr queryResult
+	var rows *smoothscan.ShardedRows
+	var err error
+	if r.cfg.prepared {
+		rows, err = r.h.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
+	} else {
+		rows, err = r.h.s.Query(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
+			WithOptions(r.cfg.opts).
+			Run(ctx)
+	}
+	if err != nil {
+		return qr, err
+	}
+	for rows.Next() {
+		qr.tuples++
+		qr.digest += rowHash(rows.Row())
+	}
+	err = rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
+	st := rows.ExecStats()
+	qr.reused = st.PlanCacheHit
+	qr.retries = st.Retries
+	qr.faults = st.FaultsSeen
+	return qr, err
+}
+
+func (r *shardedRunner) reconnects() int { return 0 }
+func (r *shardedRunner) close()          {}
+
 // remoteHarness runs the workload against an ssserver: one control
 // connection for stats and fault administration, plus one connection
 // per client goroutine (an ssclient.Client is single-goroutine by
@@ -667,6 +808,12 @@ type loadResult struct {
 	Retries      int64 `json:"retries"`
 	FaultsSeen   int64 `json:"faults_seen"`
 	Reconnects   int   `json:"reconnects"`
+	// Shards reports the per-shard row and device-cost balance of a
+	// sharded run (-shards N), in shard order; omitted otherwise. Rows
+	// is static placement; SimCost and PagesRead are this run's deltas,
+	// showing whether pruning and the uniform predicate stream spread
+	// the work evenly.
+	Shards []shardBalance `json:"shards,omitempty"`
 	// Digest is an order-independent checksum of every result row of
 	// every successful query (sum of per-row FNV-1a hashes), stable
 	// across client scheduling and parallel-worker interleavings. Two
@@ -676,6 +823,20 @@ type loadResult struct {
 	Digest uint64 `json:"digest"`
 	// PerClient breaks the run down by client goroutine.
 	PerClient []clientStat `json:"per_client,omitempty"`
+}
+
+// shardBalance is one shard's slice of a sharded run.
+type shardBalance struct {
+	Shard     int     `json:"shard"`
+	Rows      int64   `json:"rows"`
+	SimCost   float64 `json:"simcost"`
+	PagesRead int64   `json:"pages_read"`
+}
+
+// shardReporter is implemented by harnesses that can break a run down
+// per shard.
+type shardReporter interface {
+	shardBalance() []shardBalance
 }
 
 func (r loadResult) print(w *os.File) {
@@ -694,6 +855,10 @@ func (r loadResult) print(w *os.File) {
 	}
 	if r.Reconnects > 0 {
 		fmt.Fprintf(w, "  reconnects %d lost connections re-dialed\n", r.Reconnects)
+	}
+	for _, sb := range r.Shards {
+		fmt.Fprintf(w, "  shard %-4d %8d rows, %10.1f simcost, %8d pages read\n",
+			sb.Shard, sb.Rows, sb.SimCost, sb.PagesRead)
 	}
 }
 
@@ -836,6 +1001,10 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 	if err != nil {
 		return loadResult{}, err
 	}
+	var shardBal []shardBalance
+	if sr, ok := h.(shardReporter); ok {
+		shardBal = sr.shardBalance()
+	}
 
 	sort.Slice(perClient, func(i, j int) bool { return perClient[i].Client < perClient[j].Client })
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -865,6 +1034,7 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 		MaxMS:         pct(1.0),
 		SimCost:       simCost,
 		PlanReuseRate: reuseRate,
+		Shards:        shardBal,
 		Digest:        digest,
 		PerClient:     perClient,
 	}
@@ -984,10 +1154,14 @@ type parallelBenchResult struct {
 
 // parallelBenchReport is the BENCH_parallel.json document.
 type parallelBenchReport struct {
-	Benchmark string                `json:"benchmark"`
-	Rows      int64                 `json:"rows"`
-	CPUs      int                   `json:"cpus"`
-	Results   []parallelBenchResult `json:"results"`
+	Benchmark string `json:"benchmark"`
+	Rows      int64  `json:"rows"`
+	CPUs      int    `json:"cpus"`
+	// Warning flags runs whose wall-clock numbers cannot show parallel
+	// speedup (GOMAXPROCS=1: workers time-slice one processor), so a
+	// downstream reader does not mistake flat scaling for a regression.
+	Warning string                `json:"warning,omitempty"`
+	Results []parallelBenchResult `json:"results"`
 }
 
 // benchParallel runs the P=1/2/4/8 intra-query sweep at 100%
@@ -999,6 +1173,9 @@ func benchParallel(db *smoothscan.DB, rows, domain int64, jsonOut string) error 
 		Benchmark: "BenchmarkParallelSmoothScan",
 		Rows:      rows,
 		CPUs:      runtime.NumCPU(),
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		report.Warning = "GOMAXPROCS=1: wall-clock speedup is not measurable on one processor; read simcost deltas only"
 	}
 	var base parallelBenchResult
 	for _, p := range []int{1, 2, 4, 8} {

@@ -81,8 +81,13 @@ type ExecStats struct {
 	FaultsSeen int64
 	// Degraded lists the fault-recovery plan fallbacks this execution
 	// applied, in order (see Plan.Degraded); nil when the query ran as
-	// compiled.
+	// compiled. For a sharded query the entries are prefixed with the
+	// degrading shard ("shard 2: ...").
 	Degraded []string
+	// Shards is the per-shard breakdown of a sharded query — pruning
+	// decisions, per-shard I/O, rows and morphing counters — in shard
+	// order; nil for unsharded queries.
+	Shards []ShardStats
 }
 
 // ExecStats returns the query's unified execution statistics. It may
@@ -128,6 +133,93 @@ func (r *Rows) ExecStats() ExecStats {
 	if r.compiled != nil && len(r.compiled.degraded) > 0 {
 		st.Degraded = append([]string(nil), r.compiled.degraded...)
 	}
+	return st
+}
+
+// ShardStats is one shard's slice of a sharded query's execution:
+// whether (and why) the planner pruned it, its device I/O delta, and
+// — for shards that ran — the rows it delivered and its own morphing
+// and degradation state.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Owns describes the shard's key ownership ("[100,200)", "h%4=2").
+	Owns string
+	// Pruned reports that the planner excluded the shard — it ran no
+	// operator and performed zero device I/O.
+	Pruned bool
+	// PrunedWhy is the pruning (or empty-plan) reason for a pruned
+	// shard; "" for shards that ran.
+	PrunedWhy string
+	// IO is the shard device's counter delta over the query window
+	// (zero for pruned shards when the query ran alone).
+	IO IOStats
+	// Rows is the number of rows the shard's slice delivered into the
+	// gather; filled once the query has drained or closed.
+	Rows int64
+	// PlanCacheHit reports whether the shard's own execution reused a
+	// compiled template.
+	PlanCacheHit bool
+	// HasSmooth / Smooth expose the shard's Smooth Scan morphing
+	// counters, like ExecStats.HasSmooth/Smooth.
+	HasSmooth bool
+	Smooth    SmoothStats
+	// Degraded lists the fault-recovery fallbacks this shard applied;
+	// one shard degrading never touches the others' plans.
+	Degraded []string
+}
+
+// ExecStats returns the sharded query's unified statistics: summed
+// device deltas, coordinator operator counts, and the per-shard
+// breakdown. Per-shard scan internals (rows, morphing counters,
+// degradations) are filled once the query has drained or closed —
+// before that the workers may still be running and only the I/O
+// deltas are read.
+func (r *ShardedRows) ExecStats() ExecStats {
+	st := ExecStats{}
+	quiesced := r.closed || r.done
+	shards := make([]ShardStats, len(r.s.shards))
+	for i := range shards {
+		shards[i] = ShardStats{
+			Shard:     i,
+			Owns:      r.se.part.DescribeShard(i),
+			Pruned:    true,
+			PrunedWhy: r.se.prunedWhy[i],
+		}
+		if r.closed {
+			shards[i].IO = r.ioDelta[i]
+		} else {
+			shards[i].IO = r.s.shards[i].dev.Stats().Sub(r.ioStart[i])
+		}
+		st.IO = addIO(st.IO, shards[i].IO)
+	}
+	for k, si := range r.se.active {
+		sh := &shards[si]
+		sh.Pruned = false
+		sh.PrunedWhy = ""
+		if !quiesced || k >= len(r.adapters) || r.adapters[k].rows == nil {
+			continue
+		}
+		sub := r.adapters[k].rows.ExecStats()
+		sh.Rows = sub.RowsReturned
+		sh.PlanCacheHit = sub.PlanCacheHit
+		sh.HasSmooth = sub.HasSmooth
+		sh.Smooth = sub.Smooth
+		sh.Degraded = sub.Degraded
+		for _, d := range sub.Degraded {
+			st.Degraded = append(st.Degraded, fmt.Sprintf("shard %d: %s", si, d))
+		}
+	}
+	st.Shards = shards
+	for _, c := range r.counters {
+		st.Operators = append(st.Operators, OperatorStats{Name: c.name, Rows: c.rows, Batches: c.batches})
+	}
+	if n := len(r.counters); n > 0 {
+		st.RowsReturned = r.counters[n-1].rows
+	}
+	st.PlanCacheHit = r.planCached
+	st.Retries = st.IO.Retries
+	st.FaultsSeen = st.IO.Faults + st.IO.Corruptions + st.IO.LatencySpikes
 	return st
 }
 

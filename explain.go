@@ -106,6 +106,144 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
+// ShardPlan is one shard's entry in a sharded query's Explain output:
+// its key ownership, whether the planner pruned it (and why), and —
+// for shards that run — the shard's own compiled plan.
+type ShardPlan struct {
+	// Shard is the shard index.
+	Shard int
+	// Owns describes the shard's key ownership ("[100,200)", "h%4=2").
+	Owns string
+	// Pruned reports that the shard is excluded from the execution.
+	Pruned bool
+	// Why is the pruning reason for a pruned shard.
+	Why string
+	// Plan is the shard's own compiled plan; nil for pruned shards.
+	Plan *Plan
+}
+
+// ShardedPlan is the compiled form of a ShardedQuery: the scatter
+// strategy, the pruning decisions, the gather mode, the coordinator
+// stages, and each active shard's plan tree.
+type ShardedPlan struct {
+	// Table is the driving table.
+	Table string
+	// Partition describes the driving table's partitioning
+	// ("range(val): (-inf,100) [100,200) [200,+inf)").
+	Partition string
+	// Strategy is "scan", "partition-wise" or "broadcast".
+	Strategy string
+	// Gather is "unordered fan-in", "ordered merge by <col>", or
+	// "none" for an empty plan.
+	Gather string
+	// Coordinator lists the stages above the gather, in order
+	// ("project", "merge-agg", "sort by x", "limit 10").
+	Coordinator []string
+	// Binds lists a prepared execution's parameter bindings, like
+	// Plan.Binds.
+	Binds []string
+	// EmptyWhy is set when the plan short-circuits to an empty result
+	// with no shard touched.
+	EmptyWhy string
+	// Shards holds one entry per shard, in shard order.
+	Shards []ShardPlan
+}
+
+// String renders the sharded plan: a header with the scatter-gather
+// configuration, then one block per shard — pruned shards as a single
+// line with the reason, active shards with their own plan tree
+// indented beneath.
+func (p *ShardedPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded(%s) strategy=%s partition=%s\n", p.Table, p.Strategy, p.Partition)
+	if len(p.Binds) > 0 {
+		fmt.Fprintf(&b, "   bind: %s\n", strings.Join(p.Binds, ", "))
+	}
+	if p.EmptyWhy != "" {
+		fmt.Fprintf(&b, "   empty: %s; no device access on any shard\n", p.EmptyWhy)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "   gather: %s\n", p.Gather)
+	if len(p.Coordinator) > 0 {
+		fmt.Fprintf(&b, "   coordinator: %s\n", strings.Join(p.Coordinator, " → "))
+	}
+	for _, sp := range p.Shards {
+		if sp.Pruned {
+			fmt.Fprintf(&b, "└─ shard %d %s: pruned — %s\n", sp.Shard, sp.Owns, sp.Why)
+			continue
+		}
+		fmt.Fprintf(&b, "└─ shard %d %s:\n", sp.Shard, sp.Owns)
+		for _, line := range strings.Split(strings.TrimRight(sp.Plan.String(), "\n"), "\n") {
+			b.WriteString("   ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// shardedPlan assembles the ShardedPlan for a compiled execution;
+// perShard supplies each active shard's own Explain tree.
+func (s *ShardedDB) shardedPlan(se *shardExec, perShard func(si int) (*Plan, error)) (*ShardedPlan, error) {
+	p := &ShardedPlan{
+		Table:     se.pt.Inputs[0].Table,
+		Partition: se.part.Describe(),
+		Strategy:  se.strategy,
+		EmptyWhy:  se.emptyWhy,
+	}
+	if se.cq0.annotate {
+		p.Binds = renderBinds(se.cq0.binds)
+	}
+	if se.emptyWhy != "" {
+		p.Gather = "none"
+		return p, nil
+	}
+	if se.ordered {
+		p.Gather = fmt.Sprintf("ordered merge by %s", se.gatherSchema.Col(se.keyCol).Name)
+	} else {
+		p.Gather = "unordered fan-in"
+	}
+	if se.strategy == strategyBroadcast {
+		p.Coordinator = append(p.Coordinator, fmt.Sprintf("broadcast %s (shards %v) into every %s join",
+			se.pt.Inputs[se.bcInput].Table, se.bcActive, se.pt.Inputs[se.scanInput].Table))
+	}
+	if se.selIdx != nil {
+		p.Coordinator = append(p.Coordinator, "project")
+	}
+	if se.aggGroupIdx >= 0 {
+		if se.aggMerge {
+			p.Coordinator = append(p.Coordinator, "merge-agg")
+		} else {
+			p.Coordinator = append(p.Coordinator, "hash-agg")
+		}
+	}
+	if se.sortIdx >= 0 {
+		p.Coordinator = append(p.Coordinator, "sort by "+se.out.Col(se.sortIdx).Name)
+	}
+	if se.hasLim {
+		p.Coordinator = append(p.Coordinator, fmt.Sprintf("limit %d", se.limit))
+	}
+	active := make(map[int]bool, len(se.active))
+	for _, si := range se.active {
+		active[si] = true
+	}
+	for i := 0; i < len(s.shards); i++ {
+		sp := ShardPlan{Shard: i, Owns: se.part.DescribeShard(i)}
+		if !active[i] {
+			sp.Pruned = true
+			sp.Why = se.prunedWhy[i]
+		} else {
+			plan, err := perShard(i)
+			if err != nil {
+				return nil, err
+			}
+			sp.Plan = plan
+		}
+		p.Shards = append(p.Shards, sp)
+	}
+	return p, nil
+}
+
 // fmtPred renders a range predicate over a named column compactly,
 // eliding open bounds.
 func fmtPred(name string, p tuple.RangePred) string {

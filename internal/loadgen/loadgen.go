@@ -47,3 +47,38 @@ func BuildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
 	}
 	return db, nil
 }
+
+// BuildShardedDB loads the same table range-partitioned on the indexed
+// column across n shards (equal-width bounds over the domain, so a
+// uniform load balances). The row stream is identical to BuildDB's —
+// only the placement differs — so digests over the same predicate
+// ranges are comparable between sharded and unsharded runs.
+func BuildShardedDB(rows, domain, seed int64, poolPages, n int) (*smoothscan.ShardedDB, error) {
+	s, err := smoothscan.OpenSharded(n, smoothscan.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	part := smoothscan.RangePartitioning(IndexedCol, smoothscan.EqualWidthBounds(0, domain, n)...)
+	tb, err := s.CreateShardedTable(Table, part, "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, 10)
+	for i := int64(0); i < rows; i++ {
+		vals[0] = i
+		for c := 1; c < len(vals); c++ {
+			vals[c] = rng.Int63n(domain)
+		}
+		if err := tb.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		return nil, err
+	}
+	if err := s.CreateIndex(Table, IndexedCol); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,253 @@
+// Package shard implements horizontal table partitioning: the routing
+// and pruning arithmetic behind the ShardedDB facade. A Partitioning
+// maps each value of one integer column to exactly one of N shards —
+// by hash (load balance) or by contiguous value range (locality plus
+// range pruning) — and, given a query's folded [lo, hi) predicate on
+// that column, computes the subset of shards that can possibly hold
+// matching rows. Pruned shards are never opened, so they incur zero
+// device I/O; the facade's tests pin that property.
+//
+// The package is deliberately pure arithmetic — no devices, no
+// operators — so the same Partitioning can later route to remote
+// shards over the wire protocol exactly as it routes in-process.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scheme selects how values map to shards.
+type Scheme int
+
+const (
+	// Hash routes each value by a fixed 64-bit mixer modulo N. Ranges
+	// wider than a few values touch every shard (no range pruning),
+	// but skewed insert orders still balance.
+	Hash Scheme = iota
+	// Range routes by binary search over N-1 ascending split bounds:
+	// shard 0 owns (-inf, Bounds[0]), shard i owns
+	// [Bounds[i-1], Bounds[i]), shard N-1 owns [Bounds[N-2], +inf).
+	// Range predicates on the partition column prune to the owning
+	// contiguous shard run.
+	Range
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Partitioning describes one table's horizontal split: the partition
+// column, the scheme, the shard count, and (for Range) the split
+// bounds. It is immutable after Validate.
+type Partitioning struct {
+	// Column is the partition column's name; it must exist on the
+	// table and is the only column routing and pruning consult.
+	Column string
+	// Scheme is Hash or Range.
+	Scheme Scheme
+	// N is the shard count (>= 1).
+	N int
+	// Bounds holds the N-1 strictly ascending split points of a Range
+	// partitioning; it must be empty for Hash.
+	Bounds []int64
+}
+
+// Validate checks the partitioning's internal consistency.
+func (p Partitioning) Validate() error {
+	if p.Column == "" {
+		return fmt.Errorf("shard: partitioning requires a column")
+	}
+	if p.N < 1 {
+		return fmt.Errorf("shard: shard count %d (want >= 1)", p.N)
+	}
+	switch p.Scheme {
+	case Hash:
+		if len(p.Bounds) != 0 {
+			return fmt.Errorf("shard: hash partitioning takes no bounds (got %d)", len(p.Bounds))
+		}
+	case Range:
+		if len(p.Bounds) != p.N-1 {
+			return fmt.Errorf("shard: range partitioning over %d shards needs %d bounds, got %d", p.N, p.N-1, len(p.Bounds))
+		}
+		for i := 1; i < len(p.Bounds); i++ {
+			if p.Bounds[i] <= p.Bounds[i-1] {
+				return fmt.Errorf("shard: range bounds must be strictly ascending (bounds[%d]=%d <= bounds[%d]=%d)", i, p.Bounds[i], i-1, p.Bounds[i-1])
+			}
+		}
+	default:
+		return fmt.Errorf("shard: unknown scheme %d", int(p.Scheme))
+	}
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer, so
+// dense sequential keys spread uniformly across shards.
+func mix64(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route returns the shard owning partition-column value v.
+func (p Partitioning) Route(v int64) int {
+	if p.N <= 1 {
+		return 0
+	}
+	if p.Scheme == Hash {
+		return int(mix64(v) % uint64(p.N))
+	}
+	// First bound strictly greater than v; v lands in that split.
+	return sort.Search(len(p.Bounds), func(i int) bool { return v < p.Bounds[i] })
+}
+
+// maxHashEnum bounds the range width up to which hash pruning
+// enumerates individual values instead of giving up and fanning out to
+// every shard. Point lookups (width 1) always prune to one shard.
+const maxHashEnum = 64
+
+// Prune returns the ascending shard indexes that can hold values of
+// the half-open range [lo, hi) on the partition column. An empty range
+// returns nil — the contradiction short-circuit: no shard runs at all.
+func (p Partitioning) Prune(lo, hi int64) []int {
+	if hi <= lo {
+		return nil
+	}
+	if p.N <= 1 {
+		return []int{0}
+	}
+	if p.Scheme == Range {
+		first := p.Route(lo)
+		last := p.Route(hi - 1)
+		out := make([]int, 0, last-first+1)
+		for i := first; i <= last; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	// Hash: narrow ranges enumerate their values; wide ones hit all
+	// shards (a hash scatters any interval).
+	width := uint64(hi) - uint64(lo) // two's-complement safe
+	if width <= maxHashEnum {
+		seen := make(map[int]bool, p.N)
+		out := make([]int, 0, p.N)
+		for v := lo; ; v++ {
+			s := p.Route(v)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+			if v == hi-1 || len(out) == p.N {
+				break
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	out := make([]int, p.N)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// CoPartitioned reports whether two partitionings place equal
+// partition-key values on the same shard index — the condition for
+// partition-wise joins. Column names may differ (they belong to
+// different tables); what must agree is the value-to-shard map: same
+// scheme, same N, and identical bounds for Range. Any two single-shard
+// partitionings are trivially co-partitioned.
+func (p Partitioning) CoPartitioned(o Partitioning) bool {
+	if p.N != o.N {
+		return false
+	}
+	if p.N == 1 {
+		return true
+	}
+	if p.Scheme != o.Scheme {
+		return false
+	}
+	if p.Scheme == Range {
+		if len(p.Bounds) != len(o.Bounds) {
+			return false
+		}
+		for i := range p.Bounds {
+			if p.Bounds[i] != o.Bounds[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Describe renders the partitioning for Explain headers:
+// "hash(val) % 4" or "range(val): (-inf,100) [100,200) [200,+inf)".
+func (p Partitioning) Describe() string {
+	if p.Scheme == Hash {
+		return fmt.Sprintf("hash(%s) %% %d", p.Column, p.N)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "range(%s):", p.Column)
+	for i := 0; i < p.N; i++ {
+		b.WriteByte(' ')
+		b.WriteString(p.DescribeShard(i))
+	}
+	return b.String()
+}
+
+// DescribeShard renders one shard's ownership, e.g. "[100,200)" for a
+// Range split or "h%4=2" for Hash.
+func (p Partitioning) DescribeShard(i int) string {
+	if p.Scheme == Hash {
+		return fmt.Sprintf("h%%%d=%d", p.N, i)
+	}
+	lo, hi := "-inf", "+inf"
+	ob := "["
+	if i > 0 {
+		lo = fmt.Sprintf("%d", p.Bounds[i-1])
+	} else {
+		ob = "("
+	}
+	if i < len(p.Bounds) {
+		hi = fmt.Sprintf("%d", p.Bounds[i])
+	}
+	return ob + lo + "," + hi + ")"
+}
+
+// EqualWidthBounds computes N-1 split points dividing [lo, hi) into N
+// near-equal-width ranges — the convenient constructor for uniformly
+// distributed partition columns (the load generator and the harness
+// use it).
+func EqualWidthBounds(lo, hi int64, n int) []int64 {
+	if n <= 1 || hi <= lo {
+		return nil
+	}
+	width := (hi - lo) / int64(n)
+	if width < 1 {
+		width = 1
+	}
+	bounds := make([]int64, 0, n-1)
+	prev := int64(math.MinInt64)
+	for i := 1; i < n; i++ {
+		b := lo + int64(i)*width
+		if b <= prev || b >= hi {
+			break
+		}
+		bounds = append(bounds, b)
+		prev = b
+	}
+	return bounds
+}

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Partitioning
+		ok   bool
+	}{
+		{"hash-ok", Partitioning{Column: "v", Scheme: Hash, N: 4}, true},
+		{"range-ok", Partitioning{Column: "v", Scheme: Range, N: 3, Bounds: []int64{10, 20}}, true},
+		{"single", Partitioning{Column: "v", Scheme: Hash, N: 1}, true},
+		{"no-column", Partitioning{Scheme: Hash, N: 2}, false},
+		{"zero-shards", Partitioning{Column: "v", Scheme: Hash, N: 0}, false},
+		{"hash-bounds", Partitioning{Column: "v", Scheme: Hash, N: 2, Bounds: []int64{5}}, false},
+		{"range-missing-bounds", Partitioning{Column: "v", Scheme: Range, N: 3, Bounds: []int64{10}}, false},
+		{"range-unsorted", Partitioning{Column: "v", Scheme: Range, N: 3, Bounds: []int64{20, 10}}, false},
+		{"range-dup", Partitioning{Column: "v", Scheme: Range, N: 3, Bounds: []int64{10, 10}}, false},
+		{"bad-scheme", Partitioning{Column: "v", Scheme: Scheme(9), N: 2, Bounds: []int64{1}}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestRangeRoute(t *testing.T) {
+	p := Partitioning{Column: "v", Scheme: Range, N: 4, Bounds: []int64{0, 100, 200}}
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0},
+		{0, 1}, {99, 1},
+		{100, 2}, {199, 2},
+		{200, 3}, {math.MaxInt64, 3},
+	}
+	for _, c := range cases {
+		if got := p.Route(c.v); got != c.want {
+			t.Errorf("Route(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHashRouteDeterministicAndBalanced(t *testing.T) {
+	p := Partitioning{Column: "v", Scheme: Hash, N: 7}
+	counts := make([]int, p.N)
+	for v := int64(0); v < 70_000; v++ {
+		s := p.Route(v)
+		if s != p.Route(v) {
+			t.Fatalf("Route(%d) not deterministic", v)
+		}
+		if s < 0 || s >= p.N {
+			t.Fatalf("Route(%d) = %d out of range", v, s)
+		}
+		counts[s]++
+	}
+	// Dense sequential keys must spread: every shard within 20% of
+	// the uniform share.
+	want := 70_000 / p.N
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("shard %d holds %d of 70000 (uniform share %d): hash does not balance", i, c, want)
+		}
+	}
+}
+
+func TestRangePrune(t *testing.T) {
+	p := Partitioning{Column: "v", Scheme: Range, N: 4, Bounds: []int64{100, 200, 300}}
+	cases := []struct {
+		lo, hi int64
+		want   []int
+	}{
+		{150, 160, []int{1}},                              // inside one shard
+		{50, 250, []int{0, 1, 2}},                         // spans three
+		{math.MinInt64, math.MaxInt64, []int{0, 1, 2, 3}}, // unbounded
+		{300, 301, []int{3}},                              // last shard point
+		{10, 10, nil},                                     // empty range
+		{20, 10, nil},                                     // contradiction
+		{100, 101, []int{1}},                              // boundary value
+		{99, 100, []int{0}},                               // just below boundary
+	}
+	for _, c := range cases {
+		got := p.Prune(c.lo, c.hi)
+		if !equalInts(got, c.want) {
+			t.Errorf("Prune(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestHashPrune(t *testing.T) {
+	p := Partitioning{Column: "v", Scheme: Hash, N: 4}
+	// Point lookup prunes to the owning shard.
+	if got := p.Prune(42, 43); len(got) != 1 || got[0] != p.Route(42) {
+		t.Errorf("point Prune = %v, want [%d]", got, p.Route(42))
+	}
+	// Empty range prunes everything.
+	if got := p.Prune(5, 5); got != nil {
+		t.Errorf("empty Prune = %v, want nil", got)
+	}
+	// A narrow range enumerates: the result covers exactly the routed
+	// shards of its values.
+	got := p.Prune(0, 10)
+	want := map[int]bool{}
+	for v := int64(0); v < 10; v++ {
+		want[p.Route(v)] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("narrow Prune = %v, want the %d shards of values 0..9", got, len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("narrow Prune includes shard %d which owns none of 0..9", s)
+		}
+	}
+	// A wide range fans out to every shard.
+	if got := p.Prune(0, 1_000_000); len(got) != p.N {
+		t.Errorf("wide Prune = %v, want all %d shards", got, p.N)
+	}
+	// Full-domain ranges must not overflow.
+	if got := p.Prune(math.MinInt64, math.MaxInt64); len(got) != p.N {
+		t.Errorf("full-domain Prune = %v, want all %d shards", got, p.N)
+	}
+}
+
+func TestCoPartitioned(t *testing.T) {
+	h4 := Partitioning{Column: "a", Scheme: Hash, N: 4}
+	h4b := Partitioning{Column: "b", Scheme: Hash, N: 4}
+	h8 := Partitioning{Column: "a", Scheme: Hash, N: 8}
+	r4 := Partitioning{Column: "a", Scheme: Range, N: 4, Bounds: []int64{1, 2, 3}}
+	r4same := Partitioning{Column: "c", Scheme: Range, N: 4, Bounds: []int64{1, 2, 3}}
+	r4diff := Partitioning{Column: "c", Scheme: Range, N: 4, Bounds: []int64{1, 2, 4}}
+	one := Partitioning{Column: "a", Scheme: Hash, N: 1}
+	oneR := Partitioning{Column: "b", Scheme: Range, N: 1}
+
+	if !h4.CoPartitioned(h4b) {
+		t.Error("same hash scheme+N with different column names must co-partition")
+	}
+	if h4.CoPartitioned(h8) {
+		t.Error("different N must not co-partition")
+	}
+	if h4.CoPartitioned(r4) {
+		t.Error("hash vs range must not co-partition")
+	}
+	if !r4.CoPartitioned(r4same) {
+		t.Error("identical range bounds must co-partition")
+	}
+	if r4.CoPartitioned(r4diff) {
+		t.Error("different range bounds must not co-partition")
+	}
+	if !one.CoPartitioned(oneR) {
+		t.Error("any two single-shard partitionings are co-partitioned")
+	}
+}
+
+func TestEqualWidthBounds(t *testing.T) {
+	b := EqualWidthBounds(0, 400, 4)
+	if len(b) != 3 || b[0] != 100 || b[1] != 200 || b[2] != 300 {
+		t.Errorf("EqualWidthBounds(0,400,4) = %v", b)
+	}
+	if b := EqualWidthBounds(0, 400, 1); b != nil {
+		t.Errorf("n=1 wants nil bounds, got %v", b)
+	}
+	// Route with these bounds spreads a uniform domain evenly.
+	p := Partitioning{Column: "v", Scheme: Range, N: 4, Bounds: EqualWidthBounds(0, 400, 4)}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for v := int64(0); v < 400; v++ {
+		counts[p.Route(v)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("shard %d owns %d of 400 values, want 100", i, c)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	h := Partitioning{Column: "val", Scheme: Hash, N: 4}
+	if got := h.Describe(); got != "hash(val) % 4" {
+		t.Errorf("hash Describe = %q", got)
+	}
+	r := Partitioning{Column: "val", Scheme: Range, N: 3, Bounds: []int64{100, 200}}
+	if got := r.Describe(); got != "range(val): (-inf,100) [100,200) [200,+inf)" {
+		t.Errorf("range Describe = %q", got)
+	}
+	if got := r.DescribeShard(1); got != "[100,200)" {
+		t.Errorf("DescribeShard(1) = %q", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+// Package shardexp is the scatter-gather experiment of the ssbench
+// suite: a deterministic sweep of shard count × pruning selectivity ×
+// gather mode over the micro-benchmark table, reporting simulated
+// device cost only (no wall clock), so its rows can live in the
+// byte-diffed ssbench golden.
+//
+// It lives outside internal/harness because it drives the public
+// sharded facade: harness cannot import the root package (the root's
+// in-package benchmarks import harness), while this package — imported
+// only by cmd/ssbench — can.
+package shardexp
+
+import (
+	"fmt"
+
+	"smoothscan"
+	"smoothscan/internal/harness"
+	"smoothscan/internal/loadgen"
+)
+
+// ID is the experiment identifier cmd/ssbench dispatches on.
+const ID = "shard"
+
+// Config holds the experiment's scale knobs; zero values get defaults
+// sized so the sweep stays fast while every shard spans multiple heap
+// pages.
+type Config struct {
+	Rows int64
+	Pool int
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 24_000
+	}
+	if c.Pool == 0 {
+		c.Pool = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Run executes the sweep: for N ∈ {1, 2, 4} range-partitioned shards,
+// a predicate covering ~1/8, 1/2 and all of the domain, gathered
+// unordered and through the ordered merge. Every number is simulated
+// (per-shard device deltas summed), so the table is byte-stable.
+func Run(cfg Config) (*harness.Table, error) {
+	cfg.defaults()
+	domain := cfg.Rows // like loadgen's micro shape: val uniform over ~rows
+	t := &harness.Table{
+		ID:     ID,
+		Title:  "Sharded scatter-gather: shard count x pruning selectivity x gather mode (simulated cost)",
+		Header: []string{"shards", "sel", "gather", "rows", "active", "pruned", "io-req", "pages", "time"},
+		Notes: []string{
+			"pruned shards perform zero device I/O: the narrow predicate pays for one shard only",
+			"time is the sum of per-shard device deltas; the coordinator merge charges nothing",
+		},
+	}
+	sels := []struct {
+		name string
+		frac float64
+	}{
+		{"narrow", 0.125},
+		{"half", 0.5},
+		{"full", 1.0},
+	}
+	for _, n := range []int{1, 2, 4} {
+		s, err := loadgen.BuildShardedDB(cfg.Rows, domain, cfg.Seed, cfg.Pool, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sel := range sels {
+			width := int64(float64(domain) * sel.frac)
+			for _, ordered := range []bool{false, true} {
+				if err := s.ColdCache(); err != nil {
+					return nil, err
+				}
+				q := s.Query(loadgen.Table).Where(loadgen.IndexedCol, smoothscan.Between(0, width))
+				gather := "unordered"
+				if ordered {
+					gather = "ordered"
+					q = q.OrderBy(loadgen.IndexedCol)
+				}
+				rows, err := q.Run(nil)
+				if err != nil {
+					return nil, err
+				}
+				var count int64
+				for rows.Next() {
+					count++
+				}
+				if err := rows.Err(); err != nil {
+					rows.Close()
+					return nil, err
+				}
+				if err := rows.Close(); err != nil {
+					return nil, err
+				}
+				es := rows.ExecStats()
+				active, pruned := 0, 0
+				for _, sh := range es.Shards {
+					if sh.Pruned {
+						pruned++
+					} else {
+						active++
+					}
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", n),
+					sel.name,
+					gather,
+					fmt.Sprintf("%d", count),
+					fmt.Sprintf("%d", active),
+					fmt.Sprintf("%d", pruned),
+					fmt.Sprintf("%d", es.IO.Requests),
+					fmt.Sprintf("%d", es.IO.PagesRead),
+					fmt.Sprintf("%.1f", es.IO.Time()),
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,1410 @@
+package smoothscan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"smoothscan/internal/exec"
+	"smoothscan/internal/parallel"
+	"smoothscan/internal/plan"
+	"smoothscan/internal/shard"
+	"smoothscan/internal/tuple"
+)
+
+// Partitioning describes how a sharded table's rows distribute across
+// the shard set: the partition column, a Hash or Range scheme, and the
+// shard count. Build one with HashPartitioning or RangePartitioning.
+type Partitioning = shard.Partitioning
+
+// HashPartitioning splits a table across n shards by a full-avalanche
+// hash of the named column — balanced under any insert order, but
+// range predicates wider than a few values fan out to every shard.
+func HashPartitioning(column string, n int) Partitioning {
+	return Partitioning{Column: column, Scheme: shard.Hash, N: n}
+}
+
+// RangePartitioning splits a table by contiguous value ranges of the
+// named column: shard 0 owns (-inf, bounds[0]), shard i owns
+// [bounds[i-1], bounds[i]), the last shard owns [bounds[n-2], +inf).
+// Range predicates on the column prune to the owning shards.
+func RangePartitioning(column string, bounds ...int64) Partitioning {
+	return Partitioning{Column: column, Scheme: shard.Range, N: len(bounds) + 1, Bounds: bounds}
+}
+
+// EqualWidthBounds computes n-1 split points dividing [lo, hi) into n
+// near-equal ranges, for RangePartitioning over uniform domains.
+func EqualWidthBounds(lo, hi int64, n int) []int64 { return shard.EqualWidthBounds(lo, hi, n) }
+
+// ErrNotSharded is returned (wrapped) when a sharded query touches a
+// table that was not created through CreateShardedTable — the planner
+// has no Partitioning to route or prune by.
+var ErrNotSharded = errors.New("smoothscan: table is not sharded")
+
+// ErrShardJoin is returned when a join cannot execute under sharding:
+// more than one join stage where the inputs are not co-partitioned on
+// the join keys (a single non-co-partitioned join broadcasts the
+// smaller side instead).
+var ErrShardJoin = errors.New("smoothscan: join cannot be sharded")
+
+// ShardedDB presents N in-process DB shards behind the one-database
+// query API: tables are horizontally partitioned at load time, queries
+// scatter to the owning shards (each shard planning — and morphing —
+// its access path independently) and gather through an unordered
+// fan-in or a k-way ordered merge. With N=1 every query executes
+// byte-identically to the unsharded engine, which is what the
+// equivalence suite pins.
+//
+// Concurrency follows DB: any number of queries may run concurrently;
+// a ShardedRows is owned by one goroutine.
+type ShardedDB struct {
+	shards []*DB
+	mu     sync.RWMutex // guards parts
+	parts  map[string]shard.Partitioning
+}
+
+// OpenSharded creates n empty shards, each on its own fresh simulated
+// device with its own buffer pool and plan cache (opts applies to
+// every shard; PoolPages is per shard).
+func OpenSharded(n int, opts Options) (*ShardedDB, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("smoothscan: shard count %d (want >= 1)", n)
+	}
+	s := &ShardedDB{parts: map[string]shard.Partitioning{}}
+	for i := 0; i < n; i++ {
+		db, err := Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, db)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedDB) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th underlying DB — for per-shard inspection
+// (stats, fault injection) in tests and tools.
+func (s *ShardedDB) Shard(i int) *DB { return s.shards[i] }
+
+// Partitioning returns the named table's partitioning.
+func (s *ShardedDB) Partitioning(table string) (Partitioning, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.parts[table]
+	if !ok {
+		return Partitioning{}, fmt.Errorf("%w: %q", ErrNotSharded, table)
+	}
+	return p, nil
+}
+
+// ShardedTableBuilder loads rows into a sharded table, routing each
+// row to its owning shard by the partition column.
+type ShardedTableBuilder struct {
+	builders []*TableBuilder
+	colIdx   int
+	part     shard.Partitioning
+}
+
+// CreateShardedTable creates the table on every shard and registers
+// its partitioning. The partitioning's shard count must equal the
+// database's, and its column must be one of the table's columns.
+func (s *ShardedDB) CreateShardedTable(name string, p Partitioning, columns ...string) (*ShardedTableBuilder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.N != len(s.shards) {
+		return nil, fmt.Errorf("smoothscan: partitioning over %d shards on a %d-shard database", p.N, len(s.shards))
+	}
+	colIdx := -1
+	for i, c := range columns {
+		if c == p.Column {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		return nil, fmt.Errorf("smoothscan: partition column %q is not among the table's columns", p.Column)
+	}
+	builders := make([]*TableBuilder, len(s.shards))
+	for i, db := range s.shards {
+		tb, err := db.CreateTable(name, columns...)
+		if err != nil {
+			return nil, err
+		}
+		builders[i] = tb
+	}
+	s.mu.Lock()
+	s.parts[name] = p
+	s.mu.Unlock()
+	return &ShardedTableBuilder{builders: builders, colIdx: colIdx, part: p}, nil
+}
+
+// Append routes one row to its owning shard.
+func (b *ShardedTableBuilder) Append(vals ...int64) error {
+	if len(vals) != 0 && b.colIdx >= len(vals) {
+		return fmt.Errorf("smoothscan: %d values, partition column at %d", len(vals), b.colIdx)
+	}
+	if len(vals) == 0 {
+		return fmt.Errorf("smoothscan: empty row")
+	}
+	return b.builders[b.part.Route(vals[b.colIdx])].Append(vals...)
+}
+
+// Finish flushes the load on every shard.
+func (b *ShardedTableBuilder) Finish() error {
+	for _, tb := range b.builders {
+		if err := tb.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds the index on every shard.
+func (s *ShardedDB) CreateIndex(table, column string) error {
+	for _, db := range s.shards {
+		if err := db.CreateIndex(table, column); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Analyze collects statistics on every shard — each shard's optimizer
+// sees its own local histograms, so access paths can differ per shard.
+func (s *ShardedDB) Analyze(table string, columns ...string) error {
+	for _, db := range s.shards {
+		if err := db.Analyze(table, columns...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert routes one row to its owning shard.
+func (s *ShardedDB) Insert(table string, vals ...int64) error {
+	s.mu.RLock()
+	p, ok := s.parts[table]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotSharded, table)
+	}
+	t, err := s.shards[0].table(table)
+	if err != nil {
+		return err
+	}
+	col := t.file.Schema().ColIndex(p.Column)
+	if col < 0 || col >= len(vals) {
+		return fmt.Errorf("smoothscan: %d values for table %q", len(vals), table)
+	}
+	return s.shards[p.Route(vals[col])].Insert(table, vals...)
+}
+
+// Compact compacts every shard's indexes on the table.
+func (s *ShardedDB) Compact(table string) error {
+	for _, db := range s.shards {
+		if err := db.Compact(table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumRows sums the table's row count across shards.
+func (s *ShardedDB) NumRows(table string) (int64, error) {
+	var total int64
+	for _, db := range s.shards {
+		n, err := db.NumRows(table)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ShardRows returns the per-shard row counts of a table, in shard
+// order — the load balance ssload reports.
+func (s *ShardedDB) ShardRows(table string) ([]int64, error) {
+	out := make([]int64, len(s.shards))
+	for i, db := range s.shards {
+		n, err := db.NumRows(table)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Stats sums the device counters across shards.
+func (s *ShardedDB) Stats() IOStats {
+	var total IOStats
+	for _, db := range s.shards {
+		total = addIO(total, db.Stats())
+	}
+	return total
+}
+
+// ShardIOStats returns each shard's device counters, in shard order.
+func (s *ShardedDB) ShardIOStats() []IOStats {
+	out := make([]IOStats, len(s.shards))
+	for i, db := range s.shards {
+		out[i] = db.Stats()
+	}
+	return out
+}
+
+// ResetStats zeroes every shard's device counters (refused while any
+// shard has open scans, like DB.ResetStats).
+func (s *ShardedDB) ResetStats() error {
+	for _, db := range s.shards {
+		if err := db.ResetStats(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ColdCache empties every shard's buffer pool.
+func (s *ShardedDB) ColdCache() error {
+	for _, db := range s.shards {
+		if err := db.ColdCache(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addIO sums two device-counter snapshots field-wise (shards have
+// independent devices, so query deltas across them add).
+func addIO(a, b IOStats) IOStats {
+	a.Requests += b.Requests
+	a.RandomAccesses += b.RandomAccesses
+	a.SeqAccesses += b.SeqAccesses
+	a.SkippedPages += b.SkippedPages
+	a.PagesRead += b.PagesRead
+	a.PagesWritten += b.PagesWritten
+	a.BytesRead += b.BytesRead
+	a.IOTime += b.IOTime
+	a.CPUTime += b.CPUTime
+	a.Faults += b.Faults
+	a.Corruptions += b.Corruptions
+	a.LatencySpikes += b.LatencySpikes
+	a.Retries += b.Retries
+	return a
+}
+
+// ShardedQuery is the Query builder over a ShardedDB: the same
+// Where/Join/Select/GroupBy/OrderBy/Limit surface, compiled into a
+// scatter-gather plan. Builder methods record the first error, like
+// Query.
+type ShardedQuery struct {
+	s        *ShardedDB
+	table    string
+	conds    []cond
+	joins    []joinClause
+	sel      []string
+	hasSel   bool
+	group    string
+	aggs     []Agg
+	hasAgg   bool
+	order    string
+	hasOrd   bool
+	limitArg Arg
+	hasLim   bool
+	opts     ScanOptions
+	err      error
+}
+
+// Query starts a composable query over the named sharded table.
+func (s *ShardedDB) Query(table string) *ShardedQuery {
+	return &ShardedQuery{s: s, table: table}
+}
+
+func (sq *ShardedQuery) fail(err error) *ShardedQuery {
+	if sq.err == nil {
+		sq.err = err
+	}
+	return sq
+}
+
+// Where adds a conjunctive predicate on a column; predicates on the
+// partition column additionally prune shards.
+func (sq *ShardedQuery) Where(col string, p Pred) *ShardedQuery {
+	if p.err != nil {
+		return sq.fail(fmt.Errorf("Where(%q): %w", col, p.err))
+	}
+	sq.conds = append(sq.conds, cond{col: col, p: p})
+	return sq
+}
+
+// Join adds an inner equi-join with another sharded table. When the
+// two tables are co-partitioned on the join keys the join runs
+// partition-wise (shard i joins shard i); otherwise the smaller
+// estimated side is broadcast to every shard of the other.
+func (sq *ShardedQuery) Join(table, leftCol, rightCol string) *ShardedQuery {
+	sq.joins = append(sq.joins, joinClause{table: table, leftCol: leftCol, rightCol: rightCol})
+	return sq
+}
+
+// JoinWithOptions is Join with explicit ScanOptions for the joined
+// table's per-shard access path.
+func (sq *ShardedQuery) JoinWithOptions(table, leftCol, rightCol string, opts ScanOptions) *ShardedQuery {
+	sq.joins = append(sq.joins, joinClause{table: table, leftCol: leftCol, rightCol: rightCol, opts: opts})
+	return sq
+}
+
+// Select projects the output onto the named columns.
+func (sq *ShardedQuery) Select(cols ...string) *ShardedQuery {
+	if sq.hasSel {
+		return sq.fail(fmt.Errorf("smoothscan: Select set twice"))
+	}
+	if len(cols) == 0 {
+		return sq.fail(fmt.Errorf("smoothscan: Select requires at least one column"))
+	}
+	sq.sel = append([]string(nil), cols...)
+	sq.hasSel = true
+	return sq
+}
+
+// GroupBy groups rows by a column and computes the aggregates per
+// group: each shard aggregates its local rows, the coordinator merges
+// the partials (COUNT partials sum; SUM/MIN/MAX merge with their own
+// function), so raw rows never cross the gather for an aggregate
+// query.
+func (sq *ShardedQuery) GroupBy(col string, aggs ...Agg) *ShardedQuery {
+	if sq.hasAgg {
+		return sq.fail(fmt.Errorf("smoothscan: GroupBy set twice"))
+	}
+	if len(aggs) == 0 {
+		return sq.fail(fmt.Errorf("smoothscan: GroupBy requires at least one aggregate"))
+	}
+	sq.group = col
+	sq.aggs = append([]Agg(nil), aggs...)
+	sq.hasAgg = true
+	return sq
+}
+
+// OrderBy orders the output by the named column, ascending. Without
+// aggregation, each shard delivers its slice ordered and the gather
+// runs a k-way ordered merge; with aggregation the coordinator orders
+// the merged groups.
+func (sq *ShardedQuery) OrderBy(col string) *ShardedQuery {
+	if sq.hasOrd {
+		return sq.fail(fmt.Errorf("smoothscan: OrderBy set twice"))
+	}
+	sq.order = col
+	sq.hasOrd = true
+	return sq
+}
+
+// Limit caps the number of output rows. Without aggregation it also
+// pushes into every shard (no shard delivers more than n rows).
+func (sq *ShardedQuery) Limit(n any) *ShardedQuery {
+	a := asArg(n)
+	if a.err != nil {
+		return sq.fail(fmt.Errorf("Limit: %w", a.err))
+	}
+	if a.param == "" && a.lit < 0 {
+		return sq.fail(fmt.Errorf("smoothscan: negative limit %d", a.lit))
+	}
+	sq.limitArg = a
+	sq.hasLim = true
+	return sq
+}
+
+// WithOptions applies ScanOptions to every shard's driving-table
+// access (each shard still plans — and morphs — independently).
+func (sq *ShardedQuery) WithOptions(opts ScanOptions) *ShardedQuery {
+	sq.opts = opts
+	return sq
+}
+
+// snapshot deep-copies the builder state (a prepared ShardedStmt must
+// not alias slices the caller keeps appending to).
+func (sq *ShardedQuery) snapshot() *ShardedQuery {
+	cp := *sq
+	cp.conds = append([]cond(nil), sq.conds...)
+	cp.joins = append([]joinClause(nil), sq.joins...)
+	cp.sel = append([]string(nil), sq.sel...)
+	cp.aggs = append([]Agg(nil), sq.aggs...)
+	return &cp
+}
+
+// fullQuery rebuilds the whole query against one shard DB — the
+// validation and template source (shard 0), and the per-shard plan of
+// the scan and partition-wise strategies before pushdown pruning.
+func (sq *ShardedQuery) fullQuery(db *DB) *Query {
+	return &Query{
+		db:       db,
+		table:    sq.table,
+		conds:    sq.conds,
+		joins:    sq.joins,
+		sel:      sq.sel,
+		hasSel:   sq.hasSel,
+		group:    sq.group,
+		aggs:     sq.aggs,
+		hasAgg:   sq.hasAgg,
+		order:    sq.order,
+		hasOrd:   sq.hasOrd,
+		limitArg: sq.limitArg,
+		hasLim:   sq.hasLim,
+		opts:     sq.opts,
+		err:      sq.err,
+	}
+}
+
+// perShardQuery is the query each shard runs under the scan and
+// partition-wise strategies. Aggregate queries drop OrderBy and Limit
+// — shards emit partial groups, and ordering/limiting only make sense
+// after the coordinator merges them; everything else (including
+// OrderBy and a pushed Limit) runs as-is per shard.
+func (sq *ShardedQuery) perShardQuery(db *DB) *Query {
+	q := sq.fullQuery(db)
+	if sq.hasAgg {
+		q.order = ""
+		q.hasOrd = false
+		q.limitArg = Arg{}
+		q.hasLim = false
+	}
+	return q
+}
+
+// splitConds routes the Where conjuncts to the one input whose schema
+// has the column, mirroring buildTemplate's routing (ambiguity was
+// already rejected there).
+func (sq *ShardedQuery) splitConds(pt *plan.Template) [][]cond {
+	out := make([][]cond, len(pt.Inputs))
+	for _, c := range sq.conds {
+		for i := range pt.Inputs {
+			if pt.Inputs[i].Schema.ColIndex(c.col) >= 0 {
+				out[i] = append(out[i], c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sideQuery builds the single-table query for one side of a broadcast
+// join: that table, its routed conjuncts, its ScanOptions — no
+// projection, ordering or limit (those happen above the join).
+func (sq *ShardedQuery) sideQuery(db *DB, input int, pt *plan.Template) *Query {
+	opts := sq.opts
+	if input > 0 {
+		opts = sq.joins[input-1].opts
+	}
+	return &Query{
+		db:    db,
+		table: pt.Inputs[input].Table,
+		conds: sq.splitConds(pt)[input],
+		opts:  opts,
+		err:   sq.err,
+	}
+}
+
+// resolveArg resolves a predicate argument against a bind set; false
+// when it names an unbound parameter.
+func resolveArg(a Arg, b Bind) (int64, bool) {
+	if a.param != "" {
+		v, ok := b[a.param]
+		return v, ok
+	}
+	return a.lit, true
+}
+
+// foldCondsRange folds the conjuncts on one column into a single
+// half-open range, for shard pruning. Conjuncts with unresolvable
+// parameters are skipped — pruning just gets more conservative.
+func foldCondsRange(conds []cond, col string, b Bind) tuple.RangePred {
+	pr := tuple.RangePred{Lo: math.MinInt64, Hi: math.MaxInt64}
+	for _, c := range conds {
+		if c.col != col {
+			continue
+		}
+		kind, aArg, bArg := canonPred(c.p)
+		av, ok := resolveArg(aArg, b)
+		if !ok {
+			continue
+		}
+		var bv int64
+		if kind == plan.KindBetween {
+			if bv, ok = resolveArg(bArg, b); !ok {
+				continue
+			}
+		}
+		lo, hi := plan.FoldRange(kind, av, bv)
+		pr = pr.Intersect(tuple.RangePred{Lo: lo, Hi: hi})
+	}
+	return pr
+}
+
+// mergeSpecs derives the coordinator's merge aggregates from the
+// per-shard partials: partial COUNTs sum, SUM/MIN/MAX merge with
+// their own function. Input column i+1 is aggregate i of the partial
+// row (column 0 is the group key).
+func mergeSpecs(specs []exec.AggSpec) []exec.AggSpec {
+	out := make([]exec.AggSpec, len(specs))
+	for i, sp := range specs {
+		kind := sp.Kind
+		if kind == exec.AggCount {
+			kind = exec.AggSum
+		}
+		out[i] = exec.AggSpec{Name: sp.Name, Col: i + 1, Kind: kind}
+	}
+	return out
+}
+
+// Scatter-gather strategies.
+const (
+	strategyScan      = "scan"           // no joins: every shard scans its slice
+	strategyPartition = "partition-wise" // co-partitioned joins: shard i joins shard i
+	strategyBroadcast = "broadcast"      // one join, smaller side replicated to every shard
+)
+
+// shardExec is a compiled scatter-gather execution: which shards run,
+// why the others don't, what each worker produces, and the coordinator
+// stages above the gather.
+type shardExec struct {
+	pt       *plan.Template
+	cq0      *compiledQuery // shard-0 binding: limit, emptyWhy, annotations
+	part     shard.Partitioning
+	strategy string
+
+	active    []int    // shard indexes that run, ascending
+	prunedWhy []string // per shard; "" for active shards
+
+	// Broadcast-join configuration (strategyBroadcast only).
+	bcInput    int // the replicated side (0 or 1)
+	scanInput  int
+	bcPart     shard.Partitioning
+	bcActive   []int // broadcast-side shards to read
+	scanSchema *tuple.Schema
+	bcSchema   *tuple.Schema
+
+	gatherSchema *tuple.Schema
+	ordered      bool
+	keyCol       int
+
+	// Coordinator stages, in order: project, aggregate, sort, limit.
+	selIdx      []int
+	aggGroupIdx int
+	aggName     string
+	aggSpecs    []exec.AggSpec
+	aggMerge    bool // merging per-shard partials vs aggregating raw rows
+	sortIdx     int
+	limit       int64
+	hasLim      bool
+
+	out      *tuple.Schema
+	emptyWhy string
+}
+
+// strategyFor decides the scatter strategy structurally: scan for
+// single-table queries; partition-wise when every join stage's keys
+// are the partition columns of co-partitioned tables (any join is
+// trivially partition-wise at N=1); broadcast for exactly one
+// non-co-partitioned join; ErrShardJoin otherwise. Every table must
+// be sharded.
+func (s *ShardedDB) strategyFor(pt *plan.Template, part shard.Partitioning) (strategy string, parts []shard.Partitioning, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	parts = make([]shard.Partitioning, len(pt.Inputs))
+	parts[0] = part
+	for i := 1; i < len(pt.Inputs); i++ {
+		p, ok := s.parts[pt.Inputs[i].Table]
+		if !ok {
+			return "", nil, fmt.Errorf("%w: %q", ErrNotSharded, pt.Inputs[i].Table)
+		}
+		parts[i] = p
+	}
+	if len(pt.Joins) == 0 {
+		return strategyScan, parts, nil
+	}
+	aligned := map[string]bool{part.Column: true}
+	allPW := true
+	leftWidth := pt.Inputs[0].Schema.NumCols()
+	for k := range pt.Joins {
+		jt := &pt.Joins[k]
+		rp := parts[k+1]
+		rightSchema := pt.Inputs[k+1].Schema
+		pw := part.CoPartitioned(rp) &&
+			(part.N == 1 || (aligned[jt.LeftName] && jt.RightName == rp.Column))
+		if !pw {
+			allPW = false
+		}
+		// The right partition column survives into the joined schema
+		// (possibly "r."-prefixed); track it as an aligned key.
+		if pw {
+			rc := rightSchema.ColIndex(rp.Column)
+			if rc >= 0 {
+				aligned[jt.Joined.Col(leftWidth+rc).Name] = true
+			}
+		}
+		leftWidth = jt.Joined.NumCols()
+	}
+	if allPW {
+		return strategyPartition, parts, nil
+	}
+	if len(pt.Joins) == 1 {
+		return strategyBroadcast, parts, nil
+	}
+	return "", nil, fmt.Errorf("%w: %d join stages with non-co-partitioned inputs (broadcast handles one)", ErrShardJoin, len(pt.Joins))
+}
+
+// sideEstimate sums one input's post-predicate cardinality estimate
+// across shards — the broadcast strategy replicates the smaller side.
+func (s *ShardedDB) sideEstimate(qt *qtemplate, input int, lits []int64, b Bind) (int64, error) {
+	at := &qt.pt.Inputs[input]
+	var total int64
+	for _, db := range s.shards {
+		db.mu.RLock()
+		t, err := db.tableLocked(at.Table)
+		if err != nil {
+			db.mu.RUnlock()
+			return 0, err
+		}
+		merged := make([]resolvedPred, len(at.Merged))
+		for g, group := range at.Merged {
+			if merged[g], err = foldGroup(at, group, lits, b); err != nil {
+				db.mu.RUnlock()
+				return 0, err
+			}
+		}
+		a, err := bindAccess(db, at.Table, t, merged, qt.optsPer[input], "", false)
+		db.mu.RUnlock()
+		if err != nil {
+			return 0, err
+		}
+		total += a.estScan
+	}
+	return total, nil
+}
+
+// compileShardExec binds a sharded execution: shard-0 template
+// binding (constants, limit, contradiction short-circuits), strategy,
+// partition pruning from the folded Where conjuncts, and the gather /
+// coordinator configuration.
+func (s *ShardedDB) compileShardExec(sq *ShardedQuery, qt *qtemplate, lits []int64, b Bind, annotate bool) (*shardExec, error) {
+	pt := qt.pt
+	s.mu.RLock()
+	part, ok := s.parts[sq.table]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotSharded, sq.table)
+	}
+
+	shard0 := s.shards[0]
+	shard0.mu.RLock()
+	cq0, err := shard0.bindTemplate(qt, lits, b, annotate)
+	shard0.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	strategy, parts, err := s.strategyFor(pt, part)
+	if err != nil {
+		return nil, err
+	}
+
+	se := &shardExec{
+		pt:          pt,
+		cq0:         cq0,
+		part:        part,
+		strategy:    strategy,
+		prunedWhy:   make([]string, len(s.shards)),
+		keyCol:      -1,
+		aggGroupIdx: -1,
+		sortIdx:     -1,
+		limit:       cq0.limit,
+		hasLim:      cq0.hasLim,
+		out:         pt.Out,
+		emptyWhy:    cq0.emptyWhy,
+	}
+
+	condsPer := sq.splitConds(pt)
+
+	// Broadcast side selection: replicate the smaller estimated input.
+	if strategy == strategyBroadcast {
+		est0, err := s.sideEstimate(qt, 0, lits, b)
+		if err != nil {
+			return nil, err
+		}
+		est1, err := s.sideEstimate(qt, 1, lits, b)
+		if err != nil {
+			return nil, err
+		}
+		se.bcInput, se.scanInput = 1, 0
+		if est0 < est1 {
+			se.bcInput, se.scanInput = 0, 1
+		}
+		se.bcPart = parts[se.bcInput]
+		se.scanSchema = pt.Inputs[se.scanInput].Schema
+		se.bcSchema = pt.Inputs[se.bcInput].Schema
+	}
+
+	// Partition pruning: fold each input's conjuncts on its partition
+	// column and keep only the shards that can hold matching rows.
+	prune := func(p shard.Partitioning, conds []cond) {
+		pr := foldCondsRange(conds, p.Column, b)
+		if pr.Lo == math.MinInt64 && pr.Hi == math.MaxInt64 {
+			return
+		}
+		keep := make(map[int]bool, p.N)
+		for _, i := range p.Prune(pr.Lo, pr.Hi) {
+			keep[i] = true
+		}
+		next := se.active[:0]
+		for _, i := range se.active {
+			if keep[i] {
+				next = append(next, i)
+			} else if se.prunedWhy[i] == "" {
+				se.prunedWhy[i] = fmt.Sprintf("%s excludes %s", fmtPred(p.Column, pr), p.DescribeShard(i))
+			}
+		}
+		se.active = next
+	}
+
+	if se.emptyWhy == "" {
+		se.active = make([]int, len(s.shards))
+		for i := range se.active {
+			se.active[i] = i
+		}
+		switch strategy {
+		case strategyScan:
+			prune(part, condsPer[0])
+		case strategyPartition:
+			// Co-partitioned: a shard excluded by any input's partition
+			// predicate produces no join output there.
+			for i := range pt.Inputs {
+				prune(parts[i], condsPer[i])
+			}
+		case strategyBroadcast:
+			prune(parts[se.scanInput], condsPer[se.scanInput])
+			bcPr := foldCondsRange(condsPer[se.bcInput], se.bcPart.Column, b)
+			se.bcActive = se.bcPart.Prune(bcPr.Lo, bcPr.Hi)
+			if len(se.bcActive) == 0 {
+				se.emptyWhy = fmt.Sprintf("broadcast side %q fully pruned", pt.Inputs[se.bcInput].Table)
+			}
+		}
+		if len(se.active) == 0 && se.emptyWhy == "" {
+			se.emptyWhy = fmt.Sprintf("every shard pruned by %s predicates", part.Column)
+		}
+	}
+	if se.emptyWhy != "" {
+		se.active = nil
+		for i := range se.prunedWhy {
+			if se.prunedWhy[i] == "" {
+				se.prunedWhy[i] = se.emptyWhy
+			}
+		}
+		return se, nil
+	}
+
+	// Gather and coordinator configuration.
+	hasAgg := pt.GroupIdx >= 0
+	switch strategy {
+	case strategyScan, strategyPartition:
+		if hasAgg {
+			// Shards emit partial groups (pt.AggSchema); the coordinator
+			// merges them, then orders/limits.
+			se.gatherSchema = pt.AggSchema
+			se.aggGroupIdx = 0
+			se.aggName = pt.AggSchema.Col(0).Name
+			se.aggSpecs = mergeSpecs(pt.AggSpecs)
+			se.aggMerge = true
+			if pt.OrderIdx >= 0 && pt.OrderName != se.aggName {
+				se.sortIdx = pt.OrderIdx
+			}
+		} else {
+			// Shards emit final rows (projected, ordered, limited); the
+			// coordinator merges and re-limits.
+			se.gatherSchema = pt.Out
+			if pt.OrderIdx >= 0 {
+				se.ordered = true
+				se.keyCol = pt.OrderIdx
+			}
+		}
+	case strategyBroadcast:
+		// Shards emit raw join output; projection, aggregation and
+		// ordering all happen at the coordinator (a join output's
+		// per-shard ordering is not usable for a merge).
+		se.gatherSchema = pt.Joins[0].Joined
+		se.selIdx = pt.SelIdx
+		if hasAgg {
+			se.aggGroupIdx = pt.GroupIdx
+			se.aggName = pt.AggSchema.Col(0).Name
+			se.aggSpecs = pt.AggSpecs
+			if pt.OrderIdx >= 0 && pt.OrderName != se.aggName {
+				se.sortIdx = pt.OrderIdx
+			}
+		} else if pt.OrderIdx >= 0 {
+			se.sortIdx = pt.OrderIdx
+		}
+	}
+	return se, nil
+}
+
+// shardRowsOp adapts one shard's Rows to the batched operator
+// protocol, so the parallel gather can drive it as a worker. start is
+// deferred to Open — pruned or never-opened shards never construct a
+// Rows, hence never touch their device.
+type shardRowsOp struct {
+	schema *tuple.Schema
+	start  func() (*Rows, error)
+	rows   *Rows
+}
+
+func (o *shardRowsOp) Schema() *tuple.Schema { return o.schema }
+
+func (o *shardRowsOp) Open() error {
+	rows, err := o.start()
+	if err != nil {
+		return err
+	}
+	o.rows = rows
+	return nil
+}
+
+func (o *shardRowsOp) NextBatch(b *tuple.Batch) (int, error) {
+	return o.rows.fillBatch(b)
+}
+
+func (o *shardRowsOp) Next() (tuple.Row, bool, error) {
+	if o.rows.Next() {
+		return o.rows.cur, true, nil
+	}
+	return nil, false, o.rows.Err()
+}
+
+func (o *shardRowsOp) Close() error {
+	if o.rows == nil {
+		return nil
+	}
+	return o.rows.Close()
+}
+
+// runnerset supplies the per-shard executions of one run: ad-hoc
+// queries or prepared statements, per shard (and per broadcast side).
+type runnerset struct {
+	planCached bool
+	shard      func(ctx context.Context, si int) (*Rows, error)
+	side       func(ctx context.Context, input, si int) (*Rows, error)
+}
+
+// startSharded builds and opens the gather tree: one worker per
+// active shard feeding the parallel exchange, coordinator stages above
+// it. The broadcast side, when present, is drained first and
+// replicated into every worker's join.
+func (s *ShardedDB) startSharded(ctx context.Context, se *shardExec, run runnerset) (*ShardedRows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sr := &ShardedRows{
+		s:          s,
+		se:         se,
+		schema:     se.out,
+		ctx:        ctx,
+		planCached: run.planCached,
+	}
+	sr.ioStart = make([]IOStats, len(s.shards))
+	for i, db := range s.shards {
+		sr.ioStart[i] = db.dev.Stats()
+	}
+	count := func(name string, op exec.Operator) exec.Operator {
+		c := &opCounter{name: name}
+		sr.counters = append(sr.counters, c)
+		return &countedOp{inner: op, c: c}
+	}
+
+	var cur exec.Operator
+	if se.emptyWhy != "" {
+		cur = count("empty", exec.NewValues(se.out, nil))
+	} else {
+		// Broadcast side: drain the replicated input's active shards
+		// into memory once, before the workers start.
+		var bcRows []tuple.Row
+		if se.strategy == strategyBroadcast {
+			for _, si := range se.bcActive {
+				rows, err := run.side(ctx, se.bcInput, si)
+				if err != nil {
+					return nil, err
+				}
+				for rows.Next() {
+					bcRows = append(bcRows, rows.cur.Clone())
+				}
+				err = rows.Err()
+				if cerr := rows.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		workers := make([]parallel.Worker, 0, len(se.active))
+		for _, si := range se.active {
+			si := si
+			var op exec.BatchOperator
+			if se.strategy == strategyBroadcast {
+				scanOp := &shardRowsOp{
+					schema: se.scanSchema,
+					start:  func() (*Rows, error) { return run.side(ctx, se.scanInput, si) },
+				}
+				sr.adapters = append(sr.adapters, scanOp)
+				vals := exec.NewValues(se.bcSchema, bcRows)
+				spec := plan.JoinSpec{
+					LeftCol:  se.pt.Joins[0].LeftCol,
+					RightCol: se.pt.Joins[0].RightCol,
+					Algo:     plan.JoinHash,
+					Dev:      s.shards[si].dev,
+				}
+				if se.bcInput == 0 {
+					spec.Left, spec.Right, spec.BuildLeft = vals, exec.Operator(scanOp), true
+				} else {
+					spec.Left, spec.Right = scanOp, vals
+				}
+				j, err := plan.BuildJoin(spec)
+				if err != nil {
+					return nil, err
+				}
+				op = j
+			} else {
+				a := &shardRowsOp{
+					schema: se.gatherSchema,
+					start:  func() (*Rows, error) { return run.shard(ctx, si) },
+				}
+				sr.adapters = append(sr.adapters, a)
+				op = a
+			}
+			workers = append(workers, parallel.Worker{Op: op})
+		}
+		g, err := parallel.NewScan(workers, parallel.Options{
+			Schema:  se.gatherSchema,
+			Ordered: se.ordered,
+			KeyCol:  se.keyCol,
+			Ctx:     ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("gather[%d]", len(workers))
+		if se.ordered {
+			name = fmt.Sprintf("gather-merge[%d]", len(workers))
+		}
+		cur = count(name, g)
+		cur = &ctxGuard{inner: cur, ctx: ctx}
+		if se.selIdx != nil {
+			p, err := exec.NewColProject(cur, se.selIdx)
+			if err != nil {
+				return nil, err
+			}
+			cur = count("project", p)
+		}
+		if se.aggGroupIdx >= 0 {
+			name := "hash-agg"
+			if se.aggMerge {
+				name = "merge-agg"
+			}
+			// Coordinator stages run on no device: the per-shard work is
+			// already charged to the shard devices, and merging partials
+			// is host-side bookkeeping.
+			cur = count(name, exec.NewHashAggNamed(cur, nil, se.aggGroupIdx, se.aggName, se.aggSpecs))
+		}
+		if se.sortIdx >= 0 {
+			cur = count("sort", exec.NewSort(cur, nil, se.sortIdx))
+		}
+		if se.hasLim {
+			cur = count("limit", exec.NewLimit(cur, se.limit))
+		}
+	}
+
+	sr.op = cur
+	if err := cur.Open(); err != nil {
+		// Blocking coordinator stages already closed the gather beneath
+		// them on failure; this sweeps up pass-through stages. Close is
+		// idempotent everywhere in the tree.
+		_ = cur.Close()
+		return nil, err
+	}
+	return sr, nil
+}
+
+// Run compiles and starts the sharded query: scatter to the unpruned
+// shards, gather through the exchange. As with Query.Run, always
+// Close the returned rows; ctx cancellation propagates to every
+// shard's scan.
+func (sq *ShardedQuery) Run(ctx context.Context) (*ShardedRows, error) {
+	if sq.s == nil {
+		return nil, fmt.Errorf("smoothscan: query has no database")
+	}
+	s := sq.s
+	shard0 := s.shards[0]
+	shard0.mu.RLock()
+	qt, lits, hit, err := shard0.templateFor(sq.fullQuery(shard0))
+	shard0.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	se, err := s.compileShardExec(sq, qt, lits, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	run := runnerset{
+		planCached: hit,
+		shard: func(ctx context.Context, si int) (*Rows, error) {
+			return sq.perShardQuery(s.shards[si]).Run(ctx)
+		},
+		side: func(ctx context.Context, input, si int) (*Rows, error) {
+			return sq.sideQuery(s.shards[si], input, qt.pt).Run(ctx)
+		},
+	}
+	sr, err := s.startSharded(ctx, se, run)
+	if err != nil {
+		return nil, err
+	}
+	sr.planFn = func() (*ShardedPlan, error) {
+		return s.shardedPlan(se, func(si int) (*Plan, error) {
+			if se.strategy == strategyBroadcast {
+				return sq.sideQuery(s.shards[si], se.scanInput, qt.pt).Explain()
+			}
+			return sq.perShardQuery(s.shards[si]).Explain()
+		})
+	}
+	return sr, nil
+}
+
+// Explain compiles the sharded query without executing it: the
+// strategy, the pruning decisions, the gather mode, the coordinator
+// stages, and each active shard's own compiled plan.
+func (sq *ShardedQuery) Explain() (*ShardedPlan, error) {
+	if sq.s == nil {
+		return nil, fmt.Errorf("smoothscan: query has no database")
+	}
+	s := sq.s
+	shard0 := s.shards[0]
+	shard0.mu.RLock()
+	qt, lits, _, err := shard0.templateFor(sq.fullQuery(shard0))
+	shard0.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	se, err := s.compileShardExec(sq, qt, lits, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.shardedPlan(se, func(si int) (*Plan, error) {
+		if se.strategy == strategyBroadcast {
+			return sq.sideQuery(s.shards[si], se.scanInput, qt.pt).Explain()
+		}
+		return sq.perShardQuery(s.shards[si]).Explain()
+	})
+}
+
+// ShardedRows iterates a sharded query result, mirroring Rows: a
+// batched drain of the coordinator tree, one owning goroutine, always
+// Close it. Per-shard fault degradation happens inside each shard's
+// own Rows (one shard's fault degrades that shard, not the query).
+type ShardedRows struct {
+	s          *ShardedDB
+	se         *shardExec
+	op         exec.Operator
+	schema     *tuple.Schema
+	ctx        context.Context
+	batch      *tuple.Batch
+	pos        int
+	cur        tuple.Row
+	err        error
+	adapters   []*shardRowsOp
+	counters   []*opCounter
+	ioStart    []IOStats
+	ioDelta    []IOStats
+	planCached bool
+	planFn     func() (*ShardedPlan, error)
+	plan       *ShardedPlan
+	done       bool
+	closed     bool
+	closeErr   error
+}
+
+// Next advances to the next row; false at end-of-stream or on error
+// (check Err).
+func (r *ShardedRows) Next() bool {
+	if r.done || r.err != nil {
+		return false
+	}
+	if r.batch == nil {
+		r.batch = tuple.NewBatchFor(r.schema, exec.DefaultBatchSize)
+	}
+	for r.pos >= r.batch.Len() {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				r.done = true
+				return false
+			}
+		}
+		n, err := exec.NextBatch(r.op, r.batch)
+		if err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+		if n == 0 {
+			r.done = true
+			return false
+		}
+		r.pos = 0
+	}
+	r.cur = r.batch.Row(r.pos)
+	r.pos++
+	return true
+}
+
+// Row returns the current row's values.
+func (r *ShardedRows) Row() []int64 {
+	out := make([]int64, len(r.cur))
+	for i := range r.cur {
+		out[i] = r.cur.Int(i)
+	}
+	return out
+}
+
+// CopyRow copies the current row into dst without allocating.
+func (r *ShardedRows) CopyRow(dst []int64) int {
+	n := len(r.cur)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.cur.Int(i)
+	}
+	return n
+}
+
+// Columns returns the result column names in output order.
+func (r *ShardedRows) Columns() []string {
+	out := make([]string, r.schema.NumCols())
+	for i := range out {
+		out[i] = r.schema.Col(i).Name
+	}
+	return out
+}
+
+// Col returns the current row's value for the named column.
+func (r *ShardedRows) Col(name string) (int64, bool) {
+	i := r.schema.ColIndex(name)
+	if i < 0 {
+		return 0, false
+	}
+	return r.cur.Int(i), true
+}
+
+// Column is Col with distinguished miss reasons (ErrUnknownColumn vs
+// ErrNotSelected), like Rows.Column.
+func (r *ShardedRows) Column(name string) (int64, error) {
+	if i := r.schema.ColIndex(name); i >= 0 {
+		return r.cur.Int(i), nil
+	}
+	if r.se != nil && r.se.pt.Base.ColIndex(name) >= 0 {
+		return 0, fmt.Errorf("%w: %q (use Select/GroupBy to include it)", ErrNotSelected, name)
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownColumn, name)
+}
+
+// Err returns the first error encountered.
+func (r *ShardedRows) Err() error { return r.err }
+
+// Close releases the gather (stopping the shard workers) and freezes
+// the per-shard I/O deltas. Idempotent, like Rows.Close.
+func (r *ShardedRows) Close() error {
+	if r.closed {
+		return r.closeErr
+	}
+	r.closed = true
+	r.closeErr = r.op.Close()
+	// Workers close their shard Rows before their stream shuts down;
+	// this sweep only matters when the gather never opened.
+	for _, a := range r.adapters {
+		if err := a.Close(); err != nil && r.closeErr == nil {
+			r.closeErr = err
+		}
+	}
+	if r.err == nil && r.closeErr != nil {
+		r.err = r.closeErr
+	}
+	r.ioDelta = make([]IOStats, len(r.s.shards))
+	for i, db := range r.s.shards {
+		r.ioDelta[i] = db.dev.Stats().Sub(r.ioStart[i])
+	}
+	return r.closeErr
+}
+
+// Plan returns the compiled scatter-gather plan, rendered lazily on
+// first call.
+func (r *ShardedRows) Plan() (*ShardedPlan, error) {
+	if r.plan == nil && r.planFn != nil {
+		p, err := r.planFn()
+		if err != nil {
+			return nil, err
+		}
+		r.plan = p
+	}
+	return r.plan, nil
+}
+
+// ShardedStmt is a prepared sharded statement: the structural template
+// compiles once (per shard, against each shard's own plan cache); each
+// Run re-binds and re-prunes from the bound parameter values, so the
+// same statement can touch one shard for a narrow bind and all of them
+// for a wide one.
+type ShardedStmt struct {
+	s         *ShardedDB
+	sq        *ShardedQuery
+	qt        *qtemplate
+	lits      []int64
+	params    []string
+	strategy  string
+	pstmts    []*Stmt
+	sideStmts [2][]*Stmt
+}
+
+// Prepare validates and compiles the sharded query's structure into
+// per-shard prepared statements plus the scatter template.
+func (s *ShardedDB) Prepare(sq *ShardedQuery) (*ShardedStmt, error) {
+	if sq == nil || sq.s == nil {
+		return nil, fmt.Errorf("smoothscan: Prepare of a nil or detached query")
+	}
+	if sq.s != s {
+		return nil, fmt.Errorf("smoothscan: Prepare of a query built on a different database")
+	}
+	snap := sq.snapshot()
+	shard0 := s.shards[0]
+	shard0.mu.RLock()
+	qt, lits, _, err := shard0.templateFor(snap.fullQuery(shard0))
+	shard0.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	part, ok := s.parts[snap.table]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotSharded, snap.table)
+	}
+	strategy, _, err := s.strategyFor(qt.pt, part)
+	if err != nil {
+		return nil, err
+	}
+	st := &ShardedStmt{s: s, sq: snap, qt: qt, lits: lits, params: qt.pt.Params, strategy: strategy}
+	if strategy == strategyBroadcast {
+		for input := 0; input < 2; input++ {
+			for _, db := range s.shards {
+				ps, err := db.Prepare(snap.sideQuery(db, input, qt.pt))
+				if err != nil {
+					return nil, err
+				}
+				st.sideStmts[input] = append(st.sideStmts[input], ps)
+			}
+		}
+	} else {
+		for _, db := range s.shards {
+			ps, err := db.Prepare(snap.perShardQuery(db))
+			if err != nil {
+				return nil, err
+			}
+			st.pstmts = append(st.pstmts, ps)
+		}
+	}
+	return st, nil
+}
+
+// Params returns the statement's parameter names in first-use order.
+func (st *ShardedStmt) Params() []string {
+	return append([]string(nil), st.params...)
+}
+
+// checkBind rejects bind sets naming parameters the statement does
+// not have, mirroring Stmt.checkBind.
+func (st *ShardedStmt) checkBind(b Bind) error {
+	proxy := &Stmt{qt: st.qt, params: st.params}
+	return proxy.checkBind(b)
+}
+
+// filterBind keeps only the bindings a per-shard statement's own
+// parameters use — pushdown drops Limit/OrderBy for aggregates, so a
+// sub-statement may have fewer parameters than the full query.
+func filterBind(ps *Stmt, b Bind) Bind {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(Bind, len(ps.params))
+	for _, p := range ps.params {
+		if v, ok := b[p]; ok {
+			out[p] = v
+		}
+	}
+	return out
+}
+
+// Run binds the parameters, re-prunes the shard set from the bound
+// predicate values, and executes. Safe for concurrent use; always
+// Close the returned rows.
+func (st *ShardedStmt) Run(ctx context.Context, b Bind) (*ShardedRows, error) {
+	if err := st.checkBind(b); err != nil {
+		return nil, err
+	}
+	se, err := st.s.compileShardExec(st.sq, st.qt, st.lits, b, true)
+	if err != nil {
+		return nil, err
+	}
+	run := runnerset{
+		planCached: true,
+		shard: func(ctx context.Context, si int) (*Rows, error) {
+			ps := st.pstmts[si]
+			return ps.Run(ctx, filterBind(ps, b))
+		},
+		side: func(ctx context.Context, input, si int) (*Rows, error) {
+			ps := st.sideStmts[input][si]
+			return ps.Run(ctx, filterBind(ps, b))
+		},
+	}
+	sr, err := st.s.startSharded(ctx, se, run)
+	if err != nil {
+		return nil, err
+	}
+	sr.planFn = func() (*ShardedPlan, error) { return st.explainWith(se, b) }
+	return sr, nil
+}
+
+// Explain binds the parameters and renders the scatter-gather plan
+// this execution would run, without touching any device.
+func (st *ShardedStmt) Explain(b Bind) (*ShardedPlan, error) {
+	if err := st.checkBind(b); err != nil {
+		return nil, err
+	}
+	se, err := st.s.compileShardExec(st.sq, st.qt, st.lits, b, true)
+	if err != nil {
+		return nil, err
+	}
+	return st.explainWith(se, b)
+}
+
+func (st *ShardedStmt) explainWith(se *shardExec, b Bind) (*ShardedPlan, error) {
+	return st.s.shardedPlan(se, func(si int) (*Plan, error) {
+		if se.strategy == strategyBroadcast {
+			ps := st.sideStmts[se.scanInput][si]
+			return ps.Explain(filterBind(ps, b))
+		}
+		ps := st.pstmts[si]
+		return ps.Explain(filterBind(ps, b))
+	})
+}

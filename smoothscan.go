@@ -573,6 +573,45 @@ func (r *Rows) Next() bool {
 	return true
 }
 
+// fillBatch drains the scan batch-at-a-time into a caller-owned batch
+// — the hook the sharded gather's worker adapter drives, keeping the
+// shard-to-exchange hop zero-copy per row. It shares Next's semantics
+// (per-batch cancellation check, open-stream fault degradation) but
+// bypasses the Rows' own iteration state; callers use either fillBatch
+// or Next on a given Rows, never both.
+func (r *Rows) fillBatch(b *tuple.Batch) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.done {
+		return 0, nil
+	}
+	for {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				r.done = true
+				return 0, err
+			}
+		}
+		n, err := exec.NextBatch(r.op, b)
+		if err != nil {
+			if r.tryDegrade(err) {
+				continue
+			}
+			r.err = err
+			r.done = true
+			return 0, err
+		}
+		if n == 0 {
+			r.done = true
+			return 0, nil
+		}
+		r.delivered = true
+		return n, nil
+	}
+}
+
 // Row returns the current row's values. The slice is valid until the
 // next call to Next.
 func (r *Rows) Row() []int64 {
