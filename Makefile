@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv chaos server-smoke
+.PHONY: check fmt vet build test race bench-smoke bench bench-parallel bench-baseline bench-gate cover equiv chaos server-smoke multinode-smoke
 
 ## check: everything CI runs — format, vet, build, tests (incl. -race),
 ## bench smoke, the facade-equivalence golden diff, the coverage floor,
-## the chaos sweep, and the client/server smoke.
-check: fmt vet build test race bench-smoke equiv cover chaos server-smoke
+## the chaos sweep, and the client/server and multinode smokes.
+check: fmt vet build test race bench-smoke equiv cover chaos server-smoke multinode-smoke
 
 ## COVER_FLOOR: minimum total statement coverage (percent) make cover accepts.
 COVER_FLOOR ?= 70.0
@@ -85,3 +85,10 @@ chaos:
 ## clean (zero failed queries) with nonzero client-observed throughput.
 server-smoke:
 	./scripts/server_smoke.sh
+
+## multinode-smoke: boot N race-instrumented shard-node ssservers and
+## drive them with a remote-sharded ssload (-shard-addrs) — clean runs
+## whose result digest must be identical to in-process sharded and
+## unsharded runs of the same workload.
+multinode-smoke:
+	./scripts/multinode_smoke.sh

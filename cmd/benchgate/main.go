@@ -36,6 +36,12 @@ type Baseline struct {
 	// CPUs records the generating machine's GOMAXPROCS (context for
 	// humans comparing baselines, not used by the gate).
 	CPUs int `json:"cpus"`
+	// ShardMode records where the sharded benchmarks' shards live.
+	// The gated benchmarks drive an in-process ShardedDB, so this is
+	// "in-process"; remote-shard numbers (ssload -shard-addrs, the
+	// multinode smoke) are wall-clock network measurements and are
+	// never comparable against this baseline.
+	ShardMode string `json:"shard_mode,omitempty"`
 	// TuplesPerSec maps benchmark name (sans -N suffix) to the best
 	// observed throughput.
 	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
@@ -81,6 +87,7 @@ func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime 
 			Note: "throughput baseline for `make bench-gate` (best tuples/s of -count runs); " +
 				"regenerate with `make bench-baseline` after deliberate perf changes or a CI runner change",
 			CPUs:         runtime.GOMAXPROCS(0),
+			ShardMode:    "in-process",
 			TuplesPerSec: got,
 			Scaling:      scalingRatios(got),
 		}
@@ -115,6 +122,10 @@ func run(baselinePath string, write bool, tolerance float64, benchRe, benchtime 
 		if !binding {
 			fmt.Println("warning: GATE NOT BINDING on this machine class; run `make bench-baseline` here and commit it to arm the gate (or pass -strict)")
 		}
+	}
+
+	if base.ShardMode != "" {
+		fmt.Printf("shard mode: %s (sharded benchmarks; remote-shard numbers never gate here)\n", base.ShardMode)
 	}
 
 	names := make([]string, 0, len(base.TuplesPerSec))

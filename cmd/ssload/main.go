@@ -57,6 +57,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -86,6 +87,7 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "chaos mode: run a fault-free oracle load, then re-run under injected fault schedules and verify the result digests match")
 		addr        = flag.String("addr", "", "run against a remote ssserver at this address instead of in-process (the server owns the data; use matching -domain/-seed flags on both sides)")
 		shards      = flag.Int("shards", 0, "range-partition the table across N in-process shards and run the load through the scatter-gather engine (0 = unsharded); local modes only")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated ssserver addresses, one per shard (each server started with -shard-id I -shard-count N and matching -rows/-domain/-seed); runs the load through the scatter-gather engine with remote shard drivers")
 		clean       = flag.Bool("require-clean", false, "exit non-zero if any query failed")
 	)
 	flag.Parse()
@@ -98,6 +100,9 @@ func main() {
 	}
 	if *shards > 0 && *bench != "" {
 		fatal(fmt.Errorf("-shards does not combine with -bench"))
+	}
+	if *shardAddrs != "" && (*addr != "" || *shards > 0 || *bench != "") {
+		fatal(fmt.Errorf("-shard-addrs does not combine with -addr, -shards or -bench"))
 	}
 
 	ctx := context.Background()
@@ -126,6 +131,12 @@ func main() {
 
 	var h harness
 	switch {
+	case *shardAddrs != "":
+		rh, err := newRemoteShardedHarness(strings.Split(*shardAddrs, ","), *domain)
+		if err != nil {
+			fatal(fmt.Errorf("shard-addrs %s: %w", *shardAddrs, err))
+		}
+		h = rh
 	case *addr != "":
 		rh, err := newRemoteHarness(*addr)
 		if err != nil {
@@ -386,11 +397,93 @@ type harness interface {
 	close()
 }
 
+// loadTemplate is the workload's one query shape, composed through
+// the Engine interface so every backend — in-process, sharded,
+// remote — compiles exactly the same builder calls.
+func loadTemplate(e smoothscan.Engine, opts smoothscan.ScanOptions) smoothscan.Builder {
+	return e.Table(loadgen.Table).
+		Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+		WithOptions(opts)
+}
+
+// engineRunner is the single runner for every backend: it drives a
+// smoothscan.Engine and drains the uniform Cursor, so the measured
+// query path is literally the same code local and remote. Only the
+// remote backends set redial (an in-process engine cannot lose its
+// connection).
+type engineRunner struct {
+	cfg  loadConfig
+	eng  smoothscan.Engine
+	stmt smoothscan.PreparedQuery
+	// ownsEngine: close eng with the runner (per-client remote
+	// sessions); shared engines are closed by their harness.
+	ownsEngine bool
+	// broken reports whether the current engine's connection is dead;
+	// redial replaces it (and the prepared statement). Both nil for
+	// in-process engines.
+	broken func(smoothscan.Engine) bool
+	redial func() (smoothscan.Engine, smoothscan.PreparedQuery, error)
+	recon  int
+}
+
+func (r *engineRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
+	var qr queryResult
+	if r.broken != nil && r.broken(r.eng) {
+		// Transparent re-dial on a lost connection; the count lands in
+		// the per-client JSON so flapping is visible, not averaged away.
+		eng, stmt, err := r.redial()
+		if err != nil {
+			return qr, err
+		}
+		r.eng, r.stmt = eng, stmt
+		r.recon++
+	}
+	var cur smoothscan.Cursor
+	var err error
+	if r.cfg.prepared {
+		cur, err = r.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
+	} else {
+		cur, err = r.eng.Table(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
+			WithOptions(r.cfg.opts).
+			Run(ctx)
+	}
+	if err != nil {
+		return qr, err
+	}
+	for cur.Next() {
+		qr.tuples++
+		qr.digest += rowHash(cur.Row())
+	}
+	err = cur.Err()
+	if cerr := cur.Close(); err == nil {
+		err = cerr
+	}
+	// ExecStats is complete after the drain on every backend (a remote
+	// cursor's statistics arrive with the server's closing summary).
+	st := cur.ExecStats()
+	qr.reused = st.PlanCacheHit
+	qr.retries = st.Retries
+	qr.faults = st.FaultsSeen
+	return qr, err
+}
+
+func (r *engineRunner) reconnects() int { return r.recon }
+
+func (r *engineRunner) close() {
+	if r.stmt != nil && r.ownsEngine {
+		r.stmt.Close()
+	}
+	if r.ownsEngine {
+		r.eng.Close()
+	}
+}
+
 // localHarness runs the workload against an in-process DB shared by
 // all clients.
 type localHarness struct {
 	db   *smoothscan.DB
-	stmt *smoothscan.Stmt // shared prepared Stmt, created lazily
+	stmt smoothscan.PreparedQuery // shared prepared statement, created lazily
 }
 
 func (h *localHarness) mode() string { return "local" }
@@ -410,15 +503,13 @@ func (h *localHarness) planCache() (smoothscan.PlanCacheStats, error) {
 
 func (h *localHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
 	if cfg.prepared && h.stmt == nil {
-		stmt, err := h.db.Prepare(h.db.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
-			WithOptions(cfg.opts))
+		stmt, err := h.db.PrepareQuery(loadTemplate(h.db, cfg.opts))
 		if err != nil {
 			return nil, err
 		}
 		h.stmt = stmt
 	}
-	return &localRunner{h: h, cfg: cfg}, nil
+	return &engineRunner{cfg: cfg, eng: h.db, stmt: h.stmt}, nil
 }
 
 func (h *localHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
@@ -432,44 +523,6 @@ func (h *localHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
 
 func (h *localHarness) close() {}
 
-type localRunner struct {
-	h   *localHarness
-	cfg loadConfig
-}
-
-func (r *localRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
-	var qr queryResult
-	var rows *smoothscan.Rows
-	var err error
-	if r.cfg.prepared {
-		rows, err = r.h.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
-	} else {
-		rows, err = r.h.db.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
-			WithOptions(r.cfg.opts).
-			Run(ctx)
-	}
-	if err != nil {
-		return qr, err
-	}
-	for rows.Next() {
-		qr.tuples++
-		qr.digest += rowHash(rows.Row())
-	}
-	err = rows.Err()
-	if cerr := rows.Close(); err == nil {
-		err = cerr
-	}
-	st := rows.ExecStats()
-	qr.reused = st.PlanCacheHit
-	qr.retries = st.Retries
-	qr.faults = st.FaultsSeen
-	return qr, err
-}
-
-func (r *localRunner) reconnects() int { return 0 }
-func (r *localRunner) close()          {}
-
 // shardedHarness runs the workload against an in-process ShardedDB:
 // the same query surface, scattered to the owning shards and gathered
 // through the exchange. Digests stay comparable to the unsharded
@@ -477,7 +530,7 @@ func (r *localRunner) close()          {}
 // multiset) is identical — only the placement differs.
 type shardedHarness struct {
 	s    *smoothscan.ShardedDB
-	stmt *smoothscan.ShardedStmt // shared prepared Stmt, created lazily
+	stmt smoothscan.PreparedQuery // shared prepared statement, created lazily
 }
 
 func (h *shardedHarness) mode() string { return fmt.Sprintf("sharded[%d]", h.s.NumShards()) }
@@ -509,15 +562,13 @@ func (h *shardedHarness) planCache() (smoothscan.PlanCacheStats, error) {
 
 func (h *shardedHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
 	if cfg.prepared && h.stmt == nil {
-		stmt, err := h.s.Prepare(h.s.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
-			WithOptions(cfg.opts))
+		stmt, err := h.s.PrepareQuery(loadTemplate(h.s, cfg.opts))
 		if err != nil {
 			return nil, err
 		}
 		h.stmt = stmt
 	}
-	return &shardedRunner{h: h, cfg: cfg}, nil
+	return &engineRunner{cfg: cfg, eng: h.s, stmt: h.stmt}, nil
 }
 
 func (h *shardedHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
@@ -534,6 +585,8 @@ func (h *shardedHarness) setFault(seed int64, rule *smoothscan.FaultRule) error 
 }
 
 func (h *shardedHarness) close() {}
+
+func (h *shardedHarness) shardMode() string { return "in-process" }
 
 // shardBalance reports the per-shard row and device-cost balance of a
 // sharded run (see loadResult.Shards).
@@ -554,44 +607,6 @@ func (h *shardedHarness) shardBalance() []shardBalance {
 	}
 	return out
 }
-
-type shardedRunner struct {
-	h   *shardedHarness
-	cfg loadConfig
-}
-
-func (r *shardedRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
-	var qr queryResult
-	var rows *smoothscan.ShardedRows
-	var err error
-	if r.cfg.prepared {
-		rows, err = r.h.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
-	} else {
-		rows, err = r.h.s.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
-			WithOptions(r.cfg.opts).
-			Run(ctx)
-	}
-	if err != nil {
-		return qr, err
-	}
-	for rows.Next() {
-		qr.tuples++
-		qr.digest += rowHash(rows.Row())
-	}
-	err = rows.Err()
-	if cerr := rows.Close(); err == nil {
-		err = cerr
-	}
-	st := rows.ExecStats()
-	qr.reused = st.PlanCacheHit
-	qr.retries = st.Retries
-	qr.faults = st.FaultsSeen
-	return qr, err
-}
-
-func (r *shardedRunner) reconnects() int { return 0 }
-func (r *shardedRunner) close()          {}
 
 // remoteHarness runs the workload against an ssserver: one control
 // connection for stats and fault administration, plus one connection
@@ -659,11 +674,37 @@ func (h *remoteHarness) planCache() (smoothscan.PlanCacheStats, error) {
 }
 
 func (h *remoteHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
-	r := &remoteRunner{h: h, cfg: cfg}
-	if err := r.connect(); err != nil {
+	// Each client dials a fresh session; in prepared mode it prepares
+	// this session's statement (handles are per session, so each
+	// client owns one; the compiled template is still shared through
+	// the server's plan cache).
+	redial := func() (smoothscan.Engine, smoothscan.PreparedQuery, error) {
+		c, err := ssclient.Dial(h.addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		var stmt smoothscan.PreparedQuery
+		if cfg.prepared {
+			stmt, err = c.PrepareQuery(loadTemplate(c, cfg.opts))
+			if err != nil {
+				c.Close()
+				return nil, nil, err
+			}
+		}
+		return c, stmt, nil
+	}
+	eng, stmt, err := redial()
+	if err != nil {
 		return nil, err
 	}
-	return r, nil
+	return &engineRunner{
+		cfg:        cfg,
+		eng:        eng,
+		stmt:       stmt,
+		ownsEngine: true,
+		broken:     func(e smoothscan.Engine) bool { return e.(*ssclient.Conn).Broken() },
+		redial:     redial,
+	}, nil
 }
 
 func (h *remoteHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
@@ -683,84 +724,173 @@ func (h *remoteHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
 
 func (h *remoteHarness) close() { h.ctl.Close() }
 
-type remoteRunner struct {
-	h     *remoteHarness
-	cfg   loadConfig
-	c     *ssclient.Client
-	stmt  *ssclient.Stmt
-	recon int
+// remoteShardedHarness runs the workload through the scatter-gather
+// engine backed by remote shard drivers: one ssserver per shard, each
+// serving its BuildShardSlice, gathered by an in-process coordinator.
+// The query path is the shared engineRunner over the ShardedDB
+// engine; this harness only adds per-node administration — one
+// control connection per shard for stats snapshots and fault
+// schedules (an ssclient session is single-goroutine, so the
+// coordinator's own pooled connections cannot double as controls).
+type remoteShardedHarness struct {
+	s     *smoothscan.ShardedDB
+	stmt  smoothscan.PreparedQuery // shared prepared statement, created lazily
+	addrs []string
+	ctls  []*ssclient.Client
+	base  []ssclient.ServerStats
+	// noCold is set once a server refuses cache administration; later
+	// windows measure warm instead of failing the run.
+	noCold bool
 }
 
-// connect dials a fresh session and, in prepared mode, prepares this
-// session's statement (handles are per session, so each client owns
-// one; the compiled template is still shared through the server's
-// plan cache).
-func (r *remoteRunner) connect() error {
-	c, err := ssclient.Dial(r.h.addr)
-	if err != nil {
-		return err
+func newRemoteShardedHarness(addrs []string, domain int64) (*remoteShardedHarness, error) {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return nil, fmt.Errorf("empty shard address at position %d", i)
+		}
 	}
-	if r.cfg.prepared {
-		stmt, err := c.Prepare(c.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, ssclient.Between(ssclient.Param("lo"), ssclient.Param("hi"))).
-			WithOptions(r.cfg.opts))
+	placements := make([]smoothscan.Placement, len(addrs))
+	for i, a := range addrs {
+		placements[i] = smoothscan.Placement{Addr: a}
+	}
+	parts := map[string]smoothscan.Partitioning{
+		loadgen.Table: loadgen.ShardParts(domain, len(addrs)),
+	}
+	s, err := smoothscan.OpenShardedRemote(placements, parts, smoothscan.Options{PoolPages: 64})
+	if err != nil {
+		return nil, err
+	}
+	h := &remoteShardedHarness{s: s, addrs: addrs, base: make([]ssclient.ServerStats, len(addrs))}
+	for _, a := range addrs {
+		ctl, err := ssclient.Dial(a)
 		if err != nil {
-			c.Close()
+			h.close()
+			return nil, fmt.Errorf("control dial %s: %w", a, err)
+		}
+		h.ctls = append(h.ctls, ctl)
+	}
+	return h, nil
+}
+
+func (h *remoteShardedHarness) mode() string {
+	return fmt.Sprintf("remote-sharded[%d]", len(h.addrs))
+}
+
+func (h *remoteShardedHarness) mark() error {
+	if !h.noCold {
+		// ShardedDB.ColdCache forwards to every node; a refusal (no
+		// -fault-admin on the servers) downgrades to warm windows.
+		if err := h.s.ColdCache(); err != nil {
+			var re *ssclient.RemoteError
+			if !errors.As(err, &re) {
+				return err
+			}
+			h.noCold = true
+		}
+	}
+	for i, ctl := range h.ctls {
+		st, err := ctl.ServerStats()
+		if err != nil {
 			return err
 		}
-		r.stmt = stmt
+		h.base[i] = st
 	}
-	r.c = c
 	return nil
 }
 
-func (r *remoteRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult, error) {
-	var qr queryResult
-	if r.c.Broken() {
-		// Transparent re-dial on a lost connection; the count lands in
-		// the per-client JSON so flapping is visible, not averaged away.
-		if err := r.connect(); err != nil {
-			return qr, err
+func (h *remoteShardedHarness) simCost() (float64, error) {
+	total := 0.0
+	for i, ctl := range h.ctls {
+		st, err := ctl.ServerStats()
+		if err != nil {
+			return 0, err
 		}
-		r.recon++
+		total += st.DeviceSimCost - h.base[i].DeviceSimCost
 	}
-	var rows *ssclient.Rows
-	var err error
-	if r.cfg.prepared {
-		rows, err = r.stmt.Run(ctx, smoothscan.Bind{"lo": lo, "hi": hi})
-	} else {
-		rows, err = r.c.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, ssclient.Between(lo, hi)).
-			WithOptions(r.cfg.opts).
-			Run(ctx)
+	return total, nil
+}
+
+func (h *remoteShardedHarness) planCache() (smoothscan.PlanCacheStats, error) {
+	var total smoothscan.PlanCacheStats
+	for _, ctl := range h.ctls {
+		st, err := ctl.ServerStats()
+		if err != nil {
+			return smoothscan.PlanCacheStats{}, err
+		}
+		total.Hits += uint64(st.PlanCacheHits)
+		total.Misses += uint64(st.PlanCacheMisses)
 	}
+	return total, nil
+}
+
+func (h *remoteShardedHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
+	if cfg.prepared && h.stmt == nil {
+		stmt, err := h.s.PrepareQuery(loadTemplate(h.s, cfg.opts))
+		if err != nil {
+			return nil, err
+		}
+		h.stmt = stmt
+	}
+	// The coordinator is safe for concurrent queries (each shard driver
+	// pools its connections), so every client shares the one engine.
+	return &engineRunner{cfg: cfg, eng: h.s, stmt: h.stmt}, nil
+}
+
+func (h *remoteShardedHarness) setFault(seed int64, rule *smoothscan.FaultRule) error {
+	// One independent policy per shard node, same seed — the remote
+	// mirror of shardedHarness.setFault.
+	for _, ctl := range h.ctls {
+		if rule == nil {
+			if err := ctl.ClearFaultPolicy(); err != nil {
+				return err
+			}
+			continue
+		}
+		err := ctl.SetFaultPolicy(seed, ssclient.FaultRule{
+			Kind:      rule.Kind,
+			Rate:      rule.Rate,
+			ExtraCost: rule.ExtraCost,
+		})
+		if err != nil {
+			return fmt.Errorf("%w (remote fault schedules need ssserver -fault-admin)", err)
+		}
+	}
+	return nil
+}
+
+func (h *remoteShardedHarness) close() {
+	for _, ctl := range h.ctls {
+		ctl.Close()
+	}
+	h.s.Close()
+}
+
+// shardBalance reports each node's static row count and this window's
+// simulated-cost delta. PagesRead stays zero: the server counters do
+// not break pages out per window (per-query page counts do travel in
+// ExecStats.Shards, but the load loop does not accumulate them).
+func (h *remoteShardedHarness) shardBalance() []shardBalance {
+	rows, err := h.s.ShardRows(loadgen.Table)
 	if err != nil {
-		return qr, err
+		return nil
 	}
-	for rows.Next() {
-		qr.tuples++
-		qr.digest += rowHash(rows.Row())
+	out := make([]shardBalance, len(h.ctls))
+	for i, ctl := range h.ctls {
+		st, err := ctl.ServerStats()
+		if err != nil {
+			return nil
+		}
+		out[i] = shardBalance{
+			Shard:   i,
+			Rows:    rows[i],
+			SimCost: st.DeviceSimCost - h.base[i].DeviceSimCost,
+		}
 	}
-	err = rows.Err()
-	rows.Close()
-	if s, ok := rows.Summary(); ok {
-		qr.reused = s.PlanCacheHit
-		qr.retries = s.Retries
-		qr.faults = s.FaultsSeen
-	}
-	return qr, err
+	return out
 }
 
-func (r *remoteRunner) reconnects() int { return r.recon }
-
-func (r *remoteRunner) close() {
-	if r.stmt != nil {
-		r.stmt.Close()
-	}
-	if r.c != nil {
-		r.c.Close()
-	}
-}
+func (h *remoteShardedHarness) shardMode() string { return "remote" }
 
 // clientStat is one client goroutine's tally, reported in the JSON
 // output so a sick client is visible instead of averaged away.
@@ -808,11 +938,17 @@ type loadResult struct {
 	Retries      int64 `json:"retries"`
 	FaultsSeen   int64 `json:"faults_seen"`
 	Reconnects   int   `json:"reconnects"`
+	// ShardMode labels a sharded run's topology: "in-process" for
+	// -shards N, "remote" for -shard-addrs; omitted for unsharded
+	// runs. Digests are comparable across the two (and against an
+	// unsharded run) — only the placement differs.
+	ShardMode string `json:"shard_mode,omitempty"`
 	// Shards reports the per-shard row and device-cost balance of a
-	// sharded run (-shards N), in shard order; omitted otherwise. Rows
-	// is static placement; SimCost and PagesRead are this run's deltas,
-	// showing whether pruning and the uniform predicate stream spread
-	// the work evenly.
+	// sharded run (-shards N or -shard-addrs), in shard order; omitted
+	// otherwise. Rows is static placement; SimCost and PagesRead are
+	// this run's deltas, showing whether pruning and the uniform
+	// predicate stream spread the work evenly (remote nodes report
+	// SimCost only; their PagesRead stays zero).
 	Shards []shardBalance `json:"shards,omitempty"`
 	// Digest is an order-independent checksum of every result row of
 	// every successful query (sum of per-row FNV-1a hashes), stable
@@ -837,6 +973,9 @@ type shardBalance struct {
 // per shard.
 type shardReporter interface {
 	shardBalance() []shardBalance
+	// shardMode labels where the shards live: "in-process" (-shards)
+	// or "remote" (-shard-addrs).
+	shardMode() string
 }
 
 func (r loadResult) print(w *os.File) {
@@ -1002,8 +1141,10 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 		return loadResult{}, err
 	}
 	var shardBal []shardBalance
+	shardMode := ""
 	if sr, ok := h.(shardReporter); ok {
 		shardBal = sr.shardBalance()
+		shardMode = sr.shardMode()
 	}
 
 	sort.Slice(perClient, func(i, j int) bool { return perClient[i].Client < perClient[j].Client })
@@ -1034,6 +1175,7 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 		MaxMS:         pct(1.0),
 		SimCost:       simCost,
 		PlanReuseRate: reuseRate,
+		ShardMode:     shardMode,
 		Shards:        shardBal,
 		Digest:        digest,
 		PerClient:     perClient,

@@ -61,11 +61,34 @@ func main() {
 		faultKind     = flag.String("fault-kind", "transient", "injected fault kind: transient, permanent, latency, corrupt")
 		faultExtra    = flag.Float64("fault-extra-cost", 50, "extra simulated cost per latency fault (with -fault-kind latency)")
 		faultAdmin    = flag.Bool("fault-admin", false, "allow clients to install/clear fault policies over the wire (ssload -chaos -addr needs this)")
+		shardID       = flag.Int("shard-id", -1, "serve only shard N of a -shard-count-way placement instead of the whole table (pair with ssload -shard-addrs; -1 = unsharded)")
+		shardCount    = flag.Int("shard-count", 0, "total shards in the placement (with -shard-id)")
 		verbose       = flag.Bool("v", false, "log session lifecycle events")
 	)
 	flag.Parse()
 
-	db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
+	sharded := *shardID >= 0
+	if sharded && *shardCount < 1 {
+		fatal(fmt.Errorf("-shard-id %d needs -shard-count >= 1", *shardID))
+	}
+	if sharded && *shardID >= *shardCount {
+		fatal(fmt.Errorf("-shard-id %d out of range [0, %d)", *shardID, *shardCount))
+	}
+	if !sharded && *shardCount > 0 {
+		fatal(fmt.Errorf("-shard-count needs -shard-id"))
+	}
+
+	var db *smoothscan.DB
+	var err error
+	if sharded {
+		// This node owns one horizontal slice of the shared generator's
+		// table; a remote-sharded coordinator (ssload -shard-addrs, or
+		// smoothscan.OpenShardedRemote) gathers the slices back into the
+		// whole table.
+		db, err = loadgen.BuildShardSlice(*rows, *domain, *seed, *pool, *shardID, *shardCount)
+	} else {
+		db, err = loadgen.BuildDB(*rows, *domain, *seed, *pool)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -98,8 +121,13 @@ func main() {
 	if err := srv.Start(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("ssserver: serving table %q (%d rows, domain %d) on %s\n",
-		loadgen.Table, *rows, *domain, srv.Addr())
+	if sharded {
+		fmt.Printf("ssserver: serving shard %d/%d of table %q (%d rows total, domain %d) on %s\n",
+			*shardID, *shardCount, loadgen.Table, *rows, *domain, srv.Addr())
+	} else {
+		fmt.Printf("ssserver: serving table %q (%d rows, domain %d) on %s\n",
+			loadgen.Table, *rows, *domain, srv.Addr())
+	}
 	fmt.Printf("ssserver: limits: %d conns, %d stmts/session, %d in flight (queue %s), idle timeout %s, fault admin %v\n",
 		*maxConns, *maxStmts, *maxInflight, *queueDeadline, *idleTimeout, *faultAdmin)
 

@@ -1,0 +1,210 @@
+package smoothscan
+
+import (
+	"context"
+	"fmt"
+)
+
+// Engine is the execution-surface every smoothscan backend exposes: a
+// single-node *DB, a scatter-gather *ShardedDB (in-process or remote
+// shards alike) and a remote *ssclient.Conn all implement it. Code
+// written against Engine — a test harness, a load driver, an
+// application — moves between deployments by swapping the constructor
+// and nothing else.
+//
+//	var e smoothscan.Engine = db // or sharded, or ssclient.Dial(...)
+//	cur, err := e.Table("t").Where("val", smoothscan.Between(lo, hi)).Run(ctx)
+//
+// The interface is the intersection of the three surfaces, not their
+// union. Backend-specific capability stays on the concrete types:
+// mutation and administration (CreateTable, Insert, Analyze,
+// SetFaultPolicy), local-only introspection (Rows.Plan,
+// Rows.SmoothStats, ShardedRows.Plan), wire-level control
+// (Conn.SetFetchRows, Conn.Broken, Conn.ServerStats) and
+// Explain-before-execute. ExecStats is the one diagnostic rich enough
+// to keep: every backend fills IO, RowsReturned, PlanCacheHit and the
+// fault counters, and the sharded backends add per-shard breakdowns.
+type Engine interface {
+	// Table starts a composable query over the named table. The
+	// builder records errors internally and reports them from Run (or
+	// PrepareQuery), like the concrete builders it wraps.
+	Table(name string) Builder
+	// PrepareQuery compiles a builder made by this engine's Table into
+	// a reusable prepared statement. Passing a Builder from a
+	// different Engine is an error.
+	PrepareQuery(b Builder) (PreparedQuery, error)
+	// Close releases the engine: remote connections hang up, sharded
+	// engines close their shard drivers, a single-node DB is a no-op.
+	Close() error
+}
+
+// Builder is the composable query surface shared by every Engine. The
+// methods mirror Query/ShardedQuery/ssclient.Query exactly; each call
+// mutates the underlying builder and returns the same Builder for
+// chaining.
+type Builder interface {
+	Where(col string, p Pred) Builder
+	Join(table, leftCol, rightCol string) Builder
+	JoinWithOptions(table, leftCol, rightCol string, opts ScanOptions) Builder
+	Select(cols ...string) Builder
+	GroupBy(col string, aggs ...Agg) Builder
+	OrderBy(col string) Builder
+	Limit(n any) Builder
+	WithOptions(opts ScanOptions) Builder
+	// Run executes the query and opens a cursor over the results.
+	Run(ctx context.Context) (Cursor, error)
+}
+
+// Cursor iterates a result stream: the uniform subset of *Rows,
+// *ShardedRows and *ssclient.Rows, which all satisfy it directly.
+// ExecStats is fully populated once the stream is drained; a remote
+// cursor's statistics arrive with the server's closing summary, so
+// mid-stream reads return the zero value there.
+type Cursor interface {
+	Next() bool
+	Row() []int64
+	Columns() []string
+	Err() error
+	ExecStats() ExecStats
+	Close() error
+}
+
+// PreparedQuery is a reusable compiled statement: bind parameters,
+// run, repeat. Close releases any backend resources (a server-side
+// statement handle remotely; nothing locally).
+type PreparedQuery interface {
+	Params() []string
+	Run(ctx context.Context, b Bind) (Cursor, error)
+	Close() error
+}
+
+// Compile-time checks that the concrete row types satisfy Cursor and
+// the engines satisfy Engine.
+var (
+	_ Cursor = (*Rows)(nil)
+	_ Cursor = (*ShardedRows)(nil)
+	_ Engine = (*DB)(nil)
+	_ Engine = (*ShardedDB)(nil)
+)
+
+// queryBuilder adapts *Query to Builder.
+type queryBuilder struct{ q *Query }
+
+func (b queryBuilder) Where(col string, p Pred) Builder { b.q.Where(col, p); return b }
+func (b queryBuilder) Join(table, leftCol, rightCol string) Builder {
+	b.q.Join(table, leftCol, rightCol)
+	return b
+}
+func (b queryBuilder) JoinWithOptions(table, leftCol, rightCol string, opts ScanOptions) Builder {
+	b.q.JoinWithOptions(table, leftCol, rightCol, opts)
+	return b
+}
+func (b queryBuilder) Select(cols ...string) Builder           { b.q.Select(cols...); return b }
+func (b queryBuilder) GroupBy(col string, aggs ...Agg) Builder { b.q.GroupBy(col, aggs...); return b }
+func (b queryBuilder) OrderBy(col string) Builder              { b.q.OrderBy(col); return b }
+func (b queryBuilder) Limit(n any) Builder                     { b.q.Limit(n); return b }
+func (b queryBuilder) WithOptions(opts ScanOptions) Builder    { b.q.WithOptions(opts); return b }
+func (b queryBuilder) Run(ctx context.Context) (Cursor, error) {
+	r, err := b.q.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// shardedBuilder adapts *ShardedQuery to Builder.
+type shardedBuilder struct{ sq *ShardedQuery }
+
+func (b shardedBuilder) Where(col string, p Pred) Builder { b.sq.Where(col, p); return b }
+func (b shardedBuilder) Join(table, leftCol, rightCol string) Builder {
+	b.sq.Join(table, leftCol, rightCol)
+	return b
+}
+func (b shardedBuilder) JoinWithOptions(table, leftCol, rightCol string, opts ScanOptions) Builder {
+	b.sq.JoinWithOptions(table, leftCol, rightCol, opts)
+	return b
+}
+func (b shardedBuilder) Select(cols ...string) Builder { b.sq.Select(cols...); return b }
+func (b shardedBuilder) GroupBy(col string, aggs ...Agg) Builder {
+	b.sq.GroupBy(col, aggs...)
+	return b
+}
+func (b shardedBuilder) OrderBy(col string) Builder           { b.sq.OrderBy(col); return b }
+func (b shardedBuilder) Limit(n any) Builder                  { b.sq.Limit(n); return b }
+func (b shardedBuilder) WithOptions(opts ScanOptions) Builder { b.sq.WithOptions(opts); return b }
+func (b shardedBuilder) Run(ctx context.Context) (Cursor, error) {
+	r, err := b.sq.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// stmtPrepared adapts *Stmt to PreparedQuery.
+type stmtPrepared struct{ st *Stmt }
+
+func (p stmtPrepared) Params() []string { return p.st.Params() }
+func (p stmtPrepared) Run(ctx context.Context, b Bind) (Cursor, error) {
+	r, err := p.st.Run(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+func (p stmtPrepared) Close() error { return p.st.Close() }
+
+// shardedPrepared adapts *ShardedStmt to PreparedQuery.
+type shardedPrepared struct{ st *ShardedStmt }
+
+func (p shardedPrepared) Params() []string { return p.st.Params() }
+func (p shardedPrepared) Run(ctx context.Context, b Bind) (Cursor, error) {
+	r, err := p.st.Run(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+func (p shardedPrepared) Close() error { return p.st.Close() }
+
+// Table implements Engine.
+func (db *DB) Table(name string) Builder { return queryBuilder{q: db.Query(name)} }
+
+// PrepareQuery implements Engine; the Builder must come from this
+// DB's Table.
+func (db *DB) PrepareQuery(b Builder) (PreparedQuery, error) {
+	qb, ok := b.(queryBuilder)
+	if !ok || qb.q.db != db {
+		return nil, errForeignBuilder(b)
+	}
+	st, err := db.Prepare(qb.q)
+	if err != nil {
+		return nil, err
+	}
+	return stmtPrepared{st: st}, nil
+}
+
+// Close implements Engine. A DB holds no resources beyond its own
+// memory, so Close is a no-op kept for surface uniformity — code
+// written against Engine can defer e.Close() unconditionally.
+func (db *DB) Close() error { return nil }
+
+// Table implements Engine.
+func (s *ShardedDB) Table(name string) Builder { return shardedBuilder{sq: s.Query(name)} }
+
+// PrepareQuery implements Engine; the Builder must come from this
+// ShardedDB's Table.
+func (s *ShardedDB) PrepareQuery(b Builder) (PreparedQuery, error) {
+	sb, ok := b.(shardedBuilder)
+	if !ok || sb.sq.s != s {
+		return nil, errForeignBuilder(b)
+	}
+	st, err := s.Prepare(sb.sq)
+	if err != nil {
+		return nil, err
+	}
+	return shardedPrepared{st: st}, nil
+}
+
+func errForeignBuilder(b Builder) error {
+	return fmt.Errorf("smoothscan: PrepareQuery: builder %T was not created by this engine's Table", b)
+}

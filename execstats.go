@@ -145,6 +145,13 @@ type ShardStats struct {
 	Shard int
 	// Owns describes the shard's key ownership ("[100,200)", "h%4=2").
 	Owns string
+	// Addr is the shard's network address for a remote shard; "" for
+	// in-process shards.
+	Addr string
+	// Unavailable reports that the shard failed as unreachable during
+	// this execution (errors.Is(err, ErrShardUnavailable)): the node
+	// was down, or its connection died and reconnection was exhausted.
+	Unavailable bool
 	// Pruned reports that the planner excluded the shard — it ran no
 	// operator and performed zero device I/O.
 	Pruned bool
@@ -183,6 +190,7 @@ func (r *ShardedRows) ExecStats() ExecStats {
 		shards[i] = ShardStats{
 			Shard:     i,
 			Owns:      r.se.part.DescribeShard(i),
+			Addr:      r.s.drivers[i].address(),
 			Pruned:    true,
 			PrunedWhy: r.se.prunedWhy[i],
 		}
@@ -191,16 +199,29 @@ func (r *ShardedRows) ExecStats() ExecStats {
 		} else {
 			shards[i].IO = r.s.shards[i].dev.Stats().Sub(r.ioStart[i])
 		}
-		st.IO = addIO(st.IO, shards[i].IO)
 	}
 	for k, si := range r.se.active {
 		sh := &shards[si]
 		sh.Pruned = false
 		sh.PrunedWhy = ""
-		if !quiesced || k >= len(r.adapters) || r.adapters[k].rows == nil {
+		if !quiesced || k >= len(r.adapters) {
 			continue
 		}
-		sub := r.adapters[k].rows.ExecStats()
+		a := r.adapters[k]
+		sh.Unavailable = a.unavailable
+		if a.cur == nil {
+			continue
+		}
+		// A remote cursor is the authority for its shard's I/O (the
+		// summary ships over the wire); an in-process shard's delta was
+		// already read off its device above.
+		if io, ok := a.cur.ioStats(); ok {
+			sh.IO = io
+		}
+		sub, ok := a.cur.execStats()
+		if !ok {
+			continue
+		}
 		sh.Rows = sub.RowsReturned
 		sh.PlanCacheHit = sub.PlanCacheHit
 		sh.HasSmooth = sub.HasSmooth
@@ -209,6 +230,9 @@ func (r *ShardedRows) ExecStats() ExecStats {
 		for _, d := range sub.Degraded {
 			st.Degraded = append(st.Degraded, fmt.Sprintf("shard %d: %s", si, d))
 		}
+	}
+	for i := range shards {
+		st.IO = addIO(st.IO, shards[i].IO)
 	}
 	st.Shards = shards
 	for _, c := range r.counters {

@@ -114,6 +114,9 @@ type ShardPlan struct {
 	Shard int
 	// Owns describes the shard's key ownership ("[100,200)", "h%4=2").
 	Owns string
+	// Addr is the shard's network address for a remote shard ("" for
+	// in-process shards); it renders as "shard 2 @127.0.0.1:7744".
+	Addr string
 	// Pruned reports that the shard is excluded from the execution.
 	Pruned bool
 	// Why is the pruning reason for a pruned shard.
@@ -168,11 +171,15 @@ func (p *ShardedPlan) String() string {
 		fmt.Fprintf(&b, "   coordinator: %s\n", strings.Join(p.Coordinator, " → "))
 	}
 	for _, sp := range p.Shards {
+		label := fmt.Sprintf("shard %d", sp.Shard)
+		if sp.Addr != "" {
+			label += " @" + sp.Addr
+		}
 		if sp.Pruned {
-			fmt.Fprintf(&b, "└─ shard %d %s: pruned — %s\n", sp.Shard, sp.Owns, sp.Why)
+			fmt.Fprintf(&b, "└─ %s %s: pruned — %s\n", label, sp.Owns, sp.Why)
 			continue
 		}
-		fmt.Fprintf(&b, "└─ shard %d %s:\n", sp.Shard, sp.Owns)
+		fmt.Fprintf(&b, "└─ %s %s:\n", label, sp.Owns)
 		for _, line := range strings.Split(strings.TrimRight(sp.Plan.String(), "\n"), "\n") {
 			b.WriteString("   ")
 			b.WriteString(line)
@@ -228,7 +235,7 @@ func (s *ShardedDB) shardedPlan(se *shardExec, perShard func(si int) (*Plan, err
 		active[si] = true
 	}
 	for i := 0; i < len(s.shards); i++ {
-		sp := ShardPlan{Shard: i, Owns: se.part.DescribeShard(i)}
+		sp := ShardPlan{Shard: i, Owns: se.part.DescribeShard(i), Addr: s.drivers[i].address()}
 		if !active[i] {
 			sp.Pruned = true
 			sp.Why = se.prunedWhy[i]

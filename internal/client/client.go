@@ -1,0 +1,360 @@
+// Package client is the SSWP client transport: one connection speaking
+// the prepare → bind → execute → fetch lifecycle against an
+// internal/server session. It depends only on the wire codec, so both
+// the public ssclient package (which re-exports it behind the engine's
+// builder surface) and the root package's remote shard driver can share
+// one implementation without an import cycle through smoothscan.
+//
+// A Conn owns one connection and runs one request/response exchange at
+// a time; it is not safe for concurrent use — give each goroutine its
+// own Conn. Rows.Close and Stmt.Close are always safe to call,
+// including after the server has disconnected: they release local state
+// first and treat an unreachable server as already-closed rather than
+// an error to propagate.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smoothscan/internal/wire"
+)
+
+// Typed sentinels, matchable with errors.Is against any error a remote
+// exchange returns. The messages carry the public package's name —
+// ssclient re-exports these exact values as its own API.
+var (
+	// ErrConnLost marks a dead connection: the client can no longer
+	// exchange frames and must be re-dialed.
+	ErrConnLost = errors.New("ssclient: connection lost")
+	// ErrBusy: a new request was issued while a Rows stream is open on
+	// this connection. Drain or Close it first.
+	ErrBusy = errors.New("ssclient: a result stream is open")
+)
+
+// DefaultFetchRows is the per-Fetch row budget Rows uses unless
+// Conn.SetFetchRows overrides it.
+const DefaultFetchRows = 4096
+
+// handshakeTimeout bounds Dial's Hello/HelloOK exchange.
+const handshakeTimeout = 10 * time.Second
+
+// Conn is one protocol session. Not safe for concurrent use.
+type Conn struct {
+	conn      net.Conn
+	mu        sync.Mutex
+	err       error // sticky: once the connection failed, everything does
+	closed    bool
+	cur       *Rows
+	fetchRows int
+}
+
+// Dial connects and performs the protocol handshake. A server at its
+// connection limit answers with an overloaded Error frame, so the
+// returned error satisfies errors.Is(err, wire.ErrOverloaded) rather
+// than hanging or surfacing a bare I/O failure.
+func Dial(addr string) (*Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: conn, fetchRows: DefaultFetchRows}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.Hello{Magic: wire.Magic, Version: wire.Version}.Marshal()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	conn.SetDeadline(time.Time{})
+	switch typ {
+	case wire.MsgHelloOK:
+		if _, err := wire.DecodeHelloOK(payload); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return c, nil
+	case wire.MsgError:
+		conn.Close()
+		m, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, m.Err()
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected handshake frame %#02x", wire.ErrMalformed, typ)
+	}
+}
+
+// SetFetchRows overrides the per-Fetch row budget of subsequent Rows
+// (n <= 0 restores the default). Smaller windows trade throughput for
+// finer cancellation granularity.
+func (c *Conn) SetFetchRows(n int) {
+	if n <= 0 {
+		n = DefaultFetchRows
+	}
+	c.fetchRows = n
+}
+
+// Broken reports whether the connection has failed; a broken
+// connection cannot recover and should be re-dialed.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// Close closes the connection. Idempotent, and safe whatever state the
+// connection is in.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.cur != nil {
+		c.cur.closed = true
+		c.cur = nil
+	}
+	return c.conn.Close()
+}
+
+// broken records a connection-fatal error and returns it. Caller holds
+// c.mu or has exclusive use.
+func (c *Conn) broken(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %v", ErrConnLost, err)
+		c.conn.Close()
+	}
+	return c.err
+}
+
+// usable rejects requests on a dead, closed or busy connection.
+func (c *Conn) usable() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnLost
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.cur != nil && !c.cur.closed {
+		return ErrBusy
+	}
+	return nil
+}
+
+// send writes one request frame.
+func (c *Conn) send(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.conn, typ, payload); err != nil {
+		return c.broken(err)
+	}
+	return nil
+}
+
+// recv reads one response frame.
+func (c *Conn) recv() (byte, []byte, error) {
+	typ, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, c.broken(err)
+	}
+	return typ, payload, nil
+}
+
+// roundTrip sends one request and reads its single response frame,
+// translating an Error frame into a typed error.
+func (c *Conn) roundTrip(reqTyp byte, payload []byte, wantTyp byte) ([]byte, error) {
+	if err := c.send(reqTyp, payload); err != nil {
+		return nil, err
+	}
+	typ, resp, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wantTyp:
+		return resp, nil
+	case wire.MsgError:
+		m, derr := wire.DecodeError(resp)
+		if derr != nil {
+			return nil, c.broken(derr)
+		}
+		if m.Class == wire.ClassIdle {
+			// A server-initiated close ends the session; no further
+			// exchange can succeed on this connection.
+			c.broken(m.Err())
+		}
+		return nil, m.Err()
+	default:
+		return nil, c.broken(fmt.Errorf("unexpected frame %#02x (wanted %#02x)", typ, wantTyp))
+	}
+}
+
+// PrepareSpec compiles the query spec into a server-side statement.
+// Structural errors (unknown tables or columns, bad argument types)
+// surface here, as with DB.Prepare.
+func (c *Conn) PrepareSpec(spec wire.QuerySpec) (*Stmt, error) {
+	if err := c.usable(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(wire.MsgPrepare, wire.Prepare{Spec: spec}.Marshal(), wire.MsgPrepareOK)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.DecodePrepareOK(resp)
+	if err != nil {
+		return nil, c.broken(err)
+	}
+	return &Stmt{c: c, id: m.StmtID, params: m.Params}, nil
+}
+
+// RunSpec executes the query spec ad hoc (literals inline) and opens a
+// result stream. Parameterized specs must go through PrepareSpec.
+func (c *Conn) RunSpec(ctx context.Context, spec wire.QuerySpec) (*Rows, error) {
+	return c.openRows(ctx, wire.MsgQuery, wire.Query{Spec: spec}.Marshal())
+}
+
+// ServerStats fetches the server's counter snapshot.
+func (c *Conn) ServerStats() (wire.ServerStats, error) {
+	if err := c.usable(); err != nil {
+		return wire.ServerStats{}, err
+	}
+	resp, err := c.roundTrip(wire.MsgStats, nil, wire.MsgStatsReply)
+	if err != nil {
+		return wire.ServerStats{}, err
+	}
+	st, err := wire.DecodeServerStats(resp)
+	if err != nil {
+		return wire.ServerStats{}, c.broken(err)
+	}
+	return st, nil
+}
+
+// Catalog fetches the server's table catalog: names, column order,
+// indexed columns and row counts.
+func (c *Conn) Catalog() ([]wire.TableSpec, error) {
+	if err := c.usable(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(wire.MsgCatalog, nil, wire.MsgCatalogReply)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.DecodeCatalogReply(resp)
+	if err != nil {
+		return nil, c.broken(err)
+	}
+	return m.Tables, nil
+}
+
+// SetFaultPolicy attaches a deterministic fault-injection policy to
+// the server's device (rules apply to every space), or detaches any
+// policy when rules is empty. The server must run with fault
+// administration enabled; otherwise a bad-request error returns.
+func (c *Conn) SetFaultPolicy(seed int64, rules ...wire.FaultRuleSpec) error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	m := wire.FaultCtl{Seed: seed, Rules: rules}
+	_, err := c.roundTrip(wire.MsgFaultCtl, m.Marshal(), wire.MsgOK)
+	return err
+}
+
+// ClearFaultPolicy detaches any fault-injection policy.
+func (c *Conn) ClearFaultPolicy() error { return c.SetFaultPolicy(0) }
+
+// ColdCache evicts the server's buffer pool so a following measurement
+// window starts from the same cold state an in-process run would — the
+// remote analog of DB.ColdCache. It shares the fault administration
+// gate; a server without it enabled answers with a bad-request error.
+func (c *Conn) ColdCache() error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(wire.MsgColdCache, nil, wire.MsgOK)
+	return err
+}
+
+// Stmt is a remote prepared statement handle.
+type Stmt struct {
+	c      *Conn
+	id     uint32
+	params []string
+	closed bool
+}
+
+// Params returns the statement's parameter names in first-use order.
+func (s *Stmt) Params() []string {
+	return append([]string(nil), s.params...)
+}
+
+// Run binds the parameters and executes the statement, opening a
+// result stream. One stream may be open per Conn at a time.
+func (s *Stmt) Run(ctx context.Context, b map[string]int64) (*Rows, error) {
+	if s.closed {
+		return nil, fmt.Errorf("ssclient: Run on a closed Stmt")
+	}
+	m := wire.Execute{StmtID: s.id}
+	for name, val := range b {
+		m.Binds = append(m.Binds, wire.BindKV{Name: name, Val: val})
+	}
+	return s.c.openRows(ctx, wire.MsgExecute, m.Marshal())
+}
+
+// Close drops the server-side statement handle. It is idempotent and
+// safe after a server disconnect: a handle that cannot be reached is
+// gone by definition, so Close only reports errors from a live,
+// misbehaving exchange.
+func (s *Stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.c.usable(); err != nil {
+		// Busy, broken or closed: the handle dies with the session;
+		// nothing to deliver, nothing to report.
+		return nil
+	}
+	_, err := s.c.roundTrip(wire.MsgCloseStmt, wire.CloseStmt{StmtID: s.id}.Marshal(), wire.MsgOK)
+	if errors.Is(err, ErrConnLost) || errors.Is(err, wire.ErrSessionClosed) {
+		return nil
+	}
+	return err
+}
+
+// openRows issues an Execute/Query request and materialises the
+// ExecOK response into a Rows stream.
+func (c *Conn) openRows(ctx context.Context, reqTyp byte, payload []byte) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.usable(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(reqTyp, payload, wire.MsgExecOK)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.DecodeExecOK(resp)
+	if err != nil {
+		return nil, c.broken(err)
+	}
+	r := &Rows{c: c, ctx: ctx, cols: m.Cols, fetchRows: c.fetchRows}
+	c.mu.Lock()
+	c.cur = r
+	c.mu.Unlock()
+	return r, nil
+}

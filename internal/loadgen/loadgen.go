@@ -6,6 +6,7 @@
 package loadgen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"smoothscan"
@@ -34,6 +35,58 @@ func BuildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
 		vals[0] = i
 		for c := 1; c < len(vals); c++ {
 			vals[c] = rng.Int63n(domain)
+		}
+		if err := tb.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex(Table, IndexedCol); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ShardParts is the partitioning every sharded topology of the
+// generated table agrees on: range partitioning of the indexed column
+// with equal-width bounds over the domain. ssload -shards, ssload
+// -shard-addrs and ssserver -shard-id must all derive placement from
+// this one function, or rows would land on (or be looked for at) the
+// wrong shard.
+func ShardParts(domain int64, n int) smoothscan.Partitioning {
+	return smoothscan.RangePartitioning(IndexedCol, smoothscan.EqualWidthBounds(0, domain, n)...)
+}
+
+// BuildShardSlice loads shard shardID's slice of the n-way sharded
+// table as a standalone DB: the generator consumes the identical rng
+// stream as BuildDB/BuildShardedDB (so the global row multiset is
+// byte-identical) and keeps only the rows ShardParts routes to this
+// shard. N ssserver processes each serving their BuildShardSlice are
+// collectively the same table BuildShardedDB holds in one process.
+func BuildShardSlice(rows, domain, seed int64, poolPages, shardID, n int) (*smoothscan.DB, error) {
+	if shardID < 0 || shardID >= n {
+		return nil, fmt.Errorf("loadgen: shard id %d out of range [0, %d)", shardID, n)
+	}
+	part := ShardParts(domain, n)
+	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := db.CreateTable(Table, "id", "val", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, 10)
+	for i := int64(0); i < rows; i++ {
+		vals[0] = i
+		for c := 1; c < len(vals); c++ {
+			vals[c] = rng.Int63n(domain)
+		}
+		if part.Route(vals[1]) != shardID {
+			continue
 		}
 		if err := tb.Append(vals...); err != nil {
 			return nil, err

@@ -1,0 +1,15 @@
+// Package qbridge bridges the root package's query builder to the
+// wire codec without an import cycle: ssclient composes queries with
+// the real smoothscan.Query builder (so the two surfaces cannot
+// drift), and converts them to wire.QuerySpec through the hook the
+// root package installs at init. The hook traffics in `any` because
+// this package can name neither smoothscan.Query (cycle) nor anything
+// beyond the wire types.
+package qbridge
+
+import "smoothscan/internal/wire"
+
+// Spec converts a *smoothscan.Query (passed as any) into its wire
+// spec. Installed by the root package's init; always non-nil once
+// smoothscan is linked in, which any importer of ssclient guarantees.
+var Spec func(q any) (wire.QuerySpec, error)

@@ -248,6 +248,8 @@ func (ss *session) handle(fr frame) bool {
 		return ss.send(wire.MsgOK, nil)
 	case wire.MsgStats:
 		return ss.send(wire.MsgStatsReply, ss.srv.Stats().Marshal())
+	case wire.MsgCatalog:
+		return ss.handleCatalog()
 	case wire.MsgFaultCtl:
 		m, err := wire.DecodeFaultCtl(fr.payload)
 		if err != nil {
@@ -421,6 +423,7 @@ func (ss *session) handleFetch(maxRows int) bool {
 				FaultsSeen:   st.FaultsSeen,
 				PlanCacheHit: st.PlanCacheHit,
 				Degraded:     st.Degraded,
+				IO:           st.IO,
 			}}
 			ss.srv.ctr.queriesServed.Add(1)
 			ok := ss.send(wire.MsgEnd, end.Marshal())
@@ -430,6 +433,21 @@ func (ss *session) handleFetch(maxRows int) bool {
 	}
 	// Window filled; the cursor stays open for the next Fetch.
 	return ss.send(wire.MsgEnd, wire.End{More: true}.Marshal())
+}
+
+// handleCatalog answers with the server's table catalog so a sharding
+// coordinator can mirror the schema without sharing the data load.
+func (ss *session) handleCatalog() bool {
+	var m wire.CatalogReply
+	for _, t := range ss.srv.db.Tables() {
+		m.Tables = append(m.Tables, wire.TableSpec{
+			Name:    t.Name,
+			Cols:    t.Columns,
+			Indexed: t.Indexed,
+			Rows:    t.Rows,
+		})
+	}
+	return ss.send(wire.MsgCatalogReply, m.Marshal())
 }
 
 // handleColdCache evicts the buffer pool so a remote measurement

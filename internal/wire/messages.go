@@ -1,5 +1,7 @@
 package wire
 
+import "smoothscan/internal/disk"
+
 // Message payload structs and their codecs. Each message type has a
 // Marshal (payload bytes) and a Decode<Name> (payload → struct) pair;
 // DecodeMessage dispatches on the frame type for consumers (and the
@@ -210,6 +212,10 @@ type ExecSummary struct {
 	FaultsSeen   int64
 	PlanCacheHit bool
 	Degraded     []string
+	// IO is the execution's device-side I/O delta, so a remote shard
+	// driver can surface per-shard IOStats exactly as an in-process
+	// shard does (ExecStats.Shards, ssload balance reporting).
+	IO disk.Stats
 }
 
 // End closes a fetch window. More means the cursor has (or may have)
@@ -233,8 +239,45 @@ func (m End) Marshal() []byte {
 		for _, s := range m.Summary.Degraded {
 			e.Str(s)
 		}
+		appendIOStats(&e, m.Summary.IO)
 	}
 	return e.B
+}
+
+// appendIOStats encodes a disk.Stats block field by field.
+func appendIOStats(e *Encoder, st disk.Stats) {
+	e.Varint(st.Requests)
+	e.Varint(st.RandomAccesses)
+	e.Varint(st.SeqAccesses)
+	e.Varint(st.SkippedPages)
+	e.Varint(st.PagesRead)
+	e.Varint(st.PagesWritten)
+	e.Varint(st.BytesRead)
+	e.F64(st.IOTime)
+	e.F64(st.CPUTime)
+	e.Varint(st.Faults)
+	e.Varint(st.Corruptions)
+	e.Varint(st.LatencySpikes)
+	e.Varint(st.Retries)
+}
+
+// decodeIOStats decodes the disk.Stats block appendIOStats writes.
+func decodeIOStats(d *Decoder) disk.Stats {
+	var st disk.Stats
+	st.Requests = d.Varint()
+	st.RandomAccesses = d.Varint()
+	st.SeqAccesses = d.Varint()
+	st.SkippedPages = d.Varint()
+	st.PagesRead = d.Varint()
+	st.PagesWritten = d.Varint()
+	st.BytesRead = d.Varint()
+	st.IOTime = d.F64()
+	st.CPUTime = d.F64()
+	st.Faults = d.Varint()
+	st.Corruptions = d.Varint()
+	st.LatencySpikes = d.Varint()
+	st.Retries = d.Varint()
+	return st
 }
 
 // DecodeEnd parses an End payload.
@@ -250,6 +293,7 @@ func DecodeEnd(p []byte) (End, error) {
 		for i := 0; i < n && d.Err == nil; i++ {
 			m.Summary.Degraded = append(m.Summary.Degraded, d.Str())
 		}
+		m.Summary.IO = decodeIOStats(d)
 	}
 	return m, d.Finish()
 }
@@ -414,6 +458,65 @@ func DecodeFaultCtl(p []byte) (FaultCtl, error) {
 	return m, d.Finish()
 }
 
+// TableSpec describes one table in a Catalog reply: name, column order,
+// indexed columns, and the loaded row count — enough for a coordinator
+// to mirror the remote schema and drive planning against it.
+type TableSpec struct {
+	Name    string
+	Cols    []string
+	Indexed []string
+	Rows    int64
+}
+
+// CatalogReply answers a Catalog request with the server's tables.
+type CatalogReply struct {
+	Tables []TableSpec
+}
+
+// Marshal serialises the message payload.
+func (m CatalogReply) Marshal() []byte {
+	var e Encoder
+	e.Uvarint(uint64(len(m.Tables)))
+	for _, t := range m.Tables {
+		e.Str(t.Name)
+		e.Uvarint(uint64(len(t.Cols)))
+		for _, c := range t.Cols {
+			e.Str(c)
+		}
+		e.Uvarint(uint64(len(t.Indexed)))
+		for _, c := range t.Indexed {
+			e.Str(c)
+		}
+		e.Varint(t.Rows)
+	}
+	return e.B
+}
+
+// DecodeCatalogReply parses a CatalogReply payload.
+func DecodeCatalogReply(p []byte) (CatalogReply, error) {
+	d := NewDecoder(p)
+	var m CatalogReply
+	nt := d.Count(maxTables, "table")
+	m.Tables = make([]TableSpec, 0, nt)
+	for i := 0; i < nt && d.Err == nil; i++ {
+		var t TableSpec
+		t.Name = d.Str()
+		nc := d.Count(maxSelCols, "col")
+		t.Cols = make([]string, 0, nc)
+		for j := 0; j < nc && d.Err == nil; j++ {
+			t.Cols = append(t.Cols, d.Str())
+		}
+		ni := d.Count(maxSelCols, "indexed col")
+		t.Indexed = make([]string, 0, ni)
+		for j := 0; j < ni && d.Err == nil; j++ {
+			t.Indexed = append(t.Indexed, d.Str())
+		}
+		t.Rows = d.Varint()
+		m.Tables = append(m.Tables, t)
+	}
+	return m, d.Finish()
+}
+
 // DecodeMessage decodes any frame by type, returning the typed message
 // struct. Frames with no payload structure (OK, Cancel, Stats) return
 // nil. It is the single entry point the fuzz harness drives: whatever
@@ -447,7 +550,7 @@ func DecodeMessage(typ byte, payload []byte) (any, error) {
 		return DecodeError(payload)
 	case MsgCloseStmt:
 		return DecodeCloseStmt(payload)
-	case MsgOK, MsgCancel, MsgStats, MsgColdCache:
+	case MsgOK, MsgCancel, MsgStats, MsgColdCache, MsgCatalog:
 		if len(payload) != 0 {
 			return nil, NewDecoder(payload).Finish()
 		}
@@ -458,6 +561,8 @@ func DecodeMessage(typ byte, payload []byte) (any, error) {
 		return DecodeServerStats(payload)
 	case MsgFaultCtl:
 		return DecodeFaultCtl(payload)
+	case MsgCatalogReply:
+		return DecodeCatalogReply(payload)
 	default:
 		return nil, &RemoteError{Class: ClassBadRequest, Msg: "unknown message type"}
 	}

@@ -18,6 +18,7 @@ const (
 	maxAggs    = 64
 	maxParams  = 256
 	maxRules   = 64
+	maxTables  = 256
 )
 
 // Predicate comparison kinds (the wire's own numbering, decoupled from

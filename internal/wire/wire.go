@@ -54,24 +54,26 @@ const (
 // response; only Cancel may be injected while a response stream is in
 // flight.
 const (
-	MsgHello      byte = 0x01 // client → server: handshake
-	MsgHelloOK    byte = 0x02 // server → client: handshake accepted
-	MsgPrepare    byte = 0x03 // client: compile a QuerySpec into a server-side Stmt
-	MsgPrepareOK  byte = 0x04 // server: statement handle + parameter names
-	MsgExecute    byte = 0x05 // client: bind + execute a prepared statement
-	MsgExecOK     byte = 0x06 // server: cursor opened, result columns follow
-	MsgFetch      byte = 0x07 // client: pull up to MaxRows rows from the cursor
-	MsgBatch      byte = 0x08 // server: one column-encoded row batch
-	MsgEnd        byte = 0x09 // server: fetch window done (More) or stream complete (summary)
-	MsgError      byte = 0x0a // server: typed error, terminates the current command
-	MsgCloseStmt  byte = 0x0b // client: drop a statement handle (idempotent)
-	MsgOK         byte = 0x0c // server: generic success
-	MsgCancel     byte = 0x0d // client: cancel the open cursor (also valid mid-stream)
-	MsgQuery      byte = 0x0e // client: ad-hoc execute (literals inline, no handle)
-	MsgStats      byte = 0x0f // client: server counters snapshot
-	MsgStatsReply byte = 0x10 // server: ServerStats
-	MsgFaultCtl   byte = 0x11 // client: attach/clear a fault-injection policy (admin)
-	MsgColdCache  byte = 0x12 // client: evict the server's buffer pool (admin; benchmarking)
+	MsgHello        byte = 0x01 // client → server: handshake
+	MsgHelloOK      byte = 0x02 // server → client: handshake accepted
+	MsgPrepare      byte = 0x03 // client: compile a QuerySpec into a server-side Stmt
+	MsgPrepareOK    byte = 0x04 // server: statement handle + parameter names
+	MsgExecute      byte = 0x05 // client: bind + execute a prepared statement
+	MsgExecOK       byte = 0x06 // server: cursor opened, result columns follow
+	MsgFetch        byte = 0x07 // client: pull up to MaxRows rows from the cursor
+	MsgBatch        byte = 0x08 // server: one column-encoded row batch
+	MsgEnd          byte = 0x09 // server: fetch window done (More) or stream complete (summary)
+	MsgError        byte = 0x0a // server: typed error, terminates the current command
+	MsgCloseStmt    byte = 0x0b // client: drop a statement handle (idempotent)
+	MsgOK           byte = 0x0c // server: generic success
+	MsgCancel       byte = 0x0d // client: cancel the open cursor (also valid mid-stream)
+	MsgQuery        byte = 0x0e // client: ad-hoc execute (literals inline, no handle)
+	MsgStats        byte = 0x0f // client: server counters snapshot
+	MsgStatsReply   byte = 0x10 // server: ServerStats
+	MsgFaultCtl     byte = 0x11 // client: attach/clear a fault-injection policy (admin)
+	MsgColdCache    byte = 0x12 // client: evict the server's buffer pool (admin; benchmarking)
+	MsgCatalog      byte = 0x13 // client: request the server's table catalog
+	MsgCatalogReply byte = 0x14 // server: CatalogReply (table names, columns, indexes, row counts)
 )
 
 // Error classes carried by Error frames. Class* values preserve the

@@ -68,52 +68,32 @@ func (f *remoteFixture) dial(t *testing.T) *ssclient.Client {
 	return c
 }
 
-func drainLocal(t *testing.T, rows *smoothscan.Rows, err error) [][]int64 {
+// drainCursor and collect are the single result path for every
+// backend: the local DB, the remote Conn (and a ShardedDB, were one in
+// play) all surface the uniform smoothscan.Cursor, so there is no
+// per-backend drain code whose differences could mask a divergence.
+func drainCursor(t *testing.T, cur smoothscan.Cursor, err error) [][]int64 {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out [][]int64
-	for rows.Next() {
-		out = append(out, rows.Row())
+	for cur.Next() {
+		out = append(out, cur.Row())
 	}
-	if rows.Err() != nil {
-		t.Fatal(rows.Err())
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
 	}
-	if err := rows.Close(); err != nil {
+	if err := cur.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return out
 }
 
-func drainRemote(t *testing.T, rows *ssclient.Rows, err error) [][]int64 {
+func collect(t *testing.T, b smoothscan.Builder) [][]int64 {
 	t.Helper()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out [][]int64
-	for rows.Next() {
-		out = append(out, rows.Row())
-	}
-	if rows.Err() != nil {
-		t.Fatal(rows.Err())
-	}
-	if err := rows.Close(); err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-func collectLocal(t *testing.T, q *smoothscan.Query) [][]int64 {
-	t.Helper()
-	rows, err := q.Run(context.Background())
-	return drainLocal(t, rows, err)
-}
-
-func collectRemote(t *testing.T, q *ssclient.Query) [][]int64 {
-	t.Helper()
-	rows, err := q.Run(context.Background())
-	return drainRemote(t, rows, err)
+	cur, err := b.Run(context.Background())
+	return drainCursor(t, cur, err)
 }
 
 func sortRows(rows [][]int64) {
@@ -175,18 +155,19 @@ func TestRemoteEquivalenceGrid(t *testing.T) {
 				name := fmt.Sprintf("%s/p%d/join=%v", p.name, par, join)
 				t.Run(name, func(t *testing.T) {
 					opts := smoothscan.ScanOptions{Path: p.path, Parallelism: par}
-					lq := f.db.Query(loadgen.Table).
-						Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
-						WithOptions(opts)
-					rq := c.Query(loadgen.Table).
-						Where(loadgen.IndexedCol, ssclient.Between(lo, hi)).
-						WithOptions(opts)
-					if join {
-						lq = lq.Join("d", loadgen.IndexedCol, "d_id")
-						rq = rq.Join("d", loadgen.IndexedCol, "d_id")
+					// One query definition, two engines: the Engine
+					// interface guarantees the builders are the same calls.
+					build := func(e smoothscan.Engine) smoothscan.Builder {
+						b := e.Table(loadgen.Table).
+							Where(loadgen.IndexedCol, smoothscan.Between(lo, hi)).
+							WithOptions(opts)
+						if join {
+							b = b.Join("d", loadgen.IndexedCol, "d_id")
+						}
+						return b
 					}
-					local := collectLocal(t, lq)
-					remote := collectRemote(t, rq)
+					local := collect(t, build(f.db))
+					remote := collect(t, build(c))
 					if len(local) == 0 {
 						t.Fatal("grid case matched no rows; fixture is broken")
 					}
@@ -203,14 +184,12 @@ func TestRemoteEquivalenceOrdered(t *testing.T) {
 	f := buildRemoteFixture(t)
 	c := f.dial(t)
 	c.SetFetchRows(128)
-	opts := smoothscan.ScanOptions{Ordered: true}
-	local := collectLocal(t, f.db.Query(loadgen.Table).
-		Where(loadgen.IndexedCol, smoothscan.Between(200, 900)).
-		WithOptions(opts))
-	remote := collectRemote(t, c.Query(loadgen.Table).
-		Where(loadgen.IndexedCol, ssclient.Between(200, 900)).
-		WithOptions(opts))
-	requireSameRows(t, local, remote, true)
+	build := func(e smoothscan.Engine) smoothscan.Builder {
+		return e.Table(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(200, 900)).
+			WithOptions(smoothscan.ScanOptions{Ordered: true})
+	}
+	requireSameRows(t, collect(t, build(f.db)), collect(t, build(c)), true)
 }
 
 // TestRemoteEquivalenceShaped covers the rest of the builder surface —
@@ -220,30 +199,26 @@ func TestRemoteEquivalenceShaped(t *testing.T) {
 	c := f.dial(t)
 
 	t.Run("select-order-limit", func(t *testing.T) {
-		local := collectLocal(t, f.db.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Ge(1200)).
-			Select("id", loadgen.IndexedCol).
-			OrderBy("id").
-			Limit(37))
-		remote := collectRemote(t, c.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, ssclient.Ge(1200)).
-			Select("id", loadgen.IndexedCol).
-			OrderBy("id").
-			Limit(37))
-		requireSameRows(t, local, remote, true)
+		build := func(e smoothscan.Engine) smoothscan.Builder {
+			return e.Table(loadgen.Table).
+				Where(loadgen.IndexedCol, smoothscan.Ge(1200)).
+				Select("id", loadgen.IndexedCol).
+				OrderBy("id").
+				Limit(37)
+		}
+		requireSameRows(t, collect(t, build(f.db)), collect(t, build(c)), true)
 	})
 
 	t.Run("groupby-aggregates", func(t *testing.T) {
-		local := collectLocal(t, f.db.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, smoothscan.Lt(300)).
-			Join("d", loadgen.IndexedCol, "d_id").
-			GroupBy("d_w", smoothscan.Count().As("n"), smoothscan.Sum("p1").As("s"), smoothscan.Min("p2"), smoothscan.Max("p3")).
-			OrderBy("d_w"))
-		remote := collectRemote(t, c.Query(loadgen.Table).
-			Where(loadgen.IndexedCol, ssclient.Lt(300)).
-			Join("d", loadgen.IndexedCol, "d_id").
-			GroupBy("d_w", ssclient.Count().As("n"), ssclient.Sum("p1").As("s"), ssclient.Min("p2"), ssclient.Max("p3")).
-			OrderBy("d_w"))
+		build := func(e smoothscan.Engine) smoothscan.Builder {
+			return e.Table(loadgen.Table).
+				Where(loadgen.IndexedCol, smoothscan.Lt(300)).
+				Join("d", loadgen.IndexedCol, "d_id").
+				GroupBy("d_w", smoothscan.Count().As("n"), smoothscan.Sum("p1").As("s"), smoothscan.Min("p2"), smoothscan.Max("p3")).
+				OrderBy("d_w")
+		}
+		local := collect(t, build(f.db))
+		remote := collect(t, build(c))
 		if len(local) == 0 {
 			t.Fatal("aggregate case produced no groups")
 		}
@@ -257,15 +232,16 @@ func TestRemotePreparedEquivalence(t *testing.T) {
 	f := buildRemoteFixture(t)
 	c := f.dial(t)
 
-	lstmt, err := f.db.Prepare(f.db.Query(loadgen.Table).
-		Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
-		Limit(smoothscan.Param("n")))
+	build := func(e smoothscan.Engine) smoothscan.Builder {
+		return e.Table(loadgen.Table).
+			Where(loadgen.IndexedCol, smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))).
+			Limit(smoothscan.Param("n"))
+	}
+	lstmt, err := f.db.PrepareQuery(build(f.db))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rstmt, err := c.Prepare(c.Query(loadgen.Table).
-		Where(loadgen.IndexedCol, ssclient.Between(ssclient.Param("lo"), ssclient.Param("hi"))).
-		Limit(ssclient.Param("n")))
+	rstmt, err := c.PrepareQuery(build(c))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,13 +260,24 @@ func TestRemotePreparedEquivalence(t *testing.T) {
 		{"lo": 1400, "hi": 1500, "n": 1 << 30},
 	} {
 		lrows, lerr := lstmt.Run(context.Background(), b)
-		local := drainLocal(t, lrows, lerr)
+		local := drainCursor(t, lrows, lerr)
 		rrows, rerr := rstmt.Run(context.Background(), b)
-		remote := drainRemote(t, rrows, rerr)
+		remote := drainCursor(t, rrows, rerr)
 		requireSameRows(t, local, remote, false)
 	}
 	if err := rstmt.Close(); err != nil {
 		t.Fatal(err)
+	}
+	if err := lstmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A builder from one engine cannot be prepared by another.
+	if _, err := f.db.PrepareQuery(build(c)); err == nil {
+		t.Fatal("DB.PrepareQuery accepted a remote connection's builder")
+	}
+	if _, err := c.PrepareQuery(build(f.db)); err == nil {
+		t.Fatal("Conn.PrepareQuery accepted a local DB's builder")
 	}
 }
 

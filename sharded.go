@@ -60,9 +60,25 @@ var ErrShardJoin = errors.New("smoothscan: join cannot be sharded")
 // Concurrency follows DB: any number of queries may run concurrently;
 // a ShardedRows is owned by one goroutine.
 type ShardedDB struct {
+	// shards holds each shard's planning DB: the shard's own embedded
+	// engine for in-process topologies, a schema-only catalog mirror
+	// for remote ones. The coordinator compiles, prunes and explains
+	// against these; drivers decide where execution actually happens.
 	shards []*DB
+	// drivers execute the per-shard slices, one per shard.
+	drivers []ShardDriver
+	// remote marks a topology opened with OpenShardedRemote: shards
+	// are schema-only mirrors, data lives on the nodes, and load-time
+	// mutators are refused.
+	remote bool
 	mu     sync.RWMutex // guards parts
 	parts  map[string]shard.Partitioning
+}
+
+// errRemoteMutation explains a refused load-time mutator on a remote
+// topology.
+func errRemoteMutation(op string) error {
+	return fmt.Errorf("smoothscan: %s on a remote sharded database (load data on the shard nodes; the coordinator's catalog is read-only)", op)
 }
 
 // OpenSharded creates n empty shards, each on its own fresh simulated
@@ -79,12 +95,30 @@ func OpenSharded(n int, opts Options) (*ShardedDB, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, db)
+		s.drivers = append(s.drivers, &localDriver{db: db})
 	}
 	return s, nil
 }
 
 // NumShards returns the shard count.
 func (s *ShardedDB) NumShards() int { return len(s.shards) }
+
+// Driver returns the i-th shard's driver — for topology inspection
+// (ShardDriver carries the shard's kind and address).
+func (s *ShardedDB) Driver(i int) ShardDriver { return s.drivers[i] }
+
+// Close releases every shard driver. In-process shards hold no
+// external resources (Close is then a no-op); remote shards close
+// their server connections. The database is unusable afterwards.
+func (s *ShardedDB) Close() error {
+	var first error
+	for _, d := range s.drivers {
+		if err := d.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Shard returns the i-th underlying DB — for per-shard inspection
 // (stats, fault injection) in tests and tools.
@@ -113,6 +147,9 @@ type ShardedTableBuilder struct {
 // its partitioning. The partitioning's shard count must equal the
 // database's, and its column must be one of the table's columns.
 func (s *ShardedDB) CreateShardedTable(name string, p Partitioning, columns ...string) (*ShardedTableBuilder, error) {
+	if s.remote {
+		return nil, errRemoteMutation("CreateShardedTable")
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,6 +202,9 @@ func (b *ShardedTableBuilder) Finish() error {
 
 // CreateIndex builds the index on every shard.
 func (s *ShardedDB) CreateIndex(table, column string) error {
+	if s.remote {
+		return errRemoteMutation("CreateIndex")
+	}
 	for _, db := range s.shards {
 		if err := db.CreateIndex(table, column); err != nil {
 			return err
@@ -176,6 +216,9 @@ func (s *ShardedDB) CreateIndex(table, column string) error {
 // Analyze collects statistics on every shard — each shard's optimizer
 // sees its own local histograms, so access paths can differ per shard.
 func (s *ShardedDB) Analyze(table string, columns ...string) error {
+	if s.remote {
+		return errRemoteMutation("Analyze")
+	}
 	for _, db := range s.shards {
 		if err := db.Analyze(table, columns...); err != nil {
 			return err
@@ -186,6 +229,9 @@ func (s *ShardedDB) Analyze(table string, columns ...string) error {
 
 // Insert routes one row to its owning shard.
 func (s *ShardedDB) Insert(table string, vals ...int64) error {
+	if s.remote {
+		return errRemoteMutation("Insert")
+	}
 	s.mu.RLock()
 	p, ok := s.parts[table]
 	s.mu.RUnlock()
@@ -205,6 +251,9 @@ func (s *ShardedDB) Insert(table string, vals ...int64) error {
 
 // Compact compacts every shard's indexes on the table.
 func (s *ShardedDB) Compact(table string) error {
+	if s.remote {
+		return errRemoteMutation("Compact")
+	}
 	for _, db := range s.shards {
 		if err := db.Compact(table); err != nil {
 			return err
@@ -213,24 +262,35 @@ func (s *ShardedDB) Compact(table string) error {
 	return nil
 }
 
-// NumRows sums the table's row count across shards.
+// NumRows sums the table's row count across shards. On a remote
+// topology the counts are the nodes' catalog snapshots from open time.
 func (s *ShardedDB) NumRows(table string) (int64, error) {
+	counts, err := s.ShardRows(table)
+	if err != nil {
+		return 0, err
+	}
 	var total int64
-	for _, db := range s.shards {
-		n, err := db.NumRows(table)
-		if err != nil {
-			return 0, err
-		}
+	for _, n := range counts {
 		total += n
 	}
 	return total, nil
 }
 
 // ShardRows returns the per-shard row counts of a table, in shard
-// order — the load balance ssload reports.
+// order — the load balance ssload reports. On a remote topology the
+// counts come from each node's catalog snapshot (the planning mirrors
+// hold no rows).
 func (s *ShardedDB) ShardRows(table string) ([]int64, error) {
 	out := make([]int64, len(s.shards))
 	for i, db := range s.shards {
+		if rd, ok := s.drivers[i].(*remoteDriver); ok {
+			n, known := rd.rows[table]
+			if !known {
+				return nil, fmt.Errorf("smoothscan: unknown table %q", table)
+			}
+			out[i] = n
+			continue
+		}
 		n, err := db.NumRows(table)
 		if err != nil {
 			return nil, err
@@ -269,9 +329,17 @@ func (s *ShardedDB) ResetStats() error {
 	return nil
 }
 
-// ColdCache empties every shard's buffer pool.
+// ColdCache empties every shard's buffer pool. On a remote topology
+// the request is forwarded to each node (the server must run with
+// fault administration enabled, as for ssclient's ColdCache).
 func (s *ShardedDB) ColdCache() error {
-	for _, db := range s.shards {
+	for i, db := range s.shards {
+		if rd, ok := s.drivers[i].(*remoteDriver); ok {
+			if err := rd.coldCache(); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := db.ColdCache(); err != nil {
 			return err
 		}
@@ -849,51 +917,63 @@ func (s *ShardedDB) compileShardExec(sq *ShardedQuery, qt *qtemplate, lits []int
 	return se, nil
 }
 
-// shardRowsOp adapts one shard's Rows to the batched operator
+// shardRowsOp adapts one shard's cursor to the batched operator
 // protocol, so the parallel gather can drive it as a worker. start is
 // deferred to Open — pruned or never-opened shards never construct a
-// Rows, hence never touch their device.
+// cursor, hence never touch their device (or network). The op records
+// whether its shard failed as unavailable, for ExecStats.Shards.
 type shardRowsOp struct {
-	schema *tuple.Schema
-	start  func() (*Rows, error)
-	rows   *Rows
+	schema      *tuple.Schema
+	start       func() (shardCursor, error)
+	cur         shardCursor
+	unavailable bool
 }
 
 func (o *shardRowsOp) Schema() *tuple.Schema { return o.schema }
 
 func (o *shardRowsOp) Open() error {
-	rows, err := o.start()
+	cur, err := o.start()
 	if err != nil {
-		return err
+		return o.noteErr(err)
 	}
-	o.rows = rows
+	o.cur = cur
 	return nil
 }
 
 func (o *shardRowsOp) NextBatch(b *tuple.Batch) (int, error) {
-	return o.rows.fillBatch(b)
+	n, err := o.cur.fill(b)
+	return n, o.noteErr(err)
 }
 
 func (o *shardRowsOp) Next() (tuple.Row, bool, error) {
-	if o.rows.Next() {
-		return o.rows.cur, true, nil
+	row, ok, err := o.cur.next()
+	return row, ok, o.noteErr(err)
+}
+
+// noteErr flags a shard-unavailable failure on its way out. The flag
+// is written by the worker goroutine driving this op and read only
+// after the gather has quiesced, the same discipline as the cursor's
+// stats.
+func (o *shardRowsOp) noteErr(err error) error {
+	if err != nil && errors.Is(err, ErrShardUnavailable) {
+		o.unavailable = true
 	}
-	return nil, false, o.rows.Err()
+	return err
 }
 
 func (o *shardRowsOp) Close() error {
-	if o.rows == nil {
+	if o.cur == nil {
 		return nil
 	}
-	return o.rows.Close()
+	return o.cur.close()
 }
 
 // runnerset supplies the per-shard executions of one run: ad-hoc
 // queries or prepared statements, per shard (and per broadcast side).
 type runnerset struct {
 	planCached bool
-	shard      func(ctx context.Context, si int) (*Rows, error)
-	side       func(ctx context.Context, input, si int) (*Rows, error)
+	shard      func(ctx context.Context, si int) (shardCursor, error)
+	side       func(ctx context.Context, input, si int) (shardCursor, error)
 }
 
 // startSharded builds and opens the gather tree: one worker per
@@ -933,15 +1013,19 @@ func (s *ShardedDB) startSharded(ctx context.Context, se *shardExec, run runners
 		var bcRows []tuple.Row
 		if se.strategy == strategyBroadcast {
 			for _, si := range se.bcActive {
-				rows, err := run.side(ctx, se.bcInput, si)
+				cur, err := run.side(ctx, se.bcInput, si)
 				if err != nil {
 					return nil, err
 				}
-				for rows.Next() {
-					bcRows = append(bcRows, rows.cur.Clone())
+				for {
+					row, ok, rerr := cur.next()
+					if rerr != nil || !ok {
+						err = rerr
+						break
+					}
+					bcRows = append(bcRows, row.Clone())
 				}
-				err = rows.Err()
-				if cerr := rows.Close(); err == nil {
+				if cerr := cur.close(); err == nil {
 					err = cerr
 				}
 				if err != nil {
@@ -957,7 +1041,7 @@ func (s *ShardedDB) startSharded(ctx context.Context, se *shardExec, run runners
 			if se.strategy == strategyBroadcast {
 				scanOp := &shardRowsOp{
 					schema: se.scanSchema,
-					start:  func() (*Rows, error) { return run.side(ctx, se.scanInput, si) },
+					start:  func() (shardCursor, error) { return run.side(ctx, se.scanInput, si) },
 				}
 				sr.adapters = append(sr.adapters, scanOp)
 				vals := exec.NewValues(se.bcSchema, bcRows)
@@ -980,7 +1064,7 @@ func (s *ShardedDB) startSharded(ctx context.Context, se *shardExec, run runners
 			} else {
 				a := &shardRowsOp{
 					schema: se.gatherSchema,
-					start:  func() (*Rows, error) { return run.shard(ctx, si) },
+					start:  func() (shardCursor, error) { return run.shard(ctx, si) },
 				}
 				sr.adapters = append(sr.adapters, a)
 				op = a
@@ -1060,11 +1144,11 @@ func (sq *ShardedQuery) Run(ctx context.Context) (*ShardedRows, error) {
 	}
 	run := runnerset{
 		planCached: hit,
-		shard: func(ctx context.Context, si int) (*Rows, error) {
-			return sq.perShardQuery(s.shards[si]).Run(ctx)
+		shard: func(ctx context.Context, si int) (shardCursor, error) {
+			return s.drivers[si].run(ctx, sq.perShardQuery(s.shards[si]))
 		},
-		side: func(ctx context.Context, input, si int) (*Rows, error) {
-			return sq.sideQuery(s.shards[si], input, qt.pt).Run(ctx)
+		side: func(ctx context.Context, input, si int) (shardCursor, error) {
+			return s.drivers[si].run(ctx, sq.sideQuery(s.shards[si], input, qt.pt))
 		},
 	}
 	sr, err := s.startSharded(ctx, se, run)
@@ -1273,8 +1357,8 @@ type ShardedStmt struct {
 	lits      []int64
 	params    []string
 	strategy  string
-	pstmts    []*Stmt
-	sideStmts [2][]*Stmt
+	pstmts    []shardStmt
+	sideStmts [2][]shardStmt
 }
 
 // Prepare validates and compiles the sharded query's structure into
@@ -1307,8 +1391,8 @@ func (s *ShardedDB) Prepare(sq *ShardedQuery) (*ShardedStmt, error) {
 	st := &ShardedStmt{s: s, sq: snap, qt: qt, lits: lits, params: qt.pt.Params, strategy: strategy}
 	if strategy == strategyBroadcast {
 		for input := 0; input < 2; input++ {
-			for _, db := range s.shards {
-				ps, err := db.Prepare(snap.sideQuery(db, input, qt.pt))
+			for si, db := range s.shards {
+				ps, err := s.drivers[si].prepare(snap.sideQuery(db, input, qt.pt))
 				if err != nil {
 					return nil, err
 				}
@@ -1316,8 +1400,8 @@ func (s *ShardedDB) Prepare(sq *ShardedQuery) (*ShardedStmt, error) {
 			}
 		}
 	} else {
-		for _, db := range s.shards {
-			ps, err := db.Prepare(snap.perShardQuery(db))
+		for si, db := range s.shards {
+			ps, err := s.drivers[si].prepare(snap.perShardQuery(db))
 			if err != nil {
 				return nil, err
 			}
@@ -1368,13 +1452,11 @@ func (st *ShardedStmt) Run(ctx context.Context, b Bind) (*ShardedRows, error) {
 	}
 	run := runnerset{
 		planCached: true,
-		shard: func(ctx context.Context, si int) (*Rows, error) {
-			ps := st.pstmts[si]
-			return ps.Run(ctx, filterBind(ps, b))
+		shard: func(ctx context.Context, si int) (shardCursor, error) {
+			return st.pstmts[si].run(ctx, b)
 		},
-		side: func(ctx context.Context, input, si int) (*Rows, error) {
-			ps := st.sideStmts[input][si]
-			return ps.Run(ctx, filterBind(ps, b))
+		side: func(ctx context.Context, input, si int) (shardCursor, error) {
+			return st.sideStmts[input][si].run(ctx, b)
 		},
 	}
 	sr, err := st.s.startSharded(ctx, se, run)
@@ -1401,10 +1483,30 @@ func (st *ShardedStmt) Explain(b Bind) (*ShardedPlan, error) {
 func (st *ShardedStmt) explainWith(se *shardExec, b Bind) (*ShardedPlan, error) {
 	return st.s.shardedPlan(se, func(si int) (*Plan, error) {
 		if se.strategy == strategyBroadcast {
-			ps := st.sideStmts[se.scanInput][si]
-			return ps.Explain(filterBind(ps, b))
+			return st.sideStmts[se.scanInput][si].explain(b)
 		}
-		ps := st.pstmts[si]
-		return ps.Explain(filterBind(ps, b))
+		return st.pstmts[si].explain(b)
 	})
+}
+
+// Close releases the per-shard prepared statements. In-process
+// statements hold no external resources; remote ones release their
+// server-side handles. Idempotent in effect — closing twice re-closes
+// already-released handles harmlessly.
+func (st *ShardedStmt) Close() error {
+	var first error
+	note := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, ps := range st.pstmts {
+		note(ps.close())
+	}
+	for input := 0; input < 2; input++ {
+		for _, ps := range st.sideStmts[input] {
+			note(ps.close())
+		}
+	}
+	return first
 }

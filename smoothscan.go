@@ -12,7 +12,7 @@
 //	tb.Append(1, 42)
 //	tb.Finish()
 //	db.CreateIndex("t", "val")
-//	rows, _ := db.Scan("t", "val", 0, 100, smoothscan.ScanOptions{})
+//	rows, _ := db.Query("t").Where("val", smoothscan.Between(0, 100)).Run(ctx)
 //	for rows.Next() { use(rows.Row()) }
 //
 // Scans default to the adaptive Smooth Scan path (Elastic policy,
@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -418,6 +419,44 @@ func (db *DB) NumPages(tableName string) (int64, error) {
 	return t.file.NumPages(), nil
 }
 
+// TableInfo describes one table: name, column order, which columns are
+// indexed, and the loaded row count. It is the catalog projection a
+// sharding coordinator needs to mirror a remote shard's schema.
+type TableInfo struct {
+	Name    string
+	Columns []string
+	Indexed []string
+	Rows    int64
+}
+
+// Tables returns the catalog: every finished table, sorted by name.
+func (db *DB) Tables() []TableInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		t := db.tables[name]
+		if t.builder != nil {
+			continue // still loading; not queryable yet
+		}
+		info := TableInfo{Name: name, Rows: t.file.NumTuples()}
+		for _, c := range t.file.Schema().Columns() {
+			info.Columns = append(info.Columns, c.Name)
+		}
+		for col := range t.indexes {
+			info.Indexed = append(info.Indexed, col)
+		}
+		sort.Strings(info.Indexed)
+		out = append(out, info)
+	}
+	return out
+}
+
 // Stats returns the device counters accumulated so far.
 func (db *DB) Stats() IOStats { return db.dev.Stats() }
 
@@ -733,6 +772,14 @@ func (r *Rows) Choice() (path string, estimatedRows int64, ok bool) {
 // CI), and preserves the historical strictness the builder relaxes
 // (a missing index is an error rather than a full-scan fallback, and
 // an empty range still walks the index).
+//
+// Scan is effectively deprecated for new code: prefer the Query
+// builder (db.Query, or the backend-neutral Engine.Table), which
+// composes with joins, grouping, prepared statements and every Engine
+// backend — sharded and remote included. Scan remains supported and
+// the golden-diffed harness pins its behaviour, but it gains no new
+// capability. (The comment deliberately avoids the machine-readable
+// "Deprecated:" marker so existing callers stay lint-clean.)
 func (db *DB) Scan(tableName, column string, lo, hi int64, opts ScanOptions) (*Rows, error) {
 	return db.ScanContext(context.Background(), tableName, column, lo, hi, opts)
 }

@@ -2,237 +2,127 @@ package ssclient
 
 import (
 	"context"
-	"fmt"
-	"math"
 
 	"smoothscan"
-	"smoothscan/internal/wire"
+	"smoothscan/internal/qbridge"
 )
 
-// The remote query builder mirrors the smoothscan.Query surface —
-// Where / Join / Select / GroupBy / OrderBy / Limit / WithOptions —
-// but composes a wire QuerySpec instead of an in-process plan. All
-// semantic validation (unknown tables and columns, ambiguous
-// conjuncts) happens server-side at Prepare/Run, where the schema
-// lives; the builder only records the first local mistake (a bad
-// argument type, an empty parameter name) and reports it from
-// Run/Prepare, the same error-channel contract as the embedded
-// builder.
+// The remote query builder IS the engine's builder: Conn.Query wraps a
+// detached smoothscan.Query and every method delegates to it, so the
+// same Where / Join / Select / GroupBy / OrderBy / Limit / WithOptions
+// call sites — with the same predicate, aggregate and Param types —
+// compile against a *smoothscan.DB, a *smoothscan.ShardedDB or a
+// *ssclient.Conn. At Run/Prepare the query serialises to a wire spec;
+// all semantic validation (unknown tables and columns, ambiguous
+// conjuncts) happens server-side, where the schema lives, while
+// builder-level mistakes (bad argument types, Select set twice) are
+// recorded by the engine builder and reported from Run/Prepare — the
+// same error-channel contract as the embedded engine.
 
-// Arg is one predicate or Limit argument: an integer literal or a
-// Param placeholder.
-type Arg struct {
-	param string
-	lit   int64
-	err   error
-}
+// Aliases for the engine's argument, predicate and aggregate types.
+// New code can use the smoothscan package directly; these keep
+// existing ssclient call sites compiling unchanged.
+type (
+	// Arg is one predicate or Limit argument: an integer literal or a
+	// Param placeholder.
+	Arg = smoothscan.Arg
+	// Pred is a predicate on one integer column.
+	Pred = smoothscan.Pred
+	// Agg is an aggregate expression for Query.GroupBy.
+	Agg = smoothscan.Agg
+)
 
 // Param is a named placeholder usable anywhere a literal goes, exactly
 // as with smoothscan.Param; a query containing parameters must be
-// compiled with Client.Prepare.
-func Param(name string) Arg {
-	if name == "" {
-		return Arg{err: fmt.Errorf("ssclient: empty parameter name")}
-	}
-	for _, r := range name {
-		if !(r == '_' || r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
-			return Arg{err: fmt.Errorf("ssclient: parameter name %q: only letters, digits and underscores are allowed", name)}
-		}
-	}
-	return Arg{param: name}
-}
-
-// asArg converts a constructor argument: an Arg passes through, any
-// integer kind becomes a literal.
-func asArg(v any) Arg {
-	switch x := v.(type) {
-	case Arg:
-		return x
-	case int:
-		return Arg{lit: int64(x)}
-	case int64:
-		return Arg{lit: x}
-	case int32:
-		return Arg{lit: int64(x)}
-	case int16:
-		return Arg{lit: int64(x)}
-	case int8:
-		return Arg{lit: int64(x)}
-	case uint8:
-		return Arg{lit: int64(x)}
-	case uint16:
-		return Arg{lit: int64(x)}
-	case uint32:
-		return Arg{lit: int64(x)}
-	case uint:
-		if uint64(x) > math.MaxInt64 {
-			return Arg{err: fmt.Errorf("%w: %d overflows int64", smoothscan.ErrArgType, x)}
-		}
-		return Arg{lit: int64(x)}
-	case uint64:
-		if x > math.MaxInt64 {
-			return Arg{err: fmt.Errorf("%w: %d overflows int64", smoothscan.ErrArgType, x)}
-		}
-		return Arg{lit: int64(x)}
-	default:
-		return Arg{err: fmt.Errorf("%w: %T (want an integer or Param)", smoothscan.ErrArgType, v)}
-	}
-}
-
-func (a Arg) spec() wire.ArgSpec { return wire.ArgSpec{Param: a.param, Lit: a.lit} }
-
-// Pred is a predicate on one integer column.
-type Pred struct {
-	kind byte
-	a, b Arg
-	err  error
-}
-
-func pred(kind byte, a, b Arg) Pred {
-	err := a.err
-	if err == nil {
-		err = b.err
-	}
-	return Pred{kind: kind, a: a, b: b, err: err}
-}
+// compiled with Conn.Prepare.
+func Param(name string) Arg { return smoothscan.Param(name) }
 
 // Between matches lo <= v < hi.
-func Between(lo, hi any) Pred { return pred(wire.PredBetween, asArg(lo), asArg(hi)) }
+func Between(lo, hi any) Pred { return smoothscan.Between(lo, hi) }
 
 // Eq matches v == x.
-func Eq(x any) Pred { return pred(wire.PredEq, asArg(x), Arg{}) }
+func Eq(x any) Pred { return smoothscan.Eq(x) }
 
 // Lt matches v < x.
-func Lt(x any) Pred { return pred(wire.PredLt, asArg(x), Arg{}) }
+func Lt(x any) Pred { return smoothscan.Lt(x) }
 
 // Le matches v <= x.
-func Le(x any) Pred { return pred(wire.PredLe, asArg(x), Arg{}) }
+func Le(x any) Pred { return smoothscan.Le(x) }
 
 // Gt matches v > x.
-func Gt(x any) Pred { return pred(wire.PredGt, asArg(x), Arg{}) }
+func Gt(x any) Pred { return smoothscan.Gt(x) }
 
 // Ge matches v >= x.
-func Ge(x any) Pred { return pred(wire.PredGe, asArg(x), Arg{}) }
-
-// Agg is an aggregate expression for Query.GroupBy.
-type Agg struct {
-	kind byte
-	col  string
-	as   string
-}
+func Ge(x any) Pred { return smoothscan.Ge(x) }
 
 // Sum aggregates the sum of col per group.
-func Sum(col string) Agg { return Agg{kind: wire.AggSum, col: col} }
+func Sum(col string) Agg { return smoothscan.Sum(col) }
 
 // Count counts the rows of each group.
-func Count() Agg { return Agg{kind: wire.AggCount} }
+func Count() Agg { return smoothscan.Count() }
 
 // Min aggregates the minimum of col per group.
-func Min(col string) Agg { return Agg{kind: wire.AggMin, col: col} }
+func Min(col string) Agg { return smoothscan.Min(col) }
 
 // Max aggregates the maximum of col per group.
-func Max(col string) Agg { return Agg{kind: wire.AggMax, col: col} }
-
-// As renames the aggregate's output column.
-func (a Agg) As(name string) Agg { a.as = name; return a }
+func Max(col string) Agg { return smoothscan.Max(col) }
 
 // Query is a remote query under construction. Build one with
-// Client.Query, chain the builder methods, then Run it (ad hoc) or
+// Conn.Query, chain the builder methods, then Run it (ad hoc) or
 // Prepare it into a Stmt.
 type Query struct {
-	c    *Client
-	spec wire.QuerySpec
-	err  error
+	c *Conn
+	q *smoothscan.Query
 }
 
 // Query starts a composable query over the named server-side table.
-func (c *Client) Query(table string) *Query {
-	return &Query{c: c, spec: wire.QuerySpec{Table: table}}
-}
-
-func (q *Query) fail(err error) *Query {
-	if q.err == nil {
-		q.err = err
-	}
-	return q
+func (c *Conn) Query(table string) *Query {
+	return &Query{c: c, q: smoothscan.NewQuery(table)}
 }
 
 // Where adds a conjunctive predicate on a column.
 func (q *Query) Where(col string, p Pred) *Query {
-	if p.err != nil {
-		return q.fail(fmt.Errorf("Where(%q): %w", col, p.err))
-	}
-	q.spec.Preds = append(q.spec.Preds, wire.PredSpec{Col: col, Kind: p.kind, A: p.a.spec(), B: p.b.spec()})
+	q.q.Where(col, p)
 	return q
 }
 
 // Join adds an inner equi-join with another table (see
 // smoothscan.Query.Join for the semantics).
 func (q *Query) Join(table, leftCol, rightCol string) *Query {
-	q.spec.Joins = append(q.spec.Joins, wire.JoinSpec{Table: table, LeftCol: leftCol, RightCol: rightCol})
+	q.q.Join(table, leftCol, rightCol)
 	return q
 }
 
 // JoinWithOptions is Join with explicit ScanOptions for the joined
 // table's access path.
 func (q *Query) JoinWithOptions(table, leftCol, rightCol string, opts smoothscan.ScanOptions) *Query {
-	q.spec.Joins = append(q.spec.Joins, wire.JoinSpec{
-		Table: table, LeftCol: leftCol, RightCol: rightCol, Opts: optsSpec(opts)})
+	q.q.JoinWithOptions(table, leftCol, rightCol, opts)
 	return q
 }
 
 // Select projects the output onto the named columns, in order.
 func (q *Query) Select(cols ...string) *Query {
-	if q.spec.HasSel {
-		return q.fail(fmt.Errorf("ssclient: Select set twice"))
-	}
-	if len(cols) == 0 {
-		return q.fail(fmt.Errorf("ssclient: Select requires at least one column"))
-	}
-	q.spec.Select = append([]string(nil), cols...)
-	q.spec.HasSel = true
+	q.q.Select(cols...)
 	return q
 }
 
 // GroupBy groups rows by a column and computes the aggregates per
 // group.
 func (q *Query) GroupBy(col string, aggs ...Agg) *Query {
-	if q.spec.HasAgg {
-		return q.fail(fmt.Errorf("ssclient: GroupBy set twice"))
-	}
-	if len(aggs) == 0 {
-		return q.fail(fmt.Errorf("ssclient: GroupBy requires at least one aggregate"))
-	}
-	q.spec.GroupCol = col
-	for _, a := range aggs {
-		q.spec.Aggs = append(q.spec.Aggs, wire.AggSpec{Kind: a.kind, Col: a.col, As: a.as})
-	}
-	q.spec.HasAgg = true
+	q.q.GroupBy(col, aggs...)
 	return q
 }
 
 // OrderBy orders the output by the named column, ascending.
 func (q *Query) OrderBy(col string) *Query {
-	if q.spec.HasOrd {
-		return q.fail(fmt.Errorf("ssclient: OrderBy set twice"))
-	}
-	q.spec.OrderCol = col
-	q.spec.HasOrd = true
+	q.q.OrderBy(col)
 	return q
 }
 
 // Limit caps the number of output rows; it accepts an integer or a
 // Param placeholder.
 func (q *Query) Limit(n any) *Query {
-	a := asArg(n)
-	if a.err != nil {
-		return q.fail(fmt.Errorf("Limit: %w", a.err))
-	}
-	if a.param == "" && a.lit < 0 {
-		return q.fail(fmt.Errorf("ssclient: negative limit %d", a.lit))
-	}
-	q.spec.Limit = a.spec()
-	q.spec.HasLim = true
+	q.q.Limit(n)
 	return q
 }
 
@@ -240,29 +130,20 @@ func (q *Query) Limit(n any) *Query {
 // options type is shared with the embedded engine, so a workload
 // configuration moves between local and remote execution unchanged.
 func (q *Query) WithOptions(opts smoothscan.ScanOptions) *Query {
-	q.spec.Opts = optsSpec(opts)
+	q.q.WithOptions(opts)
 	return q
 }
 
 // Run executes the query ad hoc (literals inline) and opens a result
 // stream. Parameterized queries must go through Prepare.
 func (q *Query) Run(ctx context.Context) (*Rows, error) {
-	if q.err != nil {
-		return nil, q.err
+	spec, err := qbridge.Spec(q.q)
+	if err != nil {
+		return nil, err
 	}
-	return q.c.openRows(ctx, wire.MsgQuery, wire.Query{Spec: q.spec}.Marshal())
-}
-
-func optsSpec(o smoothscan.ScanOptions) wire.OptsSpec {
-	return wire.OptsSpec{
-		Path:              byte(o.Path),
-		Policy:            byte(o.Policy),
-		Trigger:           byte(o.Trigger),
-		Ordered:           o.Ordered,
-		EstimatedRows:     o.EstimatedRows,
-		SLABound:          o.SLABound,
-		MaxRegionPages:    o.MaxRegionPages,
-		ResultCacheBudget: o.ResultCacheBudget,
-		Parallelism:       int32(o.Parallelism),
+	r, err := q.c.Conn.RunSpec(ctx, spec)
+	if err != nil {
+		return nil, err
 	}
+	return &Rows{Rows: r}, nil
 }

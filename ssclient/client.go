@@ -5,10 +5,18 @@
 //	c, _ := ssclient.Dial(addr)
 //	defer c.Close()
 //	stmt, _ := c.Prepare(c.Query("t").
-//		Where("val", ssclient.Between(ssclient.Param("lo"), ssclient.Param("hi"))))
+//		Where("val", smoothscan.Between(smoothscan.Param("lo"), smoothscan.Param("hi"))))
 //	rows, _ := stmt.Run(ctx, smoothscan.Bind{"lo": 10, "hi": 20})
 //	for rows.Next() { use(rows.Row()) }
 //	rows.Close()
+//
+// The query builder is the engine's own: Conn.Query composes a real
+// smoothscan.Query (via smoothscan.NewQuery), so predicates,
+// aggregates and Param placeholders are the root package's types —
+// smoothscan.Between works identically at a local and a remote call
+// site — and ssclient's Between/Param/Sum aliases exist only for
+// backward compatibility. The transport itself lives in
+// internal/client, shared with the engine's remote shard driver.
 //
 // Error classes survive the wire: a remote error unwraps to the same
 // typed sentinels the embedded engine returns, so errors.Is and
@@ -16,9 +24,9 @@
 // for remote and in-process executions. Admission-control rejects
 // satisfy errors.Is(err, ssclient.ErrOverloaded).
 //
-// A Client owns one connection and runs one request/response exchange
+// A Conn owns one connection and runs one request/response exchange
 // at a time; it is not safe for concurrent use — give each goroutine
-// its own Client (connections are cheap; the server pools admission
+// its own Conn (connections are cheap; the server pools admission
 // across all of them). Rows.Close and Stmt.Close are always safe to
 // call, including after the server has disconnected or the client is
 // closed: they release local state first and treat an unreachable
@@ -27,13 +35,10 @@ package ssclient
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"net"
-	"sync"
-	"time"
 
 	"smoothscan"
+	"smoothscan/internal/client"
+	"smoothscan/internal/qbridge"
 	"smoothscan/internal/wire"
 )
 
@@ -51,10 +56,10 @@ var (
 	ErrSessionClosed = wire.ErrSessionClosed
 	// ErrConnLost marks a dead connection: the client can no longer
 	// exchange frames and must be re-dialed.
-	ErrConnLost = errors.New("ssclient: connection lost")
+	ErrConnLost = client.ErrConnLost
 	// ErrBusy: a new request was issued while a Rows stream is open on
-	// this client. Drain or Close it first.
-	ErrBusy = errors.New("ssclient: a result stream is open")
+	// this connection. Drain or Close it first.
+	ErrBusy = client.ErrBusy
 )
 
 // RemoteError is the typed error a server Error frame materialises
@@ -62,13 +67,14 @@ var (
 type RemoteError = wire.RemoteError
 
 // ExecSummary is a remote execution's closing statistics — the wire
-// projection of smoothscan.ExecStats.
+// projection of smoothscan.ExecStats (Rows.ExecStats converts it
+// back).
 type ExecSummary = wire.ExecSummary
 
-// ServerStats is the server's counter snapshot (Client.ServerStats).
+// ServerStats is the server's counter snapshot (Conn.ServerStats).
 type ServerStats = wire.ServerStats
 
-// FaultRule is one remote fault-injection rule (Client.SetFaultPolicy);
+// FaultRule is one remote fault-injection rule (Conn.SetFaultPolicy);
 // it applies to every space of the server's device.
 type FaultRule struct {
 	Kind      smoothscan.FaultKind
@@ -77,312 +83,75 @@ type FaultRule struct {
 }
 
 // DefaultFetchRows is the per-Fetch row budget Rows uses unless
-// Client.SetFetchRows overrides it.
-const DefaultFetchRows = 4096
+// Conn.SetFetchRows overrides it.
+const DefaultFetchRows = client.DefaultFetchRows
 
-// handshakeTimeout bounds Dial's Hello/HelloOK exchange.
-const handshakeTimeout = 10 * time.Second
-
-// Client is one protocol session. Not safe for concurrent use.
-type Client struct {
-	conn      net.Conn
-	mu        sync.Mutex
-	err       error // sticky: once the connection failed, everything does
-	closed    bool
-	cur       *Rows
-	fetchRows int
+// Conn is one protocol session. Not safe for concurrent use. The
+// embedded transport contributes Broken, Close, SetFetchRows,
+// ServerStats, ColdCache and ClearFaultPolicy.
+type Conn struct {
+	*client.Conn
 }
+
+// Client is the historical name for Conn, kept as an alias so
+// existing call sites compile unchanged.
+type Client = Conn
 
 // Dial connects and performs the protocol handshake. A server at its
 // connection limit answers with an overloaded Error frame, so the
 // returned error satisfies errors.Is(err, ErrOverloaded) rather than
 // hanging or surfacing a bare I/O failure.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+func Dial(addr string) (*Conn, error) {
+	c, err := client.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, fetchRows: DefaultFetchRows}
-	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	if err := wire.WriteFrame(conn, wire.MsgHello, wire.Hello{Magic: wire.Magic, Version: wire.Version}.Marshal()); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
-	}
-	typ, payload, err := wire.ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
-	}
-	conn.SetDeadline(time.Time{})
-	switch typ {
-	case wire.MsgHelloOK:
-		if _, err := wire.DecodeHelloOK(payload); err != nil {
-			conn.Close()
-			return nil, err
-		}
-		return c, nil
-	case wire.MsgError:
-		conn.Close()
-		m, derr := wire.DecodeError(payload)
-		if derr != nil {
-			return nil, derr
-		}
-		return nil, m.Err()
-	default:
-		conn.Close()
-		return nil, fmt.Errorf("%w: unexpected handshake frame %#02x", wire.ErrMalformed, typ)
-	}
-}
-
-// SetFetchRows overrides the per-Fetch row budget of subsequent Rows
-// (n <= 0 restores the default). Smaller windows trade throughput for
-// finer cancellation granularity.
-func (c *Client) SetFetchRows(n int) {
-	if n <= 0 {
-		n = DefaultFetchRows
-	}
-	c.fetchRows = n
-}
-
-// Broken reports whether the connection has failed; a broken client
-// cannot recover and should be re-dialed.
-func (c *Client) Broken() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err != nil
-}
-
-// Close closes the connection. Idempotent, and safe whatever state the
-// connection is in.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.cur != nil {
-		c.cur.closed = true
-		c.cur = nil
-	}
-	return c.conn.Close()
-}
-
-// broken records a connection-fatal error and returns it. Caller holds
-// c.mu or has exclusive use.
-func (c *Client) broken(err error) error {
-	if c.err == nil {
-		c.err = fmt.Errorf("%w: %v", ErrConnLost, err)
-		c.conn.Close()
-	}
-	return c.err
-}
-
-// usable rejects requests on a dead, closed or busy client.
-func (c *Client) usable() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrConnLost
-	}
-	if c.err != nil {
-		return c.err
-	}
-	if c.cur != nil && !c.cur.closed {
-		return ErrBusy
-	}
-	return nil
-}
-
-// send writes one request frame.
-func (c *Client) send(typ byte, payload []byte) error {
-	if err := wire.WriteFrame(c.conn, typ, payload); err != nil {
-		return c.broken(err)
-	}
-	return nil
-}
-
-// recv reads one response frame.
-func (c *Client) recv() (byte, []byte, error) {
-	typ, payload, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return 0, nil, c.broken(err)
-	}
-	return typ, payload, nil
-}
-
-// roundTrip sends one request and reads its single response frame,
-// translating an Error frame into a typed error.
-func (c *Client) roundTrip(reqTyp byte, payload []byte, wantTyp byte) ([]byte, error) {
-	if err := c.send(reqTyp, payload); err != nil {
-		return nil, err
-	}
-	typ, resp, err := c.recv()
-	if err != nil {
-		return nil, err
-	}
-	switch typ {
-	case wantTyp:
-		return resp, nil
-	case wire.MsgError:
-		m, derr := wire.DecodeError(resp)
-		if derr != nil {
-			return nil, c.broken(derr)
-		}
-		if m.Class == wire.ClassIdle {
-			// A server-initiated close ends the session; no further
-			// exchange can succeed on this connection.
-			c.broken(m.Err())
-		}
-		return nil, m.Err()
-	default:
-		return nil, c.broken(fmt.Errorf("unexpected frame %#02x (wanted %#02x)", typ, wantTyp))
-	}
+	return &Conn{Conn: c}, nil
 }
 
 // Prepare compiles the query into a server-side statement. Structural
 // errors (unknown tables or columns, bad argument types) surface here,
 // as with DB.Prepare.
-func (c *Client) Prepare(q *Query) (*Stmt, error) {
-	if q.err != nil {
-		return nil, q.err
-	}
-	if err := c.usable(); err != nil {
-		return nil, err
-	}
-	resp, err := c.roundTrip(wire.MsgPrepare, wire.Prepare{Spec: q.spec}.Marshal(), wire.MsgPrepareOK)
+func (c *Conn) Prepare(q *Query) (*Stmt, error) {
+	spec, err := qbridge.Spec(q.q)
 	if err != nil {
 		return nil, err
 	}
-	m, err := wire.DecodePrepareOK(resp)
+	st, err := c.Conn.PrepareSpec(spec)
 	if err != nil {
-		return nil, c.broken(err)
+		return nil, err
 	}
-	return &Stmt{c: c, id: m.StmtID, params: m.Params}, nil
-}
-
-// ServerStats fetches the server's counter snapshot.
-func (c *Client) ServerStats() (ServerStats, error) {
-	if err := c.usable(); err != nil {
-		return ServerStats{}, err
-	}
-	resp, err := c.roundTrip(wire.MsgStats, nil, wire.MsgStatsReply)
-	if err != nil {
-		return ServerStats{}, err
-	}
-	st, err := wire.DecodeServerStats(resp)
-	if err != nil {
-		return ServerStats{}, c.broken(err)
-	}
-	return st, nil
+	return &Stmt{Stmt: st}, nil
 }
 
 // SetFaultPolicy attaches a deterministic fault-injection policy to
 // the server's device (rules apply to every space), or detaches any
 // policy when rules is empty. The server must run with fault
 // administration enabled; otherwise a bad-request error returns.
-func (c *Client) SetFaultPolicy(seed int64, rules ...FaultRule) error {
-	if err := c.usable(); err != nil {
-		return err
-	}
-	m := wire.FaultCtl{Seed: seed}
-	for _, r := range rules {
-		m.Rules = append(m.Rules, wire.FaultRuleSpec{
+func (c *Conn) SetFaultPolicy(seed int64, rules ...FaultRule) error {
+	specs := make([]wire.FaultRuleSpec, len(rules))
+	for i, r := range rules {
+		specs[i] = wire.FaultRuleSpec{
 			Kind:      byte(r.Kind),
 			Rate:      r.Rate,
 			ExtraCost: int64(r.ExtraCost),
-		})
+		}
 	}
-	_, err := c.roundTrip(wire.MsgFaultCtl, m.Marshal(), wire.MsgOK)
-	return err
+	return c.Conn.SetFaultPolicy(seed, specs...)
 }
 
-// ClearFaultPolicy detaches any fault-injection policy.
-func (c *Client) ClearFaultPolicy() error { return c.SetFaultPolicy(0) }
-
-// ColdCache evicts the server's buffer pool so a following
-// measurement window starts from the same cold state an in-process
-// run would — the remote analog of DB.ColdCache. It shares the fault
-// administration gate; a server without it enabled answers with a
-// bad-request error.
-func (c *Client) ColdCache() error {
-	if err := c.usable(); err != nil {
-		return err
-	}
-	_, err := c.roundTrip(wire.MsgColdCache, nil, wire.MsgOK)
-	return err
-}
-
-// Stmt is a remote prepared statement handle.
+// Stmt is a remote prepared statement handle. The embedded transport
+// contributes Params and Close.
 type Stmt struct {
-	c      *Client
-	id     uint32
-	params []string
-	closed bool
-}
-
-// Params returns the statement's parameter names in first-use order.
-func (s *Stmt) Params() []string {
-	return append([]string(nil), s.params...)
+	*client.Stmt
 }
 
 // Run binds the parameters and executes the statement, opening a
-// result stream. One stream may be open per Client at a time.
+// result stream. One stream may be open per Conn at a time.
 func (s *Stmt) Run(ctx context.Context, b smoothscan.Bind) (*Rows, error) {
-	if s.closed {
-		return nil, fmt.Errorf("ssclient: Run on a closed Stmt")
-	}
-	m := wire.Execute{StmtID: s.id}
-	for name, val := range b {
-		m.Binds = append(m.Binds, wire.BindKV{Name: name, Val: val})
-	}
-	return s.c.openRows(ctx, wire.MsgExecute, m.Marshal())
-}
-
-// Close drops the server-side statement handle. It is idempotent and
-// safe after a server disconnect: a handle that cannot be reached is
-// gone by definition, so Close only reports errors from a live,
-// misbehaving exchange.
-func (s *Stmt) Close() error {
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	if err := s.c.usable(); err != nil {
-		// Busy, broken or closed: the handle dies with the session;
-		// nothing to deliver, nothing to report.
-		return nil
-	}
-	_, err := s.c.roundTrip(wire.MsgCloseStmt, wire.CloseStmt{StmtID: s.id}.Marshal(), wire.MsgOK)
-	if errors.Is(err, ErrConnLost) || errors.Is(err, ErrSessionClosed) {
-		return nil
-	}
-	return err
-}
-
-// openRows issues an Execute/Query request and materialises the
-// ExecOK response into a Rows stream.
-func (c *Client) openRows(ctx context.Context, reqTyp byte, payload []byte) (*Rows, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := c.usable(); err != nil {
-		return nil, err
-	}
-	resp, err := c.roundTrip(reqTyp, payload, wire.MsgExecOK)
+	r, err := s.Stmt.Run(ctx, b)
 	if err != nil {
 		return nil, err
 	}
-	m, err := wire.DecodeExecOK(resp)
-	if err != nil {
-		return nil, c.broken(err)
-	}
-	r := &Rows{c: c, ctx: ctx, cols: m.Cols, fetchRows: c.fetchRows}
-	c.mu.Lock()
-	c.cur = r
-	c.mu.Unlock()
-	return r, nil
+	return &Rows{Rows: r}, nil
 }

@@ -1,0 +1,83 @@
+package ssclient
+
+import (
+	"context"
+	"fmt"
+
+	"smoothscan"
+)
+
+// A Conn is a smoothscan.Engine: the same harness code that drives a
+// *smoothscan.DB or *smoothscan.ShardedDB drives a remote server by
+// swapping in a dialed Conn. Wire-specific capability (SetFetchRows,
+// Broken, ServerStats, fault administration) stays on the concrete
+// type, as does Summary — Engine code reads ExecStats instead, which
+// every backend fills.
+var (
+	_ smoothscan.Engine = (*Conn)(nil)
+	_ smoothscan.Cursor = (*Rows)(nil)
+)
+
+// connBuilder adapts *Query to smoothscan.Builder.
+type connBuilder struct{ q *Query }
+
+func (b connBuilder) Where(col string, p smoothscan.Pred) smoothscan.Builder {
+	b.q.Where(col, p)
+	return b
+}
+func (b connBuilder) Join(table, leftCol, rightCol string) smoothscan.Builder {
+	b.q.Join(table, leftCol, rightCol)
+	return b
+}
+func (b connBuilder) JoinWithOptions(table, leftCol, rightCol string, opts smoothscan.ScanOptions) smoothscan.Builder {
+	b.q.JoinWithOptions(table, leftCol, rightCol, opts)
+	return b
+}
+func (b connBuilder) Select(cols ...string) smoothscan.Builder { b.q.Select(cols...); return b }
+func (b connBuilder) GroupBy(col string, aggs ...smoothscan.Agg) smoothscan.Builder {
+	b.q.GroupBy(col, aggs...)
+	return b
+}
+func (b connBuilder) OrderBy(col string) smoothscan.Builder { b.q.OrderBy(col); return b }
+func (b connBuilder) Limit(n any) smoothscan.Builder        { b.q.Limit(n); return b }
+func (b connBuilder) WithOptions(opts smoothscan.ScanOptions) smoothscan.Builder {
+	b.q.WithOptions(opts)
+	return b
+}
+func (b connBuilder) Run(ctx context.Context) (smoothscan.Cursor, error) {
+	r, err := b.q.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// stmtPrepared adapts *Stmt to smoothscan.PreparedQuery.
+type stmtPrepared struct{ st *Stmt }
+
+func (p stmtPrepared) Params() []string { return p.st.Params() }
+func (p stmtPrepared) Run(ctx context.Context, b smoothscan.Bind) (smoothscan.Cursor, error) {
+	r, err := p.st.Run(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+func (p stmtPrepared) Close() error { return p.st.Close() }
+
+// Table implements smoothscan.Engine.
+func (c *Conn) Table(name string) smoothscan.Builder { return connBuilder{q: c.Query(name)} }
+
+// PrepareQuery implements smoothscan.Engine; the Builder must come
+// from this Conn's Table.
+func (c *Conn) PrepareQuery(b smoothscan.Builder) (smoothscan.PreparedQuery, error) {
+	cb, ok := b.(connBuilder)
+	if !ok || cb.q.c != c {
+		return nil, fmt.Errorf("ssclient: PrepareQuery: builder %T was not created by this connection's Table", b)
+	}
+	st, err := c.Prepare(cb.q)
+	if err != nil {
+		return nil, err
+	}
+	return stmtPrepared{st: st}, nil
+}

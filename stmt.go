@@ -144,3 +144,10 @@ func (s *Stmt) Explain(b Bind) (*Plan, error) {
 	}
 	return cq.plan(), nil
 }
+
+// Close releases the statement. An in-process statement holds no
+// resources beyond its compiled template, so Close is a no-op; it
+// exists so code written against the Engine interface — where a remote
+// statement does hold a server-side handle — can treat every
+// PreparedQuery uniformly.
+func (s *Stmt) Close() error { return nil }

@@ -1,0 +1,150 @@
+package smoothscan
+
+import (
+	"fmt"
+
+	"smoothscan/internal/exec"
+	"smoothscan/internal/plan"
+	"smoothscan/internal/qbridge"
+	"smoothscan/internal/wire"
+)
+
+// Conversion of a builder Query into its wire.QuerySpec — the shape
+// shipped to a remote server by ssclient and by the remote shard
+// driver. The builder is the single source of truth for query
+// structure: ssclient composes real *Query values (via NewQuery) and
+// converts them here through the qbridge hook, so the local and remote
+// surfaces cannot drift apart.
+
+func init() {
+	qbridge.Spec = func(q any) (wire.QuerySpec, error) {
+		qq, ok := q.(*Query)
+		if !ok {
+			return wire.QuerySpec{}, fmt.Errorf("smoothscan: qbridge.Spec: %T is not a *Query", q)
+		}
+		return qq.wireSpec()
+	}
+}
+
+// NewQuery starts a composable query that is not attached to any
+// engine. Detached queries are the portable currency of the remote
+// surfaces — ssclient and the remote shard driver serialise them to
+// the wire — and of Engine implementations; running one directly
+// fails, since there is no database to run against.
+func NewQuery(table string) *Query {
+	return &Query{table: table}
+}
+
+// wireSpec converts the builder state to the wire spec. It rejects a
+// query the spec cannot express (the DB.Scan compat shape) and
+// propagates any builder error.
+func (q *Query) wireSpec() (wire.QuerySpec, error) {
+	if q.err != nil {
+		return wire.QuerySpec{}, q.err
+	}
+	if q.compat {
+		return wire.QuerySpec{}, fmt.Errorf("smoothscan: a DB.Scan compat query cannot be serialised; use the Query builder")
+	}
+	spec := wire.QuerySpec{Table: q.table, Opts: optsSpec(q.opts)}
+	for _, c := range q.conds {
+		ps, err := predSpec(c.col, c.p)
+		if err != nil {
+			return wire.QuerySpec{}, err
+		}
+		spec.Preds = append(spec.Preds, ps)
+	}
+	for _, j := range q.joins {
+		spec.Joins = append(spec.Joins, wire.JoinSpec{
+			Table: j.table, LeftCol: j.leftCol, RightCol: j.rightCol, Opts: optsSpec(j.opts)})
+	}
+	if q.hasSel {
+		spec.Select = append([]string(nil), q.sel...)
+		spec.HasSel = true
+	}
+	if q.hasAgg {
+		spec.GroupCol = q.group
+		for _, a := range q.aggs {
+			as, err := aggSpec(a)
+			if err != nil {
+				return wire.QuerySpec{}, err
+			}
+			spec.Aggs = append(spec.Aggs, as)
+		}
+		spec.HasAgg = true
+	}
+	if q.hasOrd {
+		spec.OrderCol = q.order
+		spec.HasOrd = true
+	}
+	if q.hasLim {
+		spec.Limit = wireArg(q.limitArg)
+		spec.HasLim = true
+	}
+	return spec, nil
+}
+
+// predSpec converts one conjunct. The planner's and the wire's kind
+// numberings are decoupled on purpose; the switch is the mapping.
+func predSpec(col string, p Pred) (wire.PredSpec, error) {
+	if p.err != nil {
+		return wire.PredSpec{}, p.err
+	}
+	var kind byte
+	switch p.kind {
+	case plan.KindBetween:
+		kind = wire.PredBetween
+	case plan.KindEq:
+		kind = wire.PredEq
+	case plan.KindLt:
+		kind = wire.PredLt
+	case plan.KindLe:
+		kind = wire.PredLe
+	case plan.KindGt:
+		kind = wire.PredGt
+	case plan.KindGe:
+		kind = wire.PredGe
+	default:
+		return wire.PredSpec{}, fmt.Errorf("smoothscan: predicate kind %d has no wire encoding", p.kind)
+	}
+	return wire.PredSpec{Col: col, Kind: kind, A: wireArg(p.a), B: wireArg(p.b)}, nil
+}
+
+// aggSpec converts one aggregate. The output name always travels as
+// As, so a server-side rebuild reproduces the exact column name even
+// for defaulted ones ("sum_col", "count", ...).
+func aggSpec(a Agg) (wire.AggSpec, error) {
+	var kind byte
+	switch a.kind {
+	case exec.AggSum:
+		kind = wire.AggSum
+	case exec.AggCount:
+		kind = wire.AggCount
+	case exec.AggMin:
+		kind = wire.AggMin
+	case exec.AggMax:
+		kind = wire.AggMax
+	default:
+		return wire.AggSpec{}, fmt.Errorf("smoothscan: aggregate kind %d has no wire encoding", a.kind)
+	}
+	return wire.AggSpec{Kind: kind, Col: a.col, As: a.name}, nil
+}
+
+// wireArg converts a literal-or-param argument.
+func wireArg(a Arg) wire.ArgSpec {
+	return wire.ArgSpec{Param: a.param, Lit: a.lit}
+}
+
+// optsSpec converts ScanOptions for the wire.
+func optsSpec(o ScanOptions) wire.OptsSpec {
+	return wire.OptsSpec{
+		Path:              byte(o.Path),
+		Policy:            byte(o.Policy),
+		Trigger:           byte(o.Trigger),
+		Ordered:           o.Ordered,
+		EstimatedRows:     o.EstimatedRows,
+		SLABound:          o.SLABound,
+		MaxRegionPages:    o.MaxRegionPages,
+		ResultCacheBudget: o.ResultCacheBudget,
+		Parallelism:       int32(o.Parallelism),
+	}
+}
