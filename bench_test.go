@@ -576,6 +576,64 @@ func BenchmarkPreparedExec(b *testing.B) {
 	})
 }
 
+// BenchmarkResultCacheHit measures serving a repeated ~2%-selectivity
+// query from the semantic result-cache tier (docs/CACHING.md): the
+// first execution scans and stores, every timed iteration after it is
+// a pure in-memory replay of the materialized result — the tier's
+// zero-device-I/O fast path, which benchgate guards in tuples/s.
+func BenchmarkResultCacheHit(b *testing.B) {
+	db, err := Open(Options{PoolPages: 2048, ResultCacheBytes: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", "id", "val", "payload")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 50_000; i++ {
+		if err := tb.Append(i, (i*7919)%10_000, i%1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "val"); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func() (int64, bool) {
+		rows, err := db.Query("t").Where("val", Between(4_000, 4_200)).Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for rows.Next() {
+			n++
+		}
+		if rows.Err() != nil {
+			b.Fatal(rows.Err())
+		}
+		rows.Close()
+		return n, rows.ExecStats().ResultCache.Hit
+	}
+	run() // populate the cache
+	if _, hit := run(); !hit {
+		b.Fatal("repeat query was not served from the result cache")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var produced int64
+	for i := 0; i < b.N; i++ {
+		n, hit := run()
+		if !hit {
+			b.Fatal("result-cache entry lost mid-benchmark")
+		}
+		produced += n
+	}
+	b.ReportMetric(float64(produced)/b.Elapsed().Seconds(), "tuples/s")
+}
+
 // BenchmarkPublicAPIScan exercises the full public stack end to end.
 func BenchmarkPublicAPIScan(b *testing.B) {
 	db, err := Open(Options{PoolPages: 256})

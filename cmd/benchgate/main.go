@@ -59,7 +59,7 @@ func main() {
 		baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline JSON path")
 		write        = flag.Bool("write", false, "regenerate the baseline instead of gating")
 		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional throughput regression")
-		benchRe      = flag.String("bench", "SmoothScanThroughput$|BatchDecode$|HashJoinThroughput$|PreparedExec$|ShardedScan$|ParallelSmoothScan$", "benchmarks to run (go test -bench regexp)")
+		benchRe      = flag.String("bench", "SmoothScanThroughput$|BatchDecode$|HashJoinThroughput$|PreparedExec$|ShardedScan$|ParallelSmoothScan$|ResultCacheHit$", "benchmarks to run (go test -bench regexp)")
 		benchtime    = flag.String("benchtime", "300ms", "go test -benchtime (time-based for stable per-run averages)")
 		count        = flag.Int("count", 3, "runs per benchmark; the gate takes the best")
 		strict       = flag.Bool("strict", false, "fail on regression even when the baseline was generated on a different CPU class")

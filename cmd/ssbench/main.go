@@ -23,15 +23,16 @@ import (
 	"time"
 
 	"smoothscan"
+	"smoothscan/internal/cacheexp"
 	"smoothscan/internal/harness"
 	"smoothscan/internal/shardexp"
 )
 
 // experimentIDs is the -exp all order: the paper experiments first,
-// then the sharded scatter-gather sweep (which lives outside
-// internal/harness because it drives the public sharded facade).
+// then the sharded scatter-gather and result-cache sweeps (which live
+// outside internal/harness because they drive the public facade).
 func experimentIDs() []string {
-	return append(harness.IDs(), shardexp.ID)
+	return append(harness.IDs(), shardexp.ID, cacheexp.ID)
 }
 
 func main() {
@@ -80,6 +81,8 @@ func main() {
 		var err error
 		if id == shardexp.ID {
 			tab, err = shardexp.Run(shardexp.Config{Seed: *seed})
+		} else if id == cacheexp.ID {
+			tab, err = cacheexp.Run(cacheexp.Config{Seed: *seed})
 		} else {
 			tab, err = r.ByID(id)
 		}

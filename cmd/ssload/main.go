@@ -10,6 +10,7 @@
 //	ssload -clients 4 -parallelism 4 -ordered
 //	ssload -bench parallel -json BENCH_parallel.json
 //	ssload -chaos -clients 4 -queries 64
+//	ssload -cache -clients 4 -queries 256
 //	ssload -addr 127.0.0.1:7744 -clients 8 -queries 64
 //
 // By default the clients share one in-process DB. With -addr the same
@@ -30,6 +31,19 @@
 // Wall-clock numbers depend on the host (see the reported cpus);
 // simulated cost is deterministic up to random/sequential
 // classification differences between worker interleavings.
+//
+// The -cache mode exercises the semantic result-cache tier
+// (Options.ResultCacheBytes; see docs/CACHING.md): a Zipf-skewed
+// repeat-query workload runs once with the tier off and once with it
+// on — reporting the hit rate and the p50/p99 latency delta — then a
+// third time with rows being inserted mid-run, so the write-driven
+// invalidation churn (every Insert bumps the table epoch and kills the
+// entries that read it) shows up in the counters. The cached run's
+// digest must match the tier-off control's exactly: rows served from
+// the cache are bit-identical to re-executed ones. Local modes only
+// (with -addr the server side of the tier is the server's
+// -result-cache-bytes flag); -shards is supported and exercises the
+// coordinator-level tier above scatter-gather.
 //
 // The -chaos mode runs the workload once fault-free to record an
 // order-independent result digest, then re-runs it under a sweep of
@@ -88,6 +102,9 @@ func main() {
 		addr        = flag.String("addr", "", "run against a remote ssserver at this address instead of in-process (the server owns the data; use matching -domain/-seed flags on both sides)")
 		shards      = flag.Int("shards", 0, "range-partition the table across N in-process shards and run the load through the scatter-gather engine (0 = unsharded); local modes only")
 		shardAddrs  = flag.String("shard-addrs", "", "comma-separated ssserver addresses, one per shard (each server started with -shard-id I -shard-count N and matching -rows/-domain/-seed); runs the load through the scatter-gather engine with remote shard drivers")
+		cache       = flag.Bool("cache", false, "result-cache mode: a Zipf-skewed repeat-query workload with the tier on vs off (hit rate, p50/p99 delta), then re-run under interleaved Inserts to show invalidation churn; local modes only")
+		rcBytes     = flag.Int64("result-cache-bytes", 0, "result-cache tier byte budget for local modes (0 disables the tier; -cache mode defaults it to 16 MiB)")
+		rcTTL       = flag.Duration("result-cache-ttl", 0, "result-cache entry time-to-live for local modes (0 = no expiry)")
 		clean       = flag.Bool("require-clean", false, "exit non-zero if any query failed")
 	)
 	flag.Parse()
@@ -104,6 +121,14 @@ func main() {
 	if *shardAddrs != "" && (*addr != "" || *shards > 0 || *bench != "") {
 		fatal(fmt.Errorf("-shard-addrs does not combine with -addr, -shards or -bench"))
 	}
+	if *cache {
+		if *addr != "" || *shardAddrs != "" {
+			fatal(fmt.Errorf("-cache needs the in-process engine (the server's -result-cache-bytes owns the tier remotely)"))
+		}
+		if *bench != "" || *chaos || *prepare {
+			fatal(fmt.Errorf("-cache does not combine with -bench, -chaos or -prepare"))
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -119,12 +144,40 @@ func main() {
 		if *bench != "parallel" {
 			fatal(fmt.Errorf("unknown -bench %q (known: parallel)", *bench))
 		}
-		db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
+		db, err := loadgen.BuildDB(*rows, *domain, *seed, smoothscan.Options{PoolPages: *pool})
 		if err != nil {
 			fatal(err)
 		}
 		if err := benchParallel(db, *rows, *domain, *jsonOut); err != nil {
 			fatal(err)
+		}
+		return
+	}
+
+	if *cache {
+		sopts, err := scanOptions(*path, *policy, *ordered, *parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg := cacheCompareConfig{
+			rows: *rows, domain: *domain, seed: *seed,
+			pool: *pool, shards: *shards,
+			budget: *rcBytes, ttl: *rcTTL,
+			load: loadConfig{
+				clients:     *clients,
+				queries:     *queries,
+				selectivity: *selectivity,
+				domain:      *domain,
+				seed:        *seed,
+				opts:        sopts,
+			},
+		}
+		report, err := runCacheCompare(ctx, ccfg, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if *clean && report.errors() > 0 {
+			fatal(fmt.Errorf("-require-clean: %d queries failed", report.errors()))
 		}
 		return
 	}
@@ -144,13 +197,15 @@ func main() {
 		}
 		h = rh
 	case *shards > 0:
-		s, err := loadgen.BuildShardedDB(*rows, *domain, *seed, *pool, *shards)
+		s, err := loadgen.BuildShardedDB(*rows, *domain, *seed, *shards,
+			smoothscan.Options{PoolPages: *pool, ResultCacheBytes: *rcBytes, ResultCacheTTL: *rcTTL})
 		if err != nil {
 			fatal(err)
 		}
 		h = &shardedHarness{s: s}
 	default:
-		db, err := loadgen.BuildDB(*rows, *domain, *seed, *pool)
+		db, err := loadgen.BuildDB(*rows, *domain, *seed,
+			smoothscan.Options{PoolPages: *pool, ResultCacheBytes: *rcBytes, ResultCacheTTL: *rcTTL})
 		if err != nil {
 			fatal(err)
 		}
@@ -305,6 +360,181 @@ func runPrepared(ctx context.Context, h harness, cfg loadConfig, control bool, j
 	return report, nil
 }
 
+// cacheTemplateCount is the -cache mode's predicate-range pool size:
+// enough distinct shapes that the tail stays cold, few enough that the
+// Zipf head repeats within even a small -queries budget.
+const cacheTemplateCount = 32
+
+// cacheCompareConfig carries the -cache mode's build and load knobs.
+type cacheCompareConfig struct {
+	rows, domain, seed int64
+	pool, shards       int
+	// budget/ttl configure the cached backend's result-cache tier
+	// (budget 0 defaults to 16 MiB; the control backend runs tier-off).
+	budget int64
+	ttl    time.Duration
+	load   loadConfig
+}
+
+// cacheReport is the -cache JSON document: the tier-off control run,
+// the tier-on run of the identical workload (same Zipf range stream),
+// their p50/p99 deltas, and a third tier-on run under interleaved
+// Inserts showing the write-driven invalidation churn.
+type cacheReport struct {
+	Control    loadResult `json:"control"`
+	Cached     loadResult `json:"cached"`
+	P50DeltaMS float64    `json:"p50_delta_ms"`
+	P99DeltaMS float64    `json:"p99_delta_ms"`
+	// DigestMatch reports whether the cached run reproduced the control
+	// run's result digest — served-from-cache rows must be bit-identical
+	// to re-executed ones. (The churn run's digest is not comparable:
+	// its Inserts land inside queried ranges by design.)
+	DigestMatch  bool       `json:"digest_match"`
+	Churn        loadResult `json:"churn"`
+	ChurnInserts int64      `json:"churn_inserts"`
+}
+
+func (r cacheReport) errors() int {
+	return r.Control.Errors + r.Cached.Errors + r.Churn.Errors
+}
+
+// runCacheCompare runs the -cache comparison. Three runs of the same
+// Zipf-skewed repeat-query workload: tier off (control), tier on (the
+// hit-rate and latency-delta measurement), and tier on with a
+// background writer inserting rows mid-run — every Insert bumps the
+// table's epoch, so hot entries keep getting invalidated and re-cached,
+// which is the churn the third run's counters make visible.
+func runCacheCompare(ctx context.Context, ccfg cacheCompareConfig, jsonOut string) (cacheReport, error) {
+	report := cacheReport{}
+	cfg := ccfg.load
+	cfg.cacheTemplates = cacheTemplateCount
+	cfg.reportCache = true
+
+	budget := ccfg.budget
+	if budget <= 0 {
+		budget = 16 << 20
+	}
+	// build constructs one backend (sharded when -shards is set) with
+	// the tier on or off, returning its harness and an insert closure
+	// for the churn writer.
+	build := func(tierOn bool) (harness, func(vals ...int64) error, error) {
+		opts := smoothscan.Options{PoolPages: ccfg.pool}
+		if tierOn {
+			opts.ResultCacheBytes = budget
+			opts.ResultCacheTTL = ccfg.ttl
+		}
+		if ccfg.shards > 0 {
+			s, err := loadgen.BuildShardedDB(ccfg.rows, ccfg.domain, ccfg.seed, ccfg.shards, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &shardedHarness{s: s}, func(vals ...int64) error {
+				return s.Insert(loadgen.Table, vals...)
+			}, nil
+		}
+		db, err := loadgen.BuildDB(ccfg.rows, ccfg.domain, ccfg.seed, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &localHarness{db: db}, func(vals ...int64) error {
+			return db.Insert(loadgen.Table, vals...)
+		}, nil
+	}
+
+	control, _, err := build(false)
+	if err != nil {
+		return report, err
+	}
+	defer control.close()
+	res, err := runLoad(ctx, control, cfg)
+	if err != nil {
+		return report, err
+	}
+	report.Control = res
+	fmt.Printf("ssload -cache: control, tier off (%d clients x %d queries over %d Zipf ranges, mode=%s, cpus=%d)\n",
+		cfg.clients, cfg.queries, cacheTemplateCount, control.mode(), runtime.NumCPU())
+	res.print(os.Stdout)
+
+	cached, insert, err := build(true)
+	if err != nil {
+		return report, err
+	}
+	defer cached.close()
+	res, err = runLoad(ctx, cached, cfg)
+	if err != nil {
+		return report, err
+	}
+	report.Cached = res
+	report.P50DeltaMS = res.P50MS - report.Control.P50MS
+	report.P99DeltaMS = res.P99MS - report.Control.P99MS
+	report.DigestMatch = res.Digest == report.Control.Digest && res.Tuples == report.Control.Tuples
+	fmt.Printf("ssload -cache: tier on, %d byte budget (same workload)\n", budget)
+	res.print(os.Stdout)
+	fmt.Printf("  delta      p50 %+.3f ms, p99 %+.3f ms vs tier-off control (negative = cached faster)\n",
+		report.P50DeltaMS, report.P99DeltaMS)
+	if !report.DigestMatch {
+		return report, fmt.Errorf("cache: cached run diverged from control (digest %016x vs %016x, %d vs %d tuples)",
+			res.Digest, report.Control.Digest, res.Tuples, report.Control.Tuples)
+	}
+	fmt.Println("  digest     matches the tier-off control (cached rows are bit-identical)")
+
+	// Churn run: the same workload on the same cached backend while a
+	// writer inserts rows. Every Insert bumps the table epoch, so each
+	// hot entry serves only until the next write lands, then misses,
+	// re-executes and re-caches — invalidation churn under load, with
+	// pre-write entries never served (the -race tests pin that; here the
+	// counters make it visible at workload scale).
+	var (
+		churnInserts int64
+		stopChurn    = make(chan struct{})
+		churnDone    = make(chan error, 1)
+	)
+	go func() {
+		wrng := rand.New(rand.NewSource(ccfg.seed * 104729))
+		vals := make([]int64, 10)
+		id := ccfg.rows
+		for {
+			select {
+			case <-stopChurn:
+				churnDone <- nil
+				return
+			default:
+			}
+			vals[0] = id
+			id++
+			for c := 1; c < len(vals); c++ {
+				vals[c] = wrng.Int63n(ccfg.domain)
+			}
+			if err := insert(vals...); err != nil {
+				churnDone <- err
+				return
+			}
+			churnInserts++
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	res, err = runLoad(ctx, cached, cfg)
+	close(stopChurn)
+	werr := <-churnDone
+	if err == nil {
+		err = werr
+	}
+	if err != nil {
+		return report, err
+	}
+	report.Churn = res
+	report.ChurnInserts = churnInserts
+	fmt.Printf("ssload -cache: tier on under churn (%d rows inserted mid-run)\n", churnInserts)
+	res.print(os.Stdout)
+
+	if jsonOut != "" {
+		if err := writeJSON(jsonOut, report); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ssload:", err)
 	os.Exit(1)
@@ -354,17 +584,27 @@ type loadConfig struct {
 	// of the engine's own bounded page retry. Chaos mode sets it so a
 	// recoverable schedule cannot strand a query.
 	retryFaults int
+	// cacheTemplates > 0 replaces the uniform random predicate ranges
+	// with a Zipf-skewed draw over this many precomputed ranges, so the
+	// workload repeats queries the way a result cache wants: a few hot
+	// shapes dominate, a long tail stays cold. The ranges are derived
+	// from seed, so control and cached runs see the same stream.
+	cacheTemplates int
+	// reportCache attaches the result-cache tier's counter deltas and
+	// the per-query hit rate to the loadResult.
+	reportCache bool
 }
 
 // queryResult is one successful query execution; a failed attempt's
 // partial rows are discarded wholesale so a retried query cannot
 // double-count into the digest.
 type queryResult struct {
-	digest  uint64
-	tuples  int64
-	reused  bool
-	retries int64
-	faults  int64
+	digest   uint64
+	tuples   int64
+	reused   bool
+	cacheHit bool
+	retries  int64
+	faults   int64
 }
 
 // runner executes one client goroutine's queries against a backend;
@@ -391,6 +631,10 @@ type harness interface {
 	// opened by mark.
 	simCost() (float64, error)
 	planCache() (smoothscan.PlanCacheStats, error)
+	// resultCache snapshots the result-cache tier's counters: the
+	// query-boundary tier(s) the backend owns, summed across shards or
+	// nodes. All zero when the tier is disabled.
+	resultCache() (smoothscan.ResultCacheStats, error)
 	newRunner(cfg loadConfig, client int) (runner, error)
 	// setFault installs a fault-injection schedule (nil clears it).
 	setFault(seed int64, rule *smoothscan.FaultRule) error
@@ -463,6 +707,7 @@ func (r *engineRunner) runQuery(ctx context.Context, lo, hi int64) (queryResult,
 	// cursor's statistics arrive with the server's closing summary).
 	st := cur.ExecStats()
 	qr.reused = st.PlanCacheHit
+	qr.cacheHit = st.ResultCache.Hit
 	qr.retries = st.Retries
 	qr.faults = st.FaultsSeen
 	return qr, err
@@ -499,6 +744,10 @@ func (h *localHarness) simCost() (float64, error) { return h.db.Stats().Time(), 
 
 func (h *localHarness) planCache() (smoothscan.PlanCacheStats, error) {
 	return h.db.PlanCacheStats(), nil
+}
+
+func (h *localHarness) resultCache() (smoothscan.ResultCacheStats, error) {
+	return h.db.ResultCacheStats(), nil
 }
 
 func (h *localHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
@@ -556,6 +805,27 @@ func (h *shardedHarness) planCache() (smoothscan.PlanCacheStats, error) {
 		if i == 0 {
 			total.Entries, total.Capacity = st.Entries, st.Capacity
 		}
+	}
+	return total, nil
+}
+
+func (h *shardedHarness) resultCache() (smoothscan.ResultCacheStats, error) {
+	// The coordinator tier serves whole sharded queries; each shard's
+	// own tier would only see direct single-shard executions. Both are
+	// this backend's cache traffic, so the counters are their sum
+	// (sizing fields stay the coordinator's).
+	total := h.s.ResultCacheStats()
+	for i := 0; i < h.s.NumShards(); i++ {
+		st := h.s.Shard(i).ResultCacheStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Stores += st.Stores
+		total.StoreSkips += st.StoreSkips
+		total.InvalidatedStale += st.InvalidatedStale
+		total.Evicted += st.Evicted
+		total.Expired += st.Expired
+		total.Entries += st.Entries
+		total.Bytes += st.Bytes
 	}
 	return total, nil
 }
@@ -670,6 +940,22 @@ func (h *remoteHarness) planCache() (smoothscan.PlanCacheStats, error) {
 	return smoothscan.PlanCacheStats{
 		Hits:   uint64(st.PlanCacheHits),
 		Misses: uint64(st.PlanCacheMisses),
+	}, nil
+}
+
+func (h *remoteHarness) resultCache() (smoothscan.ResultCacheStats, error) {
+	st, err := h.ctl.ServerStats()
+	if err != nil {
+		return smoothscan.ResultCacheStats{}, err
+	}
+	// The wire stats carry the counters a comparison needs; the sizing
+	// fields the server does not export stay zero.
+	return smoothscan.ResultCacheStats{
+		Hits:             st.ResultCacheHits,
+		Misses:           st.ResultCacheMisses,
+		InvalidatedStale: st.ResultCacheInvalidated,
+		Entries:          int(st.ResultCacheEntries),
+		Bytes:            st.ResultCacheBytes,
 	}, nil
 }
 
@@ -824,6 +1110,23 @@ func (h *remoteShardedHarness) planCache() (smoothscan.PlanCacheStats, error) {
 	return total, nil
 }
 
+func (h *remoteShardedHarness) resultCache() (smoothscan.ResultCacheStats, error) {
+	// The coordinator's own tier plus each node's server-side tier.
+	total := h.s.ResultCacheStats()
+	for _, ctl := range h.ctls {
+		st, err := ctl.ServerStats()
+		if err != nil {
+			return smoothscan.ResultCacheStats{}, err
+		}
+		total.Hits += st.ResultCacheHits
+		total.Misses += st.ResultCacheMisses
+		total.InvalidatedStale += st.ResultCacheInvalidated
+		total.Entries += int(st.ResultCacheEntries)
+		total.Bytes += st.ResultCacheBytes
+	}
+	return total, nil
+}
+
 func (h *remoteShardedHarness) newRunner(cfg loadConfig, _ int) (runner, error) {
 	if cfg.prepared && h.stmt == nil {
 		stmt, err := h.s.PrepareQuery(loadTemplate(h.s, cfg.opts))
@@ -950,6 +1253,10 @@ type loadResult struct {
 	// predicate stream spread the work evenly (remote nodes report
 	// SimCost only; their PagesRead stays zero).
 	Shards []shardBalance `json:"shards,omitempty"`
+	// ResultCache reports the result-cache tier's traffic attributed to
+	// this run (counter deltas around it) plus the per-query hit rate;
+	// set only when loadConfig.reportCache is on (the -cache mode).
+	ResultCache *resultCacheBlock `json:"result_cache,omitempty"`
 	// Digest is an order-independent checksum of every result row of
 	// every successful query (sum of per-row FNV-1a hashes), stable
 	// across client scheduling and parallel-worker interleavings. Two
@@ -959,6 +1266,25 @@ type loadResult struct {
 	Digest uint64 `json:"digest"`
 	// PerClient breaks the run down by client goroutine.
 	PerClient []clientStat `json:"per_client,omitempty"`
+}
+
+// resultCacheBlock is one run's result-cache attribution: HitRate is
+// the fraction of successful queries whose ExecStats reported a
+// result-cache hit; the counters are tier-side deltas for the run's
+// measurement window (Entries/Bytes are the resident population at the
+// end of it). Invalidated is the write-driven churn — entries dropped
+// because a table epoch moved past their snapshot.
+type resultCacheBlock struct {
+	HitRate     float64 `json:"hit_rate"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Stores      int64   `json:"stores"`
+	StoreSkips  int64   `json:"store_skips"`
+	Invalidated int64   `json:"invalidated"`
+	Evicted     int64   `json:"evicted"`
+	Expired     int64   `json:"expired"`
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
 }
 
 // shardBalance is one shard's slice of a sharded run.
@@ -995,6 +1321,11 @@ func (r loadResult) print(w *os.File) {
 	if r.Reconnects > 0 {
 		fmt.Fprintf(w, "  reconnects %d lost connections re-dialed\n", r.Reconnects)
 	}
+	if rc := r.ResultCache; rc != nil {
+		fmt.Fprintf(w, "  result cache %.1f%% of queries served (%d hits / %d misses, %d stores, %d invalidated, %d evicted)\n",
+			rc.HitRate*100, rc.Hits, rc.Misses, rc.Stores, rc.Invalidated, rc.Evicted)
+		fmt.Fprintf(w, "               %d entries / %d bytes resident after the run\n", rc.Entries, rc.Bytes)
+	}
 	for _, sb := range r.Shards {
 		fmt.Fprintf(w, "  shard %-4d %8d rows, %10.1f simcost, %8d pages read\n",
 			sb.Shard, sb.Rows, sb.SimCost, sb.PagesRead)
@@ -1030,6 +1361,30 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 	if width < 1 {
 		width = 1
 	}
+	// With cacheTemplates set, clients draw their predicate range from a
+	// fixed Zipf-skewed pool instead of uniformly: the same few hot
+	// ranges recur across clients, which is the regime a semantic result
+	// cache exists for. The pool depends only on seed/domain/width, so a
+	// control run and a cached run replay the same candidate ranges.
+	var templates [][2]int64
+	if cfg.cacheTemplates > 0 {
+		trng := rand.New(rand.NewSource(cfg.seed*7919 + 17))
+		templates = make([][2]int64, cfg.cacheTemplates)
+		for i := range templates {
+			lo := int64(0)
+			if cfg.domain > width {
+				lo = trng.Int63n(cfg.domain - width)
+			}
+			templates[i] = [2]int64{lo, lo + width}
+		}
+	}
+	var rcBefore smoothscan.ResultCacheStats
+	if cfg.reportCache {
+		var err error
+		if rcBefore, err = h.resultCache(); err != nil {
+			return loadResult{}, err
+		}
+	}
 
 	// Runners are created up front so a backend that cannot serve the
 	// run at all (bad prepare, unreachable server) fails it cleanly
@@ -1057,6 +1412,7 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 		latencies []time.Duration
 		tuples    int64
 		reused    int64
+		cacheHits int64
 		digest    uint64
 		perClient []clientStat
 	)
@@ -1071,13 +1427,22 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 				n++
 			}
 			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			var zipf *rand.Zipf
+			if len(templates) > 1 {
+				zipf = rand.NewZipf(rng, 1.3, 1, uint64(len(templates)-1))
+			}
 			stat := clientStat{Client: c}
 			var localLat []time.Duration
-			var localTuples, localReused int64
+			var localTuples, localReused, localCacheHits int64
 			var localDigest uint64
 			for q := 0; q < n; q++ {
 				lo := int64(0)
-				if cfg.domain > width {
+				switch {
+				case zipf != nil:
+					lo = templates[zipf.Uint64()][0]
+				case len(templates) == 1:
+					lo = templates[0][0]
+				case cfg.domain > width:
 					lo = rng.Int63n(cfg.domain - width)
 				}
 				qStart := time.Now()
@@ -1090,6 +1455,7 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 					qr.faults += once.faults
 					if err == nil {
 						qr.digest, qr.tuples, qr.reused = once.digest, once.tuples, once.reused
+						qr.cacheHit = once.cacheHit
 						break
 					}
 					if attempt >= cfg.retryFaults || !smoothscan.IsTransientFault(err) || ctx.Err() != nil {
@@ -1117,6 +1483,9 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 				if qr.reused {
 					localReused++
 				}
+				if qr.cacheHit {
+					localCacheHits++
+				}
 				localTuples += qr.tuples
 				localDigest += qr.digest
 				localLat = append(localLat, time.Since(qStart))
@@ -1126,6 +1495,7 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 			latencies = append(latencies, localLat...)
 			tuples += localTuples
 			reused += localReused
+			cacheHits += localCacheHits
 			digest += localDigest
 			perClient = append(perClient, stat)
 			mu.Unlock()
@@ -1186,6 +1556,27 @@ func runLoad(ctx context.Context, h harness, cfg loadConfig) (loadResult, error)
 		res.Retries += st.Retries
 		res.FaultsSeen += st.FaultsSeen
 		res.Reconnects += st.Reconnects
+	}
+	if cfg.reportCache {
+		rcAfter, err := h.resultCache()
+		if err != nil {
+			return loadResult{}, err
+		}
+		blk := &resultCacheBlock{
+			Hits:        rcAfter.Hits - rcBefore.Hits,
+			Misses:      rcAfter.Misses - rcBefore.Misses,
+			Stores:      rcAfter.Stores - rcBefore.Stores,
+			StoreSkips:  rcAfter.StoreSkips - rcBefore.StoreSkips,
+			Invalidated: rcAfter.InvalidatedStale - rcBefore.InvalidatedStale,
+			Evicted:     rcAfter.Evicted - rcBefore.Evicted,
+			Expired:     rcAfter.Expired - rcBefore.Expired,
+			Entries:     rcAfter.Entries,
+			Bytes:       rcAfter.Bytes,
+		}
+		if len(latencies) > 0 {
+			blk.HitRate = float64(cacheHits) / float64(len(latencies))
+		}
+		res.ResultCache = blk
 	}
 	return res, nil
 }

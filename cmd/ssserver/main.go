@@ -63,6 +63,8 @@ func main() {
 		faultAdmin    = flag.Bool("fault-admin", false, "allow clients to install/clear fault policies over the wire (ssload -chaos -addr needs this)")
 		shardID       = flag.Int("shard-id", -1, "serve only shard N of a -shard-count-way placement instead of the whole table (pair with ssload -shard-addrs; -1 = unsharded)")
 		shardCount    = flag.Int("shard-count", 0, "total shards in the placement (with -shard-id)")
+		resCacheBytes = flag.Int64("result-cache-bytes", 0, "result-cache tier byte budget (0 disables; repeated queries are then served with zero device I/O)")
+		resCacheTTL   = flag.Duration("result-cache-ttl", 0, "result-cache entry time-to-live (0 = no expiry; with -result-cache-bytes)")
 		verbose       = flag.Bool("v", false, "log session lifecycle events")
 	)
 	flag.Parse()
@@ -78,6 +80,11 @@ func main() {
 		fatal(fmt.Errorf("-shard-count needs -shard-id"))
 	}
 
+	opts := smoothscan.Options{
+		PoolPages:        *pool,
+		ResultCacheBytes: *resCacheBytes,
+		ResultCacheTTL:   *resCacheTTL,
+	}
 	var db *smoothscan.DB
 	var err error
 	if sharded {
@@ -85,9 +92,9 @@ func main() {
 		// table; a remote-sharded coordinator (ssload -shard-addrs, or
 		// smoothscan.OpenShardedRemote) gathers the slices back into the
 		// whole table.
-		db, err = loadgen.BuildShardSlice(*rows, *domain, *seed, *pool, *shardID, *shardCount)
+		db, err = loadgen.BuildShardSlice(*rows, *domain, *seed, *shardID, *shardCount, opts)
 	} else {
-		db, err = loadgen.BuildDB(*rows, *domain, *seed, *pool)
+		db, err = loadgen.BuildDB(*rows, *domain, *seed, opts)
 	}
 	if err != nil {
 		fatal(err)
@@ -143,6 +150,10 @@ func main() {
 		st.SessionsTotal, st.QueriesServed, st.QueriesFailed, st.QueriesRejected, st.RowsSent, st.BatchesSent)
 	fmt.Printf("ssserver: %d stmts prepared (%d evicted, %d closed), %d cancels, %d idle closes, %d conns rejected, simcost %.1f\n",
 		st.StmtsPrepared, st.StmtsEvicted, st.StmtsClosed, st.Cancels, st.IdleCloses, st.ConnsRejected, st.DeviceSimCost)
+	if *resCacheBytes > 0 {
+		fmt.Printf("ssserver: result cache: %d hits, %d misses, %d invalidated, %d entries / %d bytes resident\n",
+			st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheInvalidated, st.ResultCacheEntries, st.ResultCacheBytes)
+	}
 }
 
 func parseFaultKind(s string) (smoothscan.FaultKind, error) {

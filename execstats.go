@@ -3,11 +3,25 @@ package smoothscan
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"smoothscan/internal/core"
 	"smoothscan/internal/exec"
 	"smoothscan/internal/tuple"
 )
+
+// ResultCacheExec describes one execution's interaction with the
+// semantic result-cache tier (zero value when the tier is disabled or
+// the execution bypassed it).
+type ResultCacheExec struct {
+	// Hit reports that the execution was served a materialized result
+	// from the cache, with zero device I/O.
+	Hit bool
+	// Bytes is the served entry's accounted size; zero on a miss.
+	Bytes int64
+	// Age is how long ago the served entry was created; zero on a miss.
+	Age time.Duration
+}
 
 // JoinStats exposes one batched join operator's counters: rows
 // consumed from each input, hash build size, output rows, and — for a
@@ -71,6 +85,11 @@ type ExecStats struct {
 	// true for every Stmt.Run, and for an ad-hoc Query.Run whose
 	// canonical shape was in the DB-wide plan cache.
 	PlanCacheHit bool
+	// ResultCache reports whether (and what) the semantic result-cache
+	// tier served this execution. Distinct from PlanCacheHit: the plan
+	// cache skips recompiling the query's structure, the result cache
+	// skips executing it at all.
+	ResultCache ResultCacheExec
 	// Retries is the number of bounded device-read retries the query
 	// window saw (IO.Retries): transient faults and corrupted pages the
 	// buffer pool recovered by re-reading. Zero without a FaultPolicy.
@@ -128,6 +147,7 @@ func (r *Rows) ExecStats() ExecStats {
 		st.RowsReturned = r.counters[n-1].rows
 	}
 	st.PlanCacheHit = r.planCached
+	st.ResultCache = ResultCacheExec{Hit: r.cacheHit, Bytes: r.cacheBytes, Age: r.cacheAge}
 	st.Retries = st.IO.Retries
 	st.FaultsSeen = st.IO.Faults + st.IO.Corruptions + st.IO.LatencySpikes
 	if r.compiled != nil && len(r.compiled.degraded) > 0 {
@@ -242,6 +262,7 @@ func (r *ShardedRows) ExecStats() ExecStats {
 		st.RowsReturned = r.counters[n-1].rows
 	}
 	st.PlanCacheHit = r.planCached
+	st.ResultCache = ResultCacheExec{Hit: r.cacheHit, Bytes: r.cacheBytes, Age: r.cacheAge}
 	st.Retries = st.IO.Retries
 	st.FaultsSeen = st.IO.Faults + st.IO.Corruptions + st.IO.LatencySpikes
 	return st

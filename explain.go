@@ -55,6 +55,12 @@ type Plan struct {
 	// as compiled. Only plans retrieved from a Rows can carry entries —
 	// Explain never executes, so it never degrades.
 	Degraded []string
+	// CachedResult reports that the execution was answered from the
+	// semantic result-cache tier: the rendered tree below is the plan
+	// that *would* have run (and whose earlier run produced the cached
+	// entry), but this execution touched no operator and no device.
+	// Like Degraded, only plans retrieved from a Rows can carry it.
+	CachedResult bool
 	// Root is the plan's root operator node.
 	Root *PlanNode
 }
@@ -81,6 +87,9 @@ func (p *Plan) String() string {
 	}
 	if len(p.Degraded) > 0 {
 		fmt.Fprintf(&b, "   degraded on fault: %s\n", strings.Join(p.Degraded, "; "))
+	}
+	if p.CachedResult {
+		b.WriteString("   served from result cache\n")
 	}
 	var walk func(n *PlanNode, depth int)
 	walk = func(n *PlanNode, depth int) {
@@ -145,6 +154,11 @@ type ShardedPlan struct {
 	// Binds lists a prepared execution's parameter bindings, like
 	// Plan.Binds.
 	Binds []string
+	// CachedResult reports that the execution this plan was taken from
+	// was served from the coordinator's result-cache tier: no shard was
+	// touched, and the scatter-gather below describes the plan that
+	// would have run. Like Plan.CachedResult.
+	CachedResult bool
 	// EmptyWhy is set when the plan short-circuits to an empty result
 	// with no shard touched.
 	EmptyWhy string
@@ -161,6 +175,9 @@ func (p *ShardedPlan) String() string {
 	fmt.Fprintf(&b, "Sharded(%s) strategy=%s partition=%s\n", p.Table, p.Strategy, p.Partition)
 	if len(p.Binds) > 0 {
 		fmt.Fprintf(&b, "   bind: %s\n", strings.Join(p.Binds, ", "))
+	}
+	if p.CachedResult {
+		b.WriteString("   served from result cache\n")
 	}
 	if p.EmptyWhy != "" {
 		fmt.Fprintf(&b, "   empty: %s; no device access on any shard\n", p.EmptyWhy)
@@ -201,6 +218,7 @@ func (s *ShardedDB) shardedPlan(se *shardExec, perShard func(si int) (*Plan, err
 	if se.cq0.annotate {
 		p.Binds = renderBinds(se.cq0.binds)
 	}
+	p.CachedResult = se.cq0.cacheServed
 	if se.emptyWhy != "" {
 		p.Gather = "none"
 		return p, nil
@@ -370,6 +388,7 @@ func (cq *compiledQuery) plan() *Plan {
 	if len(cq.degraded) > 0 {
 		p.Degraded = append([]string(nil), cq.degraded...)
 	}
+	p.CachedResult = cq.cacheServed
 	for _, a := range cq.inputs {
 		p.Tables = append(p.Tables, a.name)
 	}

@@ -1,0 +1,171 @@
+// Package cacheexp is the result-cache experiment of the ssbench
+// suite: a deterministic first-run / repeat / invalidate / re-repeat
+// sweep over the micro-benchmark table with the semantic result-cache
+// tier on (docs/CACHING.md), reporting simulated device cost only, so
+// its rows can live in the byte-diffed ssbench golden.
+//
+// The table shows the tier's contract in numbers: a repeat of a cached
+// query performs zero device I/O (io-req, pages and time all 0), an
+// Insert bumps the table's epoch so the next run misses, re-executes
+// and re-caches, and the repeat after that is served from memory
+// again. The sweep runs both the local DB tier and the sharded
+// coordinator tier above scatter-gather.
+//
+// Like internal/shardexp it lives outside internal/harness because it
+// drives the public facade, and is imported only by cmd/ssbench.
+package cacheexp
+
+import (
+	"fmt"
+
+	"smoothscan"
+	"smoothscan/internal/harness"
+	"smoothscan/internal/loadgen"
+)
+
+// ID is the experiment identifier cmd/ssbench dispatches on.
+const ID = "cache"
+
+// Config holds the experiment's scale knobs; zero values get defaults
+// matching the shardexp scale.
+type Config struct {
+	Rows int64
+	Pool int
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 24_000
+	}
+	if c.Pool == 0 {
+		c.Pool = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// engine is the slice of the smoothscan surface the sweep needs; both
+// *DB and *ShardedDB satisfy it.
+type engine interface {
+	smoothscan.Engine
+	ColdCache() error
+	Insert(table string, vals ...int64) error
+}
+
+// Run executes the sweep: for the local and the 2-way sharded engine,
+// a predicate covering ~1/8, 1/2 and all of the domain runs four
+// times — cold (stores), repeat (served from cache), after an Insert
+// (epoch invalidation forces a re-execute), repeat again (re-cached).
+// Every number is simulated, so the table is byte-stable.
+func Run(cfg Config) (*harness.Table, error) {
+	cfg.defaults()
+	domain := cfg.Rows // like loadgen's micro shape: val uniform over ~rows
+	opts := smoothscan.Options{PoolPages: cfg.Pool, ResultCacheBytes: 16 << 20}
+	t := &harness.Table{
+		ID:     ID,
+		Title:  "Semantic result cache: first run x repeat x write invalidation (simulated cost)",
+		Header: []string{"engine", "sel", "run", "rows", "cached", "io-req", "pages", "time"},
+		Notes: []string{
+			"a repeat of a cached query is served from memory: io-req, pages and time are all zero",
+			"an Insert bumps the table epoch, so the next run re-executes (warm pool) and re-caches",
+			"the sharded engine caches at the coordinator, above scatter-gather",
+		},
+	}
+	sels := []struct {
+		name string
+		frac float64
+	}{
+		{"narrow", 0.125},
+		{"half", 0.5},
+		{"full", 1.0},
+	}
+	engines := []struct {
+		name string
+		open func() (engine, error)
+	}{
+		{"local", func() (engine, error) {
+			return loadgen.BuildDB(cfg.Rows, domain, cfg.Seed, opts)
+		}},
+		{"sharded2", func() (engine, error) {
+			return loadgen.BuildShardedDB(cfg.Rows, domain, cfg.Seed, 2, opts)
+		}},
+	}
+	for _, eng := range engines {
+		e, err := eng.open()
+		if err != nil {
+			return nil, err
+		}
+		// One deterministic insert row per invalidation step; ids start
+		// past the generated range.
+		nextID := cfg.Rows
+		for _, sel := range sels {
+			width := int64(float64(domain) * sel.frac)
+			// ColdCache purges the buffer pool and the result-cache
+			// tier, so each selectivity's "first" run is a true cold
+			// start regardless of sweep order.
+			if err := e.ColdCache(); err != nil {
+				return nil, err
+			}
+			step := func(run string) error {
+				rows, err := e.Table(loadgen.Table).
+					Where(loadgen.IndexedCol, smoothscan.Between(0, width)).
+					Run(nil)
+				if err != nil {
+					return err
+				}
+				var count int64
+				for rows.Next() {
+					count++
+				}
+				if err := rows.Err(); err != nil {
+					rows.Close()
+					return err
+				}
+				if err := rows.Close(); err != nil {
+					return err
+				}
+				es := rows.ExecStats()
+				cached := "no"
+				if es.ResultCache.Hit {
+					cached = "yes"
+				}
+				t.Rows = append(t.Rows, []string{
+					eng.name,
+					sel.name,
+					run,
+					fmt.Sprintf("%d", count),
+					cached,
+					fmt.Sprintf("%d", es.IO.Requests),
+					fmt.Sprintf("%d", es.IO.PagesRead),
+					fmt.Sprintf("%.1f", es.IO.Time()),
+				})
+				return nil
+			}
+			if err := step("first"); err != nil {
+				return nil, err
+			}
+			if err := step("repeat"); err != nil {
+				return nil, err
+			}
+			// The inserted row's val lands inside every predicate range,
+			// but invalidation is epoch-driven: any write to the table
+			// would force the re-execute.
+			vals := make([]int64, 10)
+			vals[0] = nextID
+			nextID++
+			vals[1] = width / 2
+			if err := e.Insert(loadgen.Table, vals...); err != nil {
+				return nil, err
+			}
+			if err := step("after-insert"); err != nil {
+				return nil, err
+			}
+			if err := step("repeat-2"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -12,6 +12,14 @@ import (
 // extra qualifying tuples discovered while analysing whole pages are
 // parked here until the leaf traversal reaches their index entries.
 //
+// Naming note: this is the *scan-internal* result cache — it lives and
+// dies inside one ordered Smooth Scan, bounded by
+// ScanOptions.ResultCacheBudget, and backs that option since the
+// ordered-delivery work. It is unrelated to the *semantic* query-result
+// cache (internal/rescache, Options.ResultCacheBytes), which caches
+// materialized result sets across executions at the query boundary.
+// docs/CACHING.md disambiguates the two.
+//
 // The cache is partitioned by key range, with partition bounds taken
 // from the separator keys of the index root page ("the root page is a
 // good indicator of the key value distributions"). Once the scan's

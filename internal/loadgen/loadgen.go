@@ -20,8 +20,8 @@ const IndexedCol = "val"
 
 // BuildDB loads the micro-benchmark-shaped table: id dense key, val
 // indexed uniform over the domain, p1..p8 payload.
-func BuildDB(rows, domain, seed int64, poolPages int) (*smoothscan.DB, error) {
-	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
+func BuildDB(rows, domain, seed int64, opts smoothscan.Options) (*smoothscan.DB, error) {
+	db, err := smoothscan.Open(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -65,12 +65,12 @@ func ShardParts(domain int64, n int) smoothscan.Partitioning {
 // byte-identical) and keeps only the rows ShardParts routes to this
 // shard. N ssserver processes each serving their BuildShardSlice are
 // collectively the same table BuildShardedDB holds in one process.
-func BuildShardSlice(rows, domain, seed int64, poolPages, shardID, n int) (*smoothscan.DB, error) {
+func BuildShardSlice(rows, domain, seed int64, shardID, n int, opts smoothscan.Options) (*smoothscan.DB, error) {
 	if shardID < 0 || shardID >= n {
 		return nil, fmt.Errorf("loadgen: shard id %d out of range [0, %d)", shardID, n)
 	}
 	part := ShardParts(domain, n)
-	db, err := smoothscan.Open(smoothscan.Options{PoolPages: poolPages})
+	db, err := smoothscan.Open(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +106,8 @@ func BuildShardSlice(rows, domain, seed int64, poolPages, shardID, n int) (*smoo
 // uniform load balances). The row stream is identical to BuildDB's —
 // only the placement differs — so digests over the same predicate
 // ranges are comparable between sharded and unsharded runs.
-func BuildShardedDB(rows, domain, seed int64, poolPages, n int) (*smoothscan.ShardedDB, error) {
-	s, err := smoothscan.OpenSharded(n, smoothscan.Options{PoolPages: poolPages})
+func BuildShardedDB(rows, domain, seed int64, n int, opts smoothscan.Options) (*smoothscan.ShardedDB, error) {
+	s, err := smoothscan.OpenSharded(n, opts)
 	if err != nil {
 		return nil, err
 	}

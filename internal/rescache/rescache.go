@@ -1,0 +1,350 @@
+// Package rescache is the engine's semantic query-result cache: it
+// stores fully materialized result sets keyed on the canonical plan
+// shape plus the execution's constant values, so a repeated query —
+// ad hoc or prepared, local, sharded or remote — is served from memory
+// with zero device I/O.
+//
+// This tier is distinct from the scan-internal Result Cache of
+// internal/core (the paper's Section IV-A structure that holds
+// not-yet-deliverable tuples *inside one ordered Smooth Scan*, bounded
+// by ScanOptions.ResultCacheBudget). That cache lives and dies with a
+// single operator; this package caches *across* executions at the
+// query boundary and is bounded by Options.ResultCacheBytes.
+//
+// Correctness is write-driven: every entry captures the epoch counter
+// of each table it read at creation time, and a lookup revalidates
+// those epochs against the caller's current view. A write (DB.Insert)
+// bumps the table's epoch, so any entry that read the pre-write state
+// can never serve again — it is dropped on its next lookup or by the
+// sweep. There is no invalidation broadcast to miss.
+//
+// Eviction follows the ref_cnt/ref_last metadata scheme of the
+// scanner-cache-test reference workload: every entry carries a
+// reference count and a last-reference time; when a store pushes the
+// cache over its byte budget, the least recently referenced entries
+// are evicted until it fits. Entries older than the TTL are removed in
+// periodic batch sweeps (every sweepEvery stores) and lazily at
+// lookup.
+package rescache
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultEntryDivisor caps one entry at budget/defaultEntryDivisor
+// bytes: a single giant result must not be able to evict the whole
+// working set on its way in.
+const defaultEntryDivisor = 4
+
+// sweepEvery is the store cadence of the TTL batch-purge sweep: every
+// sweepEvery-th store walks the whole cache once and drops expired
+// entries, amortising expiry work instead of timing it.
+const sweepEvery = 64
+
+// Stats is a point-in-time snapshot of a Cache's accounting.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes. A lookup that finds an
+	// entry whose epochs no longer match counts as a miss (and an
+	// InvalidatedStale).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Stores counts entries admitted; StoreSkips counts results offered
+	// but refused (over the per-entry cap).
+	Stores     int64 `json:"stores"`
+	StoreSkips int64 `json:"store_skips"`
+	// InvalidatedStale counts entries dropped because a referenced
+	// table's epoch moved past the entry's snapshot — the write-driven
+	// invalidation churn.
+	InvalidatedStale int64 `json:"invalidated_stale"`
+	// Evicted counts entries pushed out by byte-budget pressure, in
+	// ref_last order (least recently referenced first).
+	Evicted int64 `json:"evicted"`
+	// Expired counts entries removed by the TTL batch-purge sweep or by
+	// a lookup that found them past their TTL.
+	Expired int64 `json:"expired"`
+	// Entries and Bytes are the current population; Budget is the
+	// configured byte bound.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Budget  int64 `json:"budget"`
+}
+
+// View is the caller-visible face of a cache hit: the materialized
+// rows (views into the entry — read-only, shared across hits) and the
+// entry's metadata at lookup time.
+type View struct {
+	// Flat is the row data, Rows*Width values back to back.
+	Flat []uint64
+	// Rows and Width are the result dimensions.
+	Rows, Width int
+	// Bytes is the entry's accounted size.
+	Bytes int64
+	// RefCnt is the entry's reference count including this lookup.
+	RefCnt int64
+	// Age is the time since the entry was created (stored).
+	Age time.Duration
+}
+
+// entry is one cached result set with its eviction and invalidation
+// metadata. Entries form a doubly linked list in ref_last order
+// (front = most recently referenced).
+type entry struct {
+	key    string
+	flat   []uint64
+	rows   int
+	width  int
+	bytes  int64
+	epochs map[string]uint64 // table -> epoch captured at creation
+
+	refCnt  int64
+	refLast time.Time
+	created time.Time
+
+	prev, next *entry
+}
+
+// Cache is a mutex-guarded semantic result cache bounded by a byte
+// budget. It is safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	// entryCap is the per-entry admission bound (budget/defaultEntryDivisor).
+	entryCap int64
+	ttl      time.Duration
+	now      func() time.Time // injectable for deterministic TTL tests
+
+	entries map[string]*entry
+	// head/tail of the ref_last list: head = most recent.
+	head, tail *entry
+	bytes      int64
+
+	sinceSweep int
+	stats      Stats
+}
+
+// New creates a cache bounded to budget bytes. A non-positive budget
+// returns nil — callers treat a nil *Cache as "tier disabled". ttl of
+// zero (or negative) disables expiry.
+func New(budget int64, ttl time.Duration) *Cache {
+	if budget <= 0 {
+		return nil
+	}
+	if ttl < 0 {
+		ttl = 0
+	}
+	return &Cache{
+		budget:   budget,
+		entryCap: budget / defaultEntryDivisor,
+		ttl:      ttl,
+		now:      time.Now,
+		entries:  make(map[string]*entry),
+	}
+}
+
+// EntryCap returns the per-entry admission bound in bytes: results
+// accumulating past it stop accumulating early (the producing query
+// will not be cached).
+func (c *Cache) EntryCap() int64 { return c.entryCap }
+
+// unlink removes e from the ref_last list.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront inserts e at the most-recently-referenced end.
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// remove drops e from the cache entirely.
+func (c *Cache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// expired reports whether e is past its TTL at time t.
+func (c *Cache) expired(e *entry, t time.Time) bool {
+	return c.ttl > 0 && t.Sub(e.created) > c.ttl
+}
+
+// stale reports whether any table e read has moved past the entry's
+// epoch snapshot.
+func stale(e *entry, epochOf func(string) uint64) bool {
+	for table, ep := range e.epochs {
+		if epochOf(table) != ep {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the entry under key after revalidating it: the entry
+// must not be past its TTL and every table epoch captured at creation
+// must still match epochOf's current view. A failed revalidation drops
+// the entry and reports a miss — a stale entry can never serve.
+// Lookup refreshes ref_cnt/ref_last on a hit.
+func (c *Cache) Lookup(key string, epochOf func(string) uint64) (View, bool) {
+	if c == nil {
+		return View{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return View{}, false
+	}
+	t := c.now()
+	if c.expired(e, t) {
+		c.remove(e)
+		c.stats.Expired++
+		c.stats.Misses++
+		return View{}, false
+	}
+	if stale(e, epochOf) {
+		c.remove(e)
+		c.stats.InvalidatedStale++
+		c.stats.Misses++
+		return View{}, false
+	}
+	e.refCnt++
+	e.refLast = t
+	c.unlink(e)
+	c.pushFront(e)
+	c.stats.Hits++
+	return View{
+		Flat:   e.flat,
+		Rows:   e.rows,
+		Width:  e.width,
+		Bytes:  e.bytes,
+		RefCnt: e.refCnt,
+		Age:    t.Sub(e.created),
+	}, true
+}
+
+// Store admits a materialized result under key, recording the table
+// epochs its execution captured. The accounted size covers the row
+// data plus a fixed per-entry overhead; a result over the per-entry
+// cap is refused (StoreSkips). Admission evicts least-recently-
+// referenced entries until the budget holds, and every sweepEvery-th
+// store runs the TTL batch purge first. Storing over an existing key
+// replaces it. It reports whether the result was admitted.
+func (c *Cache) Store(key string, flat []uint64, rows, width int, epochs map[string]uint64) bool {
+	if c == nil {
+		return false
+	}
+	bytes := int64(len(flat))*8 + 256 // data + entry/bookkeeping overhead
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes > c.entryCap {
+		c.stats.StoreSkips++
+		return false
+	}
+	t := c.now()
+	c.sinceSweep++
+	if c.ttl > 0 && c.sinceSweep >= sweepEvery {
+		c.sweepLocked(t)
+	}
+	if old, ok := c.entries[key]; ok {
+		c.remove(old)
+	}
+	e := &entry{
+		key:     key,
+		flat:    flat,
+		rows:    rows,
+		width:   width,
+		bytes:   bytes,
+		epochs:  epochs,
+		refCnt:  0,
+		refLast: t,
+		created: t,
+	}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.bytes += bytes
+	for c.bytes > c.budget && c.tail != nil {
+		victim := c.tail
+		if victim == e {
+			break // never evict the entry being admitted
+		}
+		c.remove(victim)
+		c.stats.Evicted++
+	}
+	c.stats.Stores++
+	return true
+}
+
+// sweepLocked is the TTL batch purge: one walk over every entry,
+// dropping the expired ones. Caller holds c.mu.
+func (c *Cache) sweepLocked(t time.Time) {
+	c.sinceSweep = 0
+	for e := c.head; e != nil; {
+		next := e.next
+		if c.expired(e, t) {
+			c.remove(e)
+			c.stats.Expired++
+		}
+		e = next
+	}
+}
+
+// SweepExpired runs the TTL batch purge immediately and returns the
+// number of entries removed. It is the explicit form of the sweep the
+// cache already runs every sweepEvery stores.
+func (c *Cache) SweepExpired() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.stats.Expired
+	c.sweepLocked(c.now())
+	return int(c.stats.Expired - before)
+}
+
+// Purge empties the cache, keeping the counters. DB.ColdCache calls it
+// so cold-state measurements cannot be served warm results.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+}
+
+// Stats snapshots the counters and the current population.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Bytes = c.bytes
+	st.Budget = c.budget
+	return st
+}

@@ -260,6 +260,7 @@ func (s *Server) admit() (func(), error) {
 // cache traffic).
 func (s *Server) Stats() wire.ServerStats {
 	pc := s.db.PlanCacheStats()
+	rc := s.db.ResultCacheStats()
 	return wire.ServerStats{
 		SessionsOpen:    s.ctr.sessionsOpen.Load(),
 		SessionsTotal:   s.ctr.sessionsTotal.Load(),
@@ -277,6 +278,12 @@ func (s *Server) Stats() wire.ServerStats {
 		DeviceSimCost:   s.db.Stats().Time(),
 		PlanCacheHits:   int64(pc.Hits),
 		PlanCacheMisses: int64(pc.Misses),
+
+		ResultCacheHits:        rc.Hits,
+		ResultCacheMisses:      rc.Misses,
+		ResultCacheInvalidated: rc.InvalidatedStale,
+		ResultCacheEntries:     int64(rc.Entries),
+		ResultCacheBytes:       rc.Bytes,
 	}
 }
 

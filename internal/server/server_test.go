@@ -17,7 +17,7 @@ import (
 // ephemeral port and tears it down with the test.
 func startServer(t *testing.T, cfg server.Config) (addr string, db *smoothscan.DB) {
 	t.Helper()
-	db, err := loadgen.BuildDB(4000, 2000, 1, 256)
+	db, err := loadgen.BuildDB(4000, 2000, 1, smoothscan.Options{PoolPages: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestConnLimit(t *testing.T) {
 // TestCloseAfterServerShutdown checks the documented contract that
 // Rows.Close and Stmt.Close are safe after the server is gone.
 func TestCloseAfterServerShutdown(t *testing.T) {
-	db, err := loadgen.BuildDB(2000, 1000, 1, 128)
+	db, err := loadgen.BuildDB(2000, 1000, 1, smoothscan.Options{PoolPages: 128})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -418,12 +418,15 @@ func (ss *session) handleFetch(maxRows int) bool {
 			}
 			st := c.rows.ExecStats()
 			end := wire.End{Summary: wire.ExecSummary{
-				Rows:         st.RowsReturned,
-				Retries:      st.Retries,
-				FaultsSeen:   st.FaultsSeen,
-				PlanCacheHit: st.PlanCacheHit,
-				Degraded:     st.Degraded,
-				IO:           st.IO,
+				Rows:             st.RowsReturned,
+				Retries:          st.Retries,
+				FaultsSeen:       st.FaultsSeen,
+				PlanCacheHit:     st.PlanCacheHit,
+				Degraded:         st.Degraded,
+				IO:               st.IO,
+				ResultCacheHit:   st.ResultCache.Hit,
+				ResultCacheBytes: st.ResultCache.Bytes,
+				ResultCacheAgeNs: int64(st.ResultCache.Age),
 			}}
 			ss.srv.ctr.queriesServed.Add(1)
 			ok := ss.send(wire.MsgEnd, end.Marshal())

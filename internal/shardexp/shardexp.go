@@ -67,7 +67,7 @@ func Run(cfg Config) (*harness.Table, error) {
 		{"full", 1.0},
 	}
 	for _, n := range []int{1, 2, 4} {
-		s, err := loadgen.BuildShardedDB(cfg.Rows, domain, cfg.Seed, cfg.Pool, n)
+		s, err := loadgen.BuildShardedDB(cfg.Rows, domain, cfg.Seed, n, smoothscan.Options{PoolPages: cfg.Pool})
 		if err != nil {
 			return nil, err
 		}

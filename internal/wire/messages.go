@@ -216,6 +216,13 @@ type ExecSummary struct {
 	// driver can surface per-shard IOStats exactly as an in-process
 	// shard does (ExecStats.Shards, ssload balance reporting).
 	IO disk.Stats
+	// Result-cache interaction of the execution, mirroring
+	// smoothscan.ResultCacheExec: whether the server served the stream
+	// from its result-cache tier (zero device I/O), the served entry's
+	// accounted size, and its age in nanoseconds.
+	ResultCacheHit   bool
+	ResultCacheBytes int64
+	ResultCacheAgeNs int64
 }
 
 // End closes a fetch window. More means the cursor has (or may have)
@@ -240,6 +247,9 @@ func (m End) Marshal() []byte {
 			e.Str(s)
 		}
 		appendIOStats(&e, m.Summary.IO)
+		e.Bool(m.Summary.ResultCacheHit)
+		e.Varint(m.Summary.ResultCacheBytes)
+		e.Varint(m.Summary.ResultCacheAgeNs)
 	}
 	return e.B
 }
@@ -294,6 +304,9 @@ func DecodeEnd(p []byte) (End, error) {
 			m.Summary.Degraded = append(m.Summary.Degraded, d.Str())
 		}
 		m.Summary.IO = decodeIOStats(d)
+		m.Summary.ResultCacheHit = d.Bool()
+		m.Summary.ResultCacheBytes = d.Varint()
+		m.Summary.ResultCacheAgeNs = d.Varint()
 	}
 	return m, d.Finish()
 }
@@ -369,6 +382,14 @@ type ServerStats struct {
 	DeviceSimCost   float64
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// Result-cache tier counters of the server's DB (zero when the
+	// server runs with the tier disabled): lookup traffic, entries
+	// dropped by write invalidation, and the tier's current footprint.
+	ResultCacheHits        int64
+	ResultCacheMisses      int64
+	ResultCacheInvalidated int64
+	ResultCacheEntries     int64
+	ResultCacheBytes       int64
 }
 
 // Marshal serialises the message payload.
@@ -390,6 +411,11 @@ func (m ServerStats) Marshal() []byte {
 	e.F64(m.DeviceSimCost)
 	e.Varint(m.PlanCacheHits)
 	e.Varint(m.PlanCacheMisses)
+	e.Varint(m.ResultCacheHits)
+	e.Varint(m.ResultCacheMisses)
+	e.Varint(m.ResultCacheInvalidated)
+	e.Varint(m.ResultCacheEntries)
+	e.Varint(m.ResultCacheBytes)
 	return e.B
 }
 
@@ -413,6 +439,11 @@ func DecodeServerStats(p []byte) (ServerStats, error) {
 	m.DeviceSimCost = d.F64()
 	m.PlanCacheHits = d.Varint()
 	m.PlanCacheMisses = d.Varint()
+	m.ResultCacheHits = d.Varint()
+	m.ResultCacheMisses = d.Varint()
+	m.ResultCacheInvalidated = d.Varint()
+	m.ResultCacheEntries = d.Varint()
+	m.ResultCacheBytes = d.Varint()
 	return m, d.Finish()
 }
 

@@ -468,6 +468,17 @@ type compiledQuery struct {
 	// degradeOnFault); empty for a plan that ran as compiled. Surfaced
 	// via ExecStats.Degraded and the Explain header.
 	degraded []string
+
+	// Result-cache tier fields (see rescache.go). resKey is the
+	// execution's entry key — canonical shape plus every resolved
+	// constant — and resEpochs the write epochs of the referenced
+	// tables captured at bind time; both empty when the execution does
+	// not participate (tier disabled, compat query, empty plan).
+	// cacheServed marks an execution answered from the cache, rendered
+	// by Plan as "served from result cache".
+	resKey      string
+	resEpochs   map[string]uint64
+	cacheServed bool
 }
 
 // bindPair is one bound parameter captured at bind time (the caller's
@@ -688,6 +699,18 @@ type qtemplate struct {
 	pt      *plan.Template
 	optsPer []ScanOptions
 	compat  bool
+	// key is the canonical shape the template was compiled from — the
+	// same string the plan cache indexes by. It distinguishes named
+	// parameters from literal slots, because the bind phase resolves
+	// them differently. Empty when neither cache wants it.
+	key string
+	// semKey is the parameter-blind canonical shape: every constant —
+	// literal or named parameter — renders as the same positional
+	// marker. The result-cache tier derives its entry keys from it
+	// (shape + resolved constant values in canonical argument order),
+	// which is what lets ad-hoc and prepared executions of the same
+	// query share one entry. Empty alongside key.
+	semKey string
 }
 
 // canonPred returns the predicate in canonical constant form: a
@@ -740,11 +763,24 @@ func (q *Query) collectLits() []int64 {
 // ordering, options — with every literal constant replaced by a
 // positional marker. Two queries with the same key compile to the
 // same template and differ only in the literal vector they bind, which
-// is exactly what makes the DB-wide plan cache safe.
-func (q *Query) canonicalKey() string {
+// is exactly what makes the DB-wide plan cache safe. Named parameters
+// keep their names (the bind phase resolves them by name, not
+// position), so a prepared query and its literal twin get distinct
+// plan-cache keys.
+func (q *Query) canonicalKey() string { return q.structKey(false) }
+
+// semanticKey is canonicalKey with the parameter/literal distinction
+// erased: every constant renders as the same positional marker. Two
+// queries with the same semantic key and the same resolved constant
+// vector compute the same result, whichever mix of literals and
+// parameters expressed it — the property the result-cache tier keys
+// on.
+func (q *Query) semanticKey() string { return q.structKey(true) }
+
+func (q *Query) structKey(blind bool) string {
 	var sb strings.Builder
 	arg := func(a Arg) {
-		if a.param != "" {
+		if a.param != "" && !blind {
 			sb.WriteByte('$')
 			sb.WriteString(a.param)
 		} else {
@@ -761,6 +797,14 @@ func (q *Query) canonicalKey() string {
 	}
 	for _, c := range q.conds {
 		kind, a, b := canonPred(c.p)
+		if blind {
+			// Every predicate folds to a half-open [lo, hi) range at
+			// bind time, so the semantic shape of any conjunct is a
+			// two-endpoint Between regardless of which comparison
+			// spelled it — Eq(x) and Between(x, x+1) must share.
+			fmt.Fprintf(&sb, "|W:%q,%d,?,?", c.col, int(plan.KindBetween))
+			continue
+		}
 		fmt.Fprintf(&sb, "|W:%q,%d,", c.col, int(kind))
 		arg(a)
 		if kind == plan.KindBetween {
@@ -1016,6 +1060,11 @@ func (db *DB) templateFor(q *Query) (qt *qtemplate, lits []int64, hit bool, err 
 		if err != nil {
 			return nil, nil, false, err
 		}
+		if db.resCache != nil {
+			// No plan cache to need the key, but the result cache does.
+			qt.key = q.canonicalKey()
+			qt.semKey = q.semanticKey()
+		}
 		return qt, q.collectLits(), false, nil
 	}
 	key := q.canonicalKey()
@@ -1026,6 +1075,8 @@ func (db *DB) templateFor(q *Query) (qt *qtemplate, lits []int64, hit bool, err 
 	if err != nil {
 		return nil, nil, false, err
 	}
+	qt.key = key
+	qt.semKey = q.semanticKey()
 	db.planCache.Put(key, qt)
 	return qt, q.collectLits(), false, nil
 }
@@ -1217,6 +1268,50 @@ func (db *DB) bindTemplate(qt *qtemplate, lits []int64, b Bind, annotate bool) (
 			for name, val := range b {
 				cq.binds = append(cq.binds, bindPair{name: name, val: val})
 			}
+		}
+	}
+
+	// Result-cache tier: derive the entry key (parameter-blind
+	// canonical shape + every constant resolved to its bound value, in
+	// the template's canonical walk order) and capture the referenced
+	// tables' write epochs under the same lock the execution will run
+	// under. Resolving parameters to their values before keying is
+	// what lets an ad-hoc query with inline literals and a prepared
+	// statement bound to the same values share one entry. Compat
+	// (DB.Scan) queries and empty-plan short-circuits stay out: the
+	// former pins historical device behaviour, the latter already costs
+	// zero I/O.
+	if db.resCache != nil && qt.semKey != "" && !qt.compat && cq.emptyWhy == "" {
+		var sb strings.Builder
+		sb.WriteString(qt.semKey)
+		sb.WriteString("#v:")
+		resolve := func(v plan.Value) int64 {
+			if v.Param != "" {
+				return b[v.Param]
+			}
+			return lits[v.Slot]
+		}
+		for _, in := range pt.Inputs {
+			for _, c := range in.Conds {
+				// Serialise the folded half-open range, not the raw
+				// scalars: ad-hoc predicates folded at prepare time
+				// (canonPred) and parameterized ones folding here must
+				// produce the same vector.
+				var bv int64
+				if c.Kind == plan.KindBetween {
+					bv = resolve(c.B)
+				}
+				lo, hi := plan.FoldRange(c.Kind, resolve(c.A), bv)
+				fmt.Fprintf(&sb, "%d,%d,", lo, hi)
+			}
+		}
+		if pt.HasLim {
+			fmt.Fprintf(&sb, "L%d,", resolve(pt.Limit))
+		}
+		cq.resKey = sb.String()
+		cq.resEpochs = make(map[string]uint64, len(cq.inputs))
+		for _, a := range cq.inputs {
+			cq.resEpochs[a.name] = a.tab.epoch
 		}
 	}
 	return cq, nil
@@ -1477,6 +1572,15 @@ func (db *DB) startRows(ctx context.Context, cq *compiledQuery) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Result-cache tier: a revalidated hit serves the materialized
+	// result with zero device I/O; a cacheable miss tees the stream
+	// into an accumulator for a store at Close.
+	cache := db.cacheable(cq)
+	if cache {
+		if v, ok := db.resCache.Lookup(cq.resKey, db.epochOfLocked); ok {
+			return db.serveCached(ctx, cq, v), nil
+		}
+	}
 	bq, err := cq.build(db, ctx)
 	if err != nil {
 		return nil, err
@@ -1507,6 +1611,9 @@ func (db *DB) startRows(ctx context.Context, cq *compiledQuery) (*Rows, error) {
 		joins:      bq.joins,
 		planCached: cq.planCached,
 		ioStart:    ioStart,
+	}
+	if cache && len(cq.degraded) == 0 {
+		rows.acc = newResAccum(cq.resKey, cq.resEpochs, db.resCache.EntryCap(), cq.out.NumCols())
 	}
 	rows.db = db
 	db.openScans.Add(1)

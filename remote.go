@@ -73,6 +73,7 @@ func OpenShardedRemote(placements []Placement, parts map[string]Partitioning, op
 		}
 	}
 	s := &ShardedDB{remote: true, parts: map[string]Partitioning{}}
+	s.initResultCache(opts)
 	for t, p := range parts {
 		s.parts[t] = p
 	}
@@ -379,6 +380,11 @@ func (rc *remoteCursor) execStats() (ExecStats, bool) {
 		Retries:      sum.Retries,
 		FaultsSeen:   sum.FaultsSeen,
 		Degraded:     sum.Degraded,
+		ResultCache: ResultCacheExec{
+			Hit:   sum.ResultCacheHit,
+			Bytes: sum.ResultCacheBytes,
+			Age:   time.Duration(sum.ResultCacheAgeNs),
+		},
 	}, true
 }
 

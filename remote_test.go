@@ -29,7 +29,7 @@ type remoteFixture struct {
 
 func buildRemoteFixture(t *testing.T) *remoteFixture {
 	t.Helper()
-	db, err := loadgen.BuildDB(6000, 1500, 7, 256)
+	db, err := loadgen.BuildDB(6000, 1500, 7, smoothscan.Options{PoolPages: 256})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,169 @@
+package smoothscan
+
+import (
+	"context"
+
+	"smoothscan/internal/exec"
+	"smoothscan/internal/rescache"
+	"smoothscan/internal/tuple"
+)
+
+// Result-cache tier glue: how the semantic query-result cache
+// (internal/rescache) plugs into the execute path.
+//
+// Lookup happens in startRows, under the same db.mu read lock the
+// compile/bind phases hold, so the epoch revalidation sees a view
+// consistent with the bind-time capture: any Insert either completed
+// before the lock (its epoch bump fails the revalidation) or waits
+// until after the serve. A hit builds a Rows over cachedOp — a pure
+// in-memory operator — so the execution performs zero device I/O.
+//
+// The store path is a passive tee: a cacheable miss gets a resAccum
+// that copies every delivered batch; Close admits the accumulated
+// result only when the stream drained completely, error-free and
+// undegraded, and only after re-checking the captured epochs (a write
+// that interleaved with the scan — open-scan interference — makes the
+// re-check fail and the store is skipped).
+//
+// Bypass rules (no lookup, no store): tier disabled, compat (DB.Scan)
+// queries, plans short-circuited to empty, executions with a fault
+// policy attached, and fault-degraded runs. ColdCache purges the tier
+// wholesale so cold measurements stay cold.
+
+// resAccum accumulates one execution's result stream for a
+// store-on-Close, bounded by the cache's per-entry byte cap.
+type resAccum struct {
+	key    string
+	epochs map[string]uint64
+	width  int
+	flat   []uint64
+	rows   int
+	// overflow marks a result past the per-entry cap: accumulation
+	// stops and Close will not store.
+	overflow bool
+	capVals  int // flat length bound derived from the entry cap
+}
+
+// newResAccum sizes an accumulator for the compiled query's output.
+func newResAccum(key string, epochs map[string]uint64, entryCap int64, width int) *resAccum {
+	capVals := int(entryCap / 8)
+	return &resAccum{key: key, epochs: epochs, width: width, capVals: capVals}
+}
+
+// addBatch copies the first n rows of b into the accumulator.
+func (a *resAccum) addBatch(b *tuple.Batch, n int) {
+	if a.overflow {
+		return
+	}
+	if len(a.flat)+n*a.width > a.capVals {
+		a.overflow = true
+		a.flat = nil
+		return
+	}
+	for i := 0; i < n; i++ {
+		a.flat = append(a.flat, b.Row(i)...)
+	}
+	a.rows += n
+}
+
+// storeResult admits a drained execution's accumulated result into the
+// cache — unless the result overflowed the entry cap, or a write moved
+// any referenced table's epoch since bind time (the entry would be
+// born stale).
+func (db *DB) storeResult(a *resAccum) {
+	if a.overflow || db.resCache == nil {
+		return
+	}
+	db.mu.RLock()
+	fresh := true
+	for name, ep := range a.epochs {
+		if db.epochOfLocked(name) != ep {
+			fresh = false
+			break
+		}
+	}
+	db.mu.RUnlock()
+	if !fresh {
+		return
+	}
+	db.resCache.Store(a.key, a.flat, a.rows, a.width, a.epochs)
+}
+
+// cachedOp is the leaf operator serving a materialized result set: a
+// read-only view over the cache entry's flat row data. It touches no
+// device and charges no simulated cost — the entire point of the tier.
+type cachedOp struct {
+	schema *tuple.Schema
+	flat   []uint64
+	width  int
+	rows   int
+	pos    int
+	open   bool
+}
+
+func newCachedOp(schema *tuple.Schema, v rescache.View) *cachedOp {
+	return &cachedOp{schema: schema, flat: v.Flat, width: v.Width, rows: v.Rows}
+}
+
+func (c *cachedOp) Schema() *tuple.Schema { return c.schema }
+func (c *cachedOp) Open() error           { c.pos = 0; c.open = true; return nil }
+func (c *cachedOp) Close() error          { c.open = false; return nil }
+
+func (c *cachedOp) Next() (tuple.Row, bool, error) {
+	if !c.open {
+		return nil, false, exec.ErrClosed
+	}
+	if c.pos >= c.rows {
+		return nil, false, nil
+	}
+	i := c.pos
+	c.pos++
+	return tuple.Row(c.flat[i*c.width : (i+1)*c.width : (i+1)*c.width]), true, nil
+}
+
+func (c *cachedOp) NextBatch(out *tuple.Batch) (int, error) {
+	if !c.open {
+		return 0, exec.ErrClosed
+	}
+	out.Reset()
+	for c.pos < c.rows {
+		slot := out.AppendSlotRaw()
+		if slot == nil {
+			break
+		}
+		copy(slot, c.flat[c.pos*c.width:(c.pos+1)*c.width])
+		c.pos++
+	}
+	return out.Len(), nil
+}
+
+// cacheable reports whether this execution participates in the result
+// cache at all, and is the single place the bypass rules live.
+func (db *DB) cacheable(cq *compiledQuery) bool {
+	return db.resCache != nil && cq.resKey != "" && db.dev.FaultPolicy() == nil
+}
+
+// serveCached opens a Rows over a cache hit. The caller holds db.mu
+// (read).
+func (db *DB) serveCached(ctx context.Context, cq *compiledQuery, v rescache.View) *Rows {
+	cq.cacheServed = true
+	c := &opCounter{name: "result-cache"}
+	op := &countedOp{inner: newCachedOp(cq.out, v), c: c}
+	_ = op.Open() // cachedOp.Open cannot fail
+	rows := &Rows{
+		db:         db,
+		op:         op,
+		schema:     cq.out,
+		baseSchema: cq.base,
+		ctx:        ctx,
+		counters:   []*opCounter{c},
+		compiled:   cq,
+		planCached: cq.planCached,
+		ioStart:    db.dev.Stats(),
+		cacheHit:   true,
+		cacheBytes: v.Bytes,
+		cacheAge:   v.Age,
+	}
+	db.openScans.Add(1)
+	return rows
+}

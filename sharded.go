@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"smoothscan/internal/exec"
 	"smoothscan/internal/parallel"
 	"smoothscan/internal/plan"
+	"smoothscan/internal/rescache"
 	"smoothscan/internal/shard"
 	"smoothscan/internal/tuple"
 )
@@ -71,8 +73,13 @@ type ShardedDB struct {
 	// are schema-only mirrors, data lives on the nodes, and load-time
 	// mutators are refused.
 	remote bool
-	mu     sync.RWMutex // guards parts
-	parts  map[string]shard.Partitioning
+	// resCache is the coordinator-level result-cache tier: repeated
+	// sharded queries are served above scatter-gather with zero shard
+	// traffic. nil when Options.ResultCacheBytes leaves the tier
+	// disabled. See sharded_rescache.go.
+	resCache *rescache.Cache
+	mu       sync.RWMutex // guards parts
+	parts    map[string]shard.Partitioning
 }
 
 // errRemoteMutation explains a refused load-time mutator on a remote
@@ -89,6 +96,7 @@ func OpenSharded(n int, opts Options) (*ShardedDB, error) {
 		return nil, fmt.Errorf("smoothscan: shard count %d (want >= 1)", n)
 	}
 	s := &ShardedDB{parts: map[string]shard.Partitioning{}}
+	s.initResultCache(opts)
 	for i := 0; i < n; i++ {
 		db, err := Open(opts)
 		if err != nil {
@@ -329,10 +337,13 @@ func (s *ShardedDB) ResetStats() error {
 	return nil
 }
 
-// ColdCache empties every shard's buffer pool. On a remote topology
-// the request is forwarded to each node (the server must run with
-// fault administration enabled, as for ssclient's ColdCache).
+// ColdCache empties every shard's buffer pool and purges the
+// coordinator's result-cache tier (each shard purges its own tier
+// inside DB.ColdCache). On a remote topology the request is forwarded
+// to each node (the server must run with fault administration enabled,
+// as for ssclient's ColdCache).
 func (s *ShardedDB) ColdCache() error {
+	s.resCache.Purge()
 	for i, db := range s.shards {
 		if rd, ok := s.drivers[i].(*remoteDriver); ok {
 			if err := rd.coldCache(); err != nil {
@@ -1142,6 +1153,30 @@ func (sq *ShardedQuery) Run(ctx context.Context) (*ShardedRows, error) {
 	if err != nil {
 		return nil, err
 	}
+	planFn := func() (*ShardedPlan, error) {
+		return s.shardedPlan(se, func(si int) (*Plan, error) {
+			if se.strategy == strategyBroadcast {
+				return sq.sideQuery(s.shards[si], se.scanInput, qt.pt).Explain()
+			}
+			return sq.perShardQuery(s.shards[si]).Explain()
+		})
+	}
+	// Coordinator result-cache tier: a hit serves the materialized
+	// result with every shard untouched; a miss captures the epochs
+	// now — before any shard worker starts — so a write interleaving
+	// with the gather fails the store-time re-check.
+	cache := s.cacheableSharded(se)
+	if cache {
+		if v, ok := s.resCache.Lookup(se.cq0.resKey, s.epochOf); ok {
+			sr := s.serveShardedCached(ctx, se, v, hit)
+			sr.planFn = planFn
+			return sr, nil
+		}
+	}
+	var eps map[string]uint64
+	if cache {
+		eps = s.epochsFor(se.cq0)
+	}
 	run := runnerset{
 		planCached: hit,
 		shard: func(ctx context.Context, si int) (shardCursor, error) {
@@ -1155,14 +1190,10 @@ func (sq *ShardedQuery) Run(ctx context.Context) (*ShardedRows, error) {
 	if err != nil {
 		return nil, err
 	}
-	sr.planFn = func() (*ShardedPlan, error) {
-		return s.shardedPlan(se, func(si int) (*Plan, error) {
-			if se.strategy == strategyBroadcast {
-				return sq.sideQuery(s.shards[si], se.scanInput, qt.pt).Explain()
-			}
-			return sq.perShardQuery(s.shards[si]).Explain()
-		})
+	if cache {
+		sr.acc = newResAccum(se.cq0.resKey, eps, s.resCache.EntryCap(), se.out.NumCols())
 	}
+	sr.planFn = planFn
 	return sr, nil
 }
 
@@ -1217,6 +1248,14 @@ type ShardedRows struct {
 	done       bool
 	closed     bool
 	closeErr   error
+
+	// Coordinator result-cache tier state: acc tees delivered batches
+	// toward a store-on-Close; the cache* fields describe a served hit
+	// (see sharded_rescache.go).
+	acc        *resAccum
+	cacheHit   bool
+	cacheBytes int64
+	cacheAge   time.Duration
 }
 
 // Next advances to the next row; false at end-of-stream or on error
@@ -1245,6 +1284,9 @@ func (r *ShardedRows) Next() bool {
 		if n == 0 {
 			r.done = true
 			return false
+		}
+		if r.acc != nil {
+			r.acc.addBatch(r.batch, n)
 		}
 		r.pos = 0
 	}
@@ -1328,6 +1370,9 @@ func (r *ShardedRows) Close() error {
 	r.ioDelta = make([]IOStats, len(r.s.shards))
 	for i, db := range r.s.shards {
 		r.ioDelta[i] = db.dev.Stats().Sub(r.ioStart[i])
+	}
+	if r.acc != nil && r.storeEligible() {
+		r.s.storeShardedResult(r.acc)
 	}
 	return r.closeErr
 }
@@ -1450,6 +1495,21 @@ func (st *ShardedStmt) Run(ctx context.Context, b Bind) (*ShardedRows, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Coordinator result-cache tier, as in ShardedQuery.Run: prepared
+	// executions share entries with ad-hoc ones (the key is the
+	// canonical shape plus the resolved values).
+	cache := st.s.cacheableSharded(se)
+	if cache {
+		if v, ok := st.s.resCache.Lookup(se.cq0.resKey, st.s.epochOf); ok {
+			sr := st.s.serveShardedCached(ctx, se, v, true)
+			sr.planFn = func() (*ShardedPlan, error) { return st.explainWith(se, b) }
+			return sr, nil
+		}
+	}
+	var eps map[string]uint64
+	if cache {
+		eps = st.s.epochsFor(se.cq0)
+	}
 	run := runnerset{
 		planCached: true,
 		shard: func(ctx context.Context, si int) (shardCursor, error) {
@@ -1462,6 +1522,9 @@ func (st *ShardedStmt) Run(ctx context.Context, b Bind) (*ShardedRows, error) {
 	sr, err := st.s.startSharded(ctx, se, run)
 	if err != nil {
 		return nil, err
+	}
+	if cache {
+		sr.acc = newResAccum(se.cq0.resKey, eps, st.s.resCache.EntryCap(), se.out.NumCols())
 	}
 	sr.planFn = func() (*ShardedPlan, error) { return st.explainWith(se, b) }
 	return sr, nil

@@ -1,0 +1,146 @@
+package smoothscan
+
+import (
+	"context"
+
+	"smoothscan/internal/rescache"
+)
+
+// Coordinator-level result caching: the sharded engine carries its own
+// rescache tier above scatter-gather, so a repeated sharded query is
+// served from the coordinator's memory without touching any shard —
+// no gather, no per-shard cursors, no device or network traffic. The
+// per-shard slices still flow through each shard DB's own tier (the
+// same Options configure both), so a coordinator miss can still be
+// assembled from per-shard hits.
+//
+// Epochs at this level are the sum of the shard epochs for each table:
+// every Insert routes to exactly one shard and bumps that shard's
+// table epoch under its lock, so the sum is monotonic and moves on
+// every write regardless of which shard took it. A remote topology's
+// planning mirrors hold no rows and the coordinator refuses mutations,
+// so its epochs are static — consistent with the open-time catalog
+// snapshot the coordinator already treats as the data's state.
+
+// initResultCache installs the coordinator tier; a helper so the open
+// paths (OpenSharded, OpenShardedRemote) need no rescache import.
+func (s *ShardedDB) initResultCache(opts Options) {
+	s.resCache = rescache.New(opts.ResultCacheBytes, opts.ResultCacheTTL)
+}
+
+// ResultCacheStats snapshots the coordinator-level result-cache tier's
+// counters (zero when the tier is disabled). Per-shard tiers are
+// reachable via Shard(i).ResultCacheStats().
+func (s *ShardedDB) ResultCacheStats() ResultCacheStats { return s.resCache.Stats() }
+
+// epochOf sums the named table's write epoch across shards — the
+// coordinator tier's invalidation clock. Each shard's epoch is read
+// under its own lock; the sum is monotonic because shard epochs only
+// ever increase.
+func (s *ShardedDB) epochOf(name string) uint64 {
+	var sum uint64
+	for _, db := range s.shards {
+		db.mu.RLock()
+		sum += db.epochOfLocked(name)
+		db.mu.RUnlock()
+	}
+	return sum
+}
+
+// epochsFor captures the coordinator epochs of every table the
+// compiled query reads, keyed like cq0.resEpochs. Must be called
+// before the gather starts so a write interleaving with the scan
+// fails the store-time re-check.
+func (s *ShardedDB) epochsFor(cq0 *compiledQuery) map[string]uint64 {
+	eps := make(map[string]uint64, len(cq0.resEpochs))
+	for name := range cq0.resEpochs {
+		eps[name] = s.epochOf(name)
+	}
+	return eps
+}
+
+// cacheableSharded reports whether this sharded execution participates
+// in the coordinator tier. Beyond the local rules (tier enabled, key
+// derived, no empty short-circuit), any shard carrying a fault policy
+// bypasses — degraded shard runs may skip corrupted pages, and a
+// partial result must never be pinned. A remote broadcast join also
+// bypasses: its replicated side drains through cursors whose
+// degradation state the coordinator cannot observe.
+func (s *ShardedDB) cacheableSharded(se *shardExec) bool {
+	if s.resCache == nil || se.cq0.resKey == "" || se.emptyWhy != "" {
+		return false
+	}
+	for _, db := range s.shards {
+		if db.dev.FaultPolicy() != nil {
+			return false
+		}
+	}
+	if s.remote && se.strategy == strategyBroadcast {
+		return false
+	}
+	return true
+}
+
+// serveShardedCached opens a ShardedRows over a coordinator-tier hit:
+// a pure in-memory drain of the materialized result, with every shard
+// left untouched.
+func (s *ShardedDB) serveShardedCached(ctx context.Context, se *shardExec, v rescache.View, planCached bool) *ShardedRows {
+	se.cq0.cacheServed = true
+	c := &opCounter{name: "result-cache"}
+	op := &countedOp{inner: newCachedOp(se.out, v), c: c}
+	_ = op.Open() // cachedOp.Open cannot fail
+	sr := &ShardedRows{
+		s:          s,
+		se:         se,
+		op:         op,
+		schema:     se.out,
+		ctx:        ctx,
+		counters:   []*opCounter{c},
+		planCached: planCached,
+		cacheHit:   true,
+		cacheBytes: v.Bytes,
+		cacheAge:   v.Age,
+	}
+	sr.ioStart = make([]IOStats, len(s.shards))
+	for i, db := range s.shards {
+		sr.ioStart[i] = db.dev.Stats()
+	}
+	return sr
+}
+
+// storeEligible reports whether a drained sharded execution's result
+// may enter the coordinator cache: fully drained, error-free, and no
+// shard unavailable or degraded (a gather that lost or degraded a
+// shard delivered a best-effort result, not the query's answer).
+func (r *ShardedRows) storeEligible() bool {
+	if !r.done || r.err != nil {
+		return false
+	}
+	for _, a := range r.adapters {
+		if a.unavailable {
+			return false
+		}
+		if a.cur == nil {
+			continue
+		}
+		if st, ok := a.cur.execStats(); ok && len(st.Degraded) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// storeShardedResult admits a drained sharded result, re-checking the
+// coordinator epochs first — a write that routed to any shard during
+// the gather moves the sum and the entry would be born stale.
+func (s *ShardedDB) storeShardedResult(a *resAccum) {
+	if a.overflow || s.resCache == nil {
+		return
+	}
+	for name, ep := range a.epochs {
+		if s.epochOf(name) != ep {
+			return
+		}
+	}
+	s.resCache.Store(a.key, a.flat, a.rows, a.width, a.epochs)
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smoothscan/internal/btree"
 	"smoothscan/internal/bufferpool"
@@ -40,6 +41,7 @@ import (
 	"smoothscan/internal/heap"
 	"smoothscan/internal/optimizer"
 	"smoothscan/internal/plan"
+	"smoothscan/internal/rescache"
 	"smoothscan/internal/tuple"
 )
 
@@ -143,6 +145,22 @@ type Options struct {
 	// like a prepared Stmt. Negative disables the cache; prepared
 	// statements still reuse their own template.
 	PlanCache int
+	// ResultCacheBytes bounds the semantic query-result cache tier in
+	// bytes: repeated queries of the same canonical shape and constant
+	// values are served their materialized result set from memory with
+	// zero device I/O, invalidated by per-table write epochs (see
+	// docs/CACHING.md). The tier is opt-in: zero (the default) and
+	// negative both disable it, keeping execution byte-identical to an
+	// engine without the tier (pinned by `make equiv`).
+	//
+	// Not to be confused with ScanOptions.ResultCacheBudget, which
+	// bounds the scan-internal Result Cache of one ordered Smooth Scan
+	// (paper Section IV-A) and has no cross-query effect.
+	ResultCacheBytes int64
+	// ResultCacheTTL expires result-cache entries this long after
+	// creation, purged in batch sweeps; zero = no expiry. Ignored
+	// unless ResultCacheBytes is positive.
+	ResultCacheTTL time.Duration
 }
 
 // DB is an embedded, read-optimised database: bulk-load tables, build
@@ -166,6 +184,10 @@ type DB struct {
 	// shape; nil when Options.PlanCache is negative.
 	planCache *plan.Cache
 
+	// resCache is the semantic query-result cache tier; nil unless
+	// Options.ResultCacheBytes is positive.
+	resCache *rescache.Cache
+
 	// openScans counts Rows handed out and not yet closed; it gates
 	// the cache/stats reset entry points.
 	openScans atomic.Int64
@@ -176,6 +198,12 @@ type table struct {
 	builder *heap.Builder // nil once finished
 	indexes map[string]*btree.Tree
 	stats   *optimizer.TableStats // nil until Analyze
+
+	// epoch counts the writes the table has taken since creation
+	// (guarded by db.mu). Result-cache entries capture the epochs of
+	// every table they read and revalidate them at lookup, so a cached
+	// result can never outlive a write to its inputs.
+	epoch uint64
 }
 
 // Open creates an empty database on a fresh simulated device.
@@ -204,6 +232,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.PlanCache > 0 {
 		db.planCache = plan.NewCache(opts.PlanCache)
 	}
+	db.resCache = rescache.New(opts.ResultCacheBytes, opts.ResultCacheTTL)
 	return db, nil
 }
 
@@ -220,6 +249,34 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 		return PlanCacheStats{}
 	}
 	return db.planCache.Stats()
+}
+
+// ResultCacheStats is a snapshot of the semantic query-result cache
+// tier: lookup/store/invalidation/eviction counters and the current
+// population. All zero when the tier is disabled (the default).
+type ResultCacheStats = rescache.Stats
+
+// ResultCacheStats snapshots the result-cache counters. Hits count
+// executions served a materialized result with zero device I/O;
+// InvalidatedStale counts entries dropped because a write moved a
+// referenced table's epoch past the entry's snapshot.
+func (db *DB) ResultCacheStats() ResultCacheStats { return db.resCache.Stats() }
+
+// ResultCacheSweepExpired runs the result cache's TTL batch-purge
+// sweep immediately and returns the number of entries removed. The
+// cache also runs the sweep on its own every few dozen stores; this
+// entry point exists for maintenance windows and tests.
+func (db *DB) ResultCacheSweepExpired() int { return db.resCache.SweepExpired() }
+
+// epochOfLocked returns the named table's write epoch; the caller
+// holds db.mu (read). Unknown tables report epoch 0 — they cannot be
+// referenced by a cache entry in the first place, since tables are
+// never dropped.
+func (db *DB) epochOfLocked(name string) uint64 {
+	if t, ok := db.tables[name]; ok {
+		return t.epoch
+	}
+	return 0
 }
 
 // ErrNoTable is returned for operations on unknown tables.
@@ -380,6 +437,9 @@ func (db *DB) Insert(tableName string, vals ...int64) error {
 		col := t.file.Schema().ColIndex(column)
 		tree.Insert(btree.Entry{Key: row.Int(col), TID: tid})
 	}
+	// The write invalidates every cached result that read this table:
+	// bumping the epoch makes their lookup revalidation fail.
+	t.epoch++
 	return nil
 }
 
@@ -488,6 +548,9 @@ func (db *DB) ColdCache() error {
 		return fmt.Errorf("%w: ColdCache with %d open", ErrScansOpen, n)
 	}
 	db.pool.Reset()
+	// A cold-state measurement must not be served a warm materialized
+	// result either: the result-cache tier empties with the pool.
+	db.resCache.Purge()
 	return nil
 }
 
@@ -567,6 +630,14 @@ type Rows struct {
 	done       bool
 	closed     bool
 	closeErr   error // first Close error, replayed by idempotent re-Close
+
+	// Result-cache tier state: acc accumulates the stream for a
+	// store-on-Close when the execution is cacheable; the cache*
+	// fields describe a served hit (surfaced via ExecStats.ResultCache).
+	acc        *resAccum
+	cacheHit   bool
+	cacheBytes int64
+	cacheAge   time.Duration
 }
 
 // Next advances to the next row; it returns false at the end of the
@@ -603,6 +674,9 @@ func (r *Rows) Next() bool {
 		if n == 0 {
 			r.done = true
 			return false
+		}
+		if r.acc != nil {
+			r.acc.addBatch(r.batch, n)
 		}
 		r.pos = 0
 	}
@@ -645,6 +719,9 @@ func (r *Rows) fillBatch(b *tuple.Batch) (int, error) {
 		if n == 0 {
 			r.done = true
 			return 0, nil
+		}
+		if r.acc != nil {
+			r.acc.addBatch(b, n)
 		}
 		r.delivered = true
 		return n, nil
@@ -723,6 +800,12 @@ func (r *Rows) Close() error {
 		// by the time op.Close returns, so the delta is complete.
 		r.ioDelta = r.db.dev.Stats().Sub(r.ioStart)
 		r.db.openScans.Add(-1)
+	}
+	// A fully drained, error-free, non-degraded stream feeds the
+	// result cache (no device access; epochs re-checked inside).
+	if r.acc != nil && r.done && r.err == nil &&
+		(r.compiled == nil || len(r.compiled.degraded) == 0) {
+		r.db.storeResult(r.acc)
 	}
 	return r.closeErr
 }

@@ -1,6 +1,8 @@
 package ssclient
 
 import (
+	"time"
+
 	"smoothscan"
 	"smoothscan/internal/client"
 )
@@ -40,5 +42,10 @@ func (r *Rows) ExecStats() smoothscan.ExecStats {
 		Retries:      sum.Retries,
 		FaultsSeen:   sum.FaultsSeen,
 		Degraded:     sum.Degraded,
+		ResultCache: smoothscan.ResultCacheExec{
+			Hit:   sum.ResultCacheHit,
+			Bytes: sum.ResultCacheBytes,
+			Age:   time.Duration(sum.ResultCacheAgeNs),
+		},
 	}
 }
